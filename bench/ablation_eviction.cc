@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Ablation: eviction policy. Compares Horizon LRU (the paper's
+ * algorithm, §2.4) against (a) naive local LRU among the candidate
+ * slots and (b) the prior-work "shrunken cache" algorithm that
+ * reserves delta of memory (Bender et al., SPAA '21), under the
+ * Table 4 over-commit setting, plus a hot/cold synthetic pattern
+ * where ghost rescues are visible.
+ *
+ * Expected shape: ShrunkenCache swaps the most — it wastes delta of
+ * memory outright. Horizon LRU and local-LRU-of-candidates land
+ * close on scan-heavy workloads (the oldest of 104 random candidates
+ * is already a good global-LRU proxy); Horizon LRU additionally
+ * rescues re-referenced ghosts and carries the paper's theoretical
+ * guarantee.
+ *
+ * Knobs: MOSAIC_ABL_FRAMES (default 16384), MOSAIC_ABL_STEPS
+ * (default 3).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/vm_touch_sink.hh"
+#include "os/mosaic_vm.hh"
+#include "util/random.hh"
+#include "util/table.hh"
+#include "workloads/factory.hh"
+
+using namespace mosaic;
+
+namespace
+{
+
+struct PolicyResult
+{
+    std::uint64_t swapIo = 0;
+    std::uint64_t rescues = 0;
+};
+
+PolicyResult
+runPolicy(EvictionPolicy policy, WorkloadKind kind,
+          std::size_t frames, double factor)
+{
+    MosaicVmConfig config;
+    config.geometry.numFrames = frames;
+    config.policy = policy;
+    MosaicVm vm(config);
+
+    const auto footprint = static_cast<std::uint64_t>(
+        static_cast<double>(frames) * pageSize * factor);
+    const auto workload = makeFootprintWorkload(kind, footprint, 7);
+    VmTouchSink sink(vm, 1);
+    workload->run(sink);
+    return {vm.stats().swapIns + vm.stats().swapOuts,
+            vm.stats().ghostRescues};
+}
+
+/** Hot/cold synthetic: 70 % of touches hit a hot half of memory,
+ *  30 % sweep a cold over-committed region. Re-referenced
+ *  middle-aged pages are where ghosts pay off. */
+PolicyResult
+runHotCold(EvictionPolicy policy, std::size_t frames, double factor)
+{
+    MosaicVmConfig config;
+    config.geometry.numFrames = frames;
+    config.policy = policy;
+    MosaicVm vm(config);
+
+    const auto total = static_cast<Vpn>(
+        static_cast<double>(frames) * factor);
+    const Vpn hot = frames / 2;
+    Rng rng(99);
+    Vpn cold_cursor = hot;
+    for (std::uint64_t i = 0; i < std::uint64_t{frames} * 8; ++i) {
+        if (rng.chance(0.7)) {
+            vm.touch(1, rng.below(hot), false);
+        } else {
+            vm.touch(1, cold_cursor, true);
+            cold_cursor = cold_cursor + 1 >= total ? hot : cold_cursor + 1;
+        }
+    }
+    return {vm.stats().swapIns + vm.stats().swapOuts,
+            vm.stats().ghostRescues};
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto frames = static_cast<std::size_t>(
+        bench::envLong("MOSAIC_ABL_FRAMES", 16 * 1024));
+    const auto steps = static_cast<unsigned>(
+        bench::envLong("MOSAIC_ABL_STEPS", 3));
+
+    std::cout << "Ablation: eviction policy (swap I/O in pages; "
+                 "lower is better)\n"
+              << "memory=" << frames
+              << " frames (MOSAIC_ABL_FRAMES)\n\n";
+
+    for (const WorkloadKind kind :
+         {WorkloadKind::Graph500, WorkloadKind::BTree}) {
+        TextTable table({"Footprint factor", "HorizonLRU",
+                         "(rescues)", "LocalLRU",
+                         "ShrunkenCache(2%)"});
+        for (unsigned k = 0; k < steps; ++k) {
+            const double factor = 1.02 + 0.15 * k;
+            const PolicyResult horizon = runPolicy(
+                EvictionPolicy::HorizonLru, kind, frames, factor);
+            const PolicyResult local = runPolicy(
+                EvictionPolicy::LocalLru, kind, frames, factor);
+            const PolicyResult shrunk = runPolicy(
+                EvictionPolicy::ShrunkenCache, kind, frames, factor);
+            table.beginRow()
+                .cell(factor, 3)
+                .cell(horizon.swapIo)
+                .cell(horizon.rescues)
+                .cell(local.swapIo)
+                .cell(shrunk.swapIo);
+        }
+        std::cout << "--- " << workloadName(kind) << " ---\n";
+        bench::printTable(table, std::cout);
+        std::cout << "\n";
+    }
+
+    {
+        TextTable table({"Footprint factor", "HorizonLRU",
+                         "(rescues)", "LocalLRU",
+                         "ShrunkenCache(2%)"});
+        for (unsigned k = 0; k < steps; ++k) {
+            const double factor = 1.05 + 0.15 * k;
+            const PolicyResult horizon =
+                runHotCold(EvictionPolicy::HorizonLru, frames, factor);
+            const PolicyResult local =
+                runHotCold(EvictionPolicy::LocalLru, frames, factor);
+            const PolicyResult shrunk = runHotCold(
+                EvictionPolicy::ShrunkenCache, frames, factor);
+            table.beginRow()
+                .cell(factor, 3)
+                .cell(horizon.swapIo)
+                .cell(horizon.rescues)
+                .cell(local.swapIo)
+                .cell(shrunk.swapIo);
+        }
+        std::cout << "--- hot/cold synthetic (70 % hot reuse) ---\n";
+        bench::printTable(table, std::cout);
+    }
+
+    std::cout << "\nDesign takeaway: the shrunken-cache baseline "
+                 "pays for its reserved delta of memory on every "
+                 "workload. Horizon LRU matches local-LRU on "
+                 "scan-dominated workloads (oldest-of-104 is already "
+                 "a fine global-LRU proxy) while keeping prior "
+                 "work's theoretical bound and rescuing ghosts "
+                 "wherever medium-hot pages are re-referenced.\n";
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Ablation: iceberg geometry. Measures the load factor at the first
+ * associativity conflict (the achievable 1 - delta) as the front
+ * yard size, backyard size, and number of backyard choices d vary,
+ * and reports the CPFN width each geometry costs in the TLB entry.
+ *
+ * Expected shape: the paper's (f=56, b=8, d=6) reaches ~98 % with a
+ * 7-bit CPFN; shrinking d or the backyard cuts utilization sharply;
+ * growing them buys little while widening the CPFN — the knee the
+ * paper's parameters sit on.
+ *
+ * Knobs: MOSAIC_ABL_BUCKETS (default 1024), MOSAIC_ABL_RUNS
+ * (default 3).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "mem/cpfn.hh"
+#include "mem/frame_table.hh"
+#include "mem/mosaic_allocator.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace mosaic;
+
+namespace
+{
+
+double
+firstConflictLoad(const MemoryGeometry &geometry, std::uint64_t seed)
+{
+    MosaicAllocator alloc(geometry);
+    FrameTable frames(geometry.numFrames);
+    const auto no_ghosts = [](const Frame &) { return false; };
+
+    Tick t = 0;
+    for (Vpn vpn = 0;; ++vpn) {
+        const CandidateSet cand = alloc.mapper().candidates(
+            packPageId(PageId{1, vpn}) ^ seed * 0x9E3779B97F4A7C15ull);
+        const auto placement = alloc.place(cand, frames, no_ghosts);
+        if (!placement)
+            return frames.utilization();
+        frames.map(placement->pfn, PageId{1, vpn}, ++t);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto buckets = static_cast<std::size_t>(
+        bench::envLong("MOSAIC_ABL_BUCKETS", 1024));
+    const auto runs = static_cast<unsigned>(
+        bench::envLong("MOSAIC_ABL_RUNS", 3));
+
+    struct Case
+    {
+        unsigned front, back, choices;
+        const char *note;
+    };
+    const Case cases[] = {
+        {56, 8, 6, "paper default"},
+        {56, 8, 1, "single backyard choice"},
+        {56, 8, 2, "d = 2"},
+        {56, 8, 4, "d = 4"},
+        {60, 4, 6, "small backyard"},
+        {48, 16, 6, "big backyard"},
+        {32, 8, 6, "small front yard"},
+        {56, 8, 12, "d = 12 (wider CPFN)"},
+        {112, 16, 6, "double-size buckets"},
+    };
+
+    std::cout << "Ablation: iceberg geometry vs achievable "
+                 "utilization (" << buckets << " buckets, "
+              << runs << " runs)\n\n";
+
+    TextTable table({"front", "back", "d", "assoc h", "CPFN bits",
+                     "1-delta % (mean)", "+/-", "note"});
+    for (const Case &c : cases) {
+        MemoryGeometry g;
+        g.frontSlots = c.front;
+        g.backSlots = c.back;
+        g.backChoices = c.choices;
+        g.numFrames = buckets * g.slotsPerBucket();
+
+        RunningStat load;
+        for (unsigned r = 0; r < runs; ++r) {
+            g.hashSeed = 100 + r;
+            load.add(100.0 * firstConflictLoad(g, r + 1));
+        }
+        table.beginRow()
+            .cell(std::to_string(c.front))
+            .cell(std::to_string(c.back))
+            .cell(std::to_string(c.choices))
+            .cell(std::to_string(g.associativity()))
+            .cell(std::to_string(CpfnCodec(g).bits()))
+            .cell(load.mean(), 2)
+            .cell(load.stddev(), 2)
+            .cell(c.note);
+    }
+    bench::printTable(table, std::cout);
+
+    std::cout << "\nDesign takeaway: (56, 8, 6) hits ~98 % "
+                 "utilization at exactly 7 CPFN bits, the paper's "
+                 "sweet spot; fewer choices lose several points of "
+                 "memory, more choices cost TLB-entry bits for "
+                 "little gain.\n";
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared helpers for the experiment benches: environment-variable
+ * knobs so the default run finishes in minutes while a full,
+ * paper-scale run stays one variable away.
+ */
+
+#ifndef MOSAIC_BENCH_BENCH_COMMON_HH_
+#define MOSAIC_BENCH_BENCH_COMMON_HH_
+
+#include <cstdlib>
+#include <ostream>
+#include <string>
+
+#include "util/table.hh"
+
+namespace mosaic::bench
+{
+
+/** Render a result table: aligned text by default, CSV when the
+ *  MOSAIC_CSV environment variable is set (machine-readable runs). */
+inline void
+printTable(const TextTable &table, std::ostream &os)
+{
+    const char *csv = std::getenv("MOSAIC_CSV");
+    if (csv && *csv && *csv != '0')
+        table.printCsv(os);
+    else
+        table.print(os);
+}
+
+/** Read a double knob from the environment. */
+inline double
+envDouble(const char *name, double fallback)
+{
+    const char *value = std::getenv(name);
+    return value ? std::atof(value) : fallback;
+}
+
+/** Read an integer knob from the environment. */
+inline long
+envLong(const char *name, long fallback)
+{
+    const char *value = std::getenv(name);
+    return value ? std::atol(value) : fallback;
+}
+
+} // namespace mosaic::bench
+
+#endif // MOSAIC_BENCH_BENCH_COMMON_HH_

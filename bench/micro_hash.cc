@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Microbenchmarks for the hashing layer: tabulation hashing (single
+ * and 7-way probed, the TLB-path configuration), xxHash64, and the
+ * fmix64 mixer. Throughput here bounds how fast software-side page
+ * allocation can compute candidate buckets.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "hash/mix.hh"
+#include "hash/tabulation.hh"
+#include "hash/xxhash64.hh"
+
+namespace
+{
+
+void
+BM_TabulationSingle(benchmark::State &state)
+{
+    const mosaic::TabulationHash hash(1);
+    std::uint64_t key = 0x1234;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hash.hash(key));
+        key += 0x9E3779B97F4A7C15ull;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TabulationSingle);
+
+void
+BM_TabulationProbed7(benchmark::State &state)
+{
+    const mosaic::TabulationHash hash(1);
+    std::array<std::uint32_t, 7> out;
+    std::uint64_t key = 0x1234;
+    for (auto _ : state) {
+        hash.hashMany(key, out);
+        benchmark::DoNotOptimize(out);
+        key += 0x9E3779B97F4A7C15ull;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TabulationProbed7);
+
+void
+BM_XxHash64Word(benchmark::State &state)
+{
+    std::uint64_t key = 0x1234;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mosaic::xxhash64(key));
+        key += 0x9E3779B97F4A7C15ull;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_XxHash64Word);
+
+void
+BM_XxHash64Buffer(benchmark::State &state)
+{
+    std::vector<unsigned char> buf(
+        static_cast<std::size_t>(state.range(0)), 0xAB);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            mosaic::xxhash64(buf.data(), buf.size()));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        state.range(0));
+}
+BENCHMARK(BM_XxHash64Buffer)->Arg(16)->Arg(256)->Arg(4096);
+
+void
+BM_Mix64(benchmark::State &state)
+{
+    std::uint64_t key = 0x1234;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mosaic::mix64(key));
+        key += 0x9E3779B97F4A7C15ull;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Mix64);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Microbenchmarks for the iceberg hash table: insertion across the
+ * load range, hit and miss lookups, and deletion/reinsertion churn
+ * at high load — the operations the mosaic page allocator performs
+ * per page fault.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "iceberg/iceberg_table.hh"
+#include "util/random.hh"
+
+namespace
+{
+
+using mosaic::IcebergConfig;
+using mosaic::IcebergTable;
+using mosaic::Rng;
+
+IcebergConfig
+config(std::size_t buckets)
+{
+    IcebergConfig c;
+    c.buckets = buckets;
+    return c;
+}
+
+void
+BM_IcebergInsertToLoad(benchmark::State &state)
+{
+    const double target_load = static_cast<double>(state.range(0)) / 100.0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        IcebergTable<std::uint64_t> table(config(1024));
+        const auto target = static_cast<std::size_t>(
+            target_load * static_cast<double>(table.capacity()));
+        Rng rng(7);
+        state.ResumeTiming();
+        for (std::size_t i = 0; i < target; ++i)
+            benchmark::DoNotOptimize(table.insert(rng(), i));
+        state.counters["items"] = static_cast<double>(target);
+    }
+}
+BENCHMARK(BM_IcebergInsertToLoad)->Arg(50)->Arg(90)->Arg(97);
+
+void
+BM_IcebergFindHit(benchmark::State &state)
+{
+    IcebergTable<std::uint64_t> table(config(1024));
+    Rng rng(7);
+    std::vector<std::uint64_t> keys;
+    while (table.loadFactor() < 0.9) {
+        const std::uint64_t k = rng();
+        if (table.insert(k, 1))
+            keys.push_back(k);
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.find(keys[i]));
+        i = (i + 1) % keys.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IcebergFindHit);
+
+void
+BM_IcebergFindMiss(benchmark::State &state)
+{
+    IcebergTable<std::uint64_t> table(config(1024));
+    Rng rng(7);
+    while (table.loadFactor() < 0.9)
+        table.insert(rng(), 1);
+    Rng probe(99);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(table.find(probe()));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IcebergFindMiss);
+
+void
+BM_IcebergChurnAtHighLoad(benchmark::State &state)
+{
+    IcebergTable<std::uint64_t> table(config(1024));
+    Rng rng(7);
+    std::vector<std::uint64_t> keys;
+    while (table.loadFactor() < 0.95) {
+        const std::uint64_t k = rng();
+        if (table.insert(k, 1))
+            keys.push_back(k);
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        table.erase(keys[i]);
+        std::uint64_t k = rng();
+        if (!table.insert(k, 1))
+            k = keys[i]; // fall back to the guaranteed-free slot
+        if (k == keys[i])
+            table.insert(k, 1);
+        keys[i] = k;
+        i = (i + 1) % keys.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IcebergChurnAtHighLoad);
+
+} // namespace
+
+BENCHMARK_MAIN();

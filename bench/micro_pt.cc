@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Microbenchmarks for the page-table structures: radix vs hashed
+ * walks (software cost of the model itself), mapping installation,
+ * and the walk-cache lookup path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "pt/hashed_page_table.hh"
+#include "pt/mosaic_page_table.hh"
+#include "pt/vanilla_page_table.hh"
+#include "pt/walk_cache.hh"
+
+namespace
+{
+
+using namespace mosaic;
+
+void
+BM_VanillaPtWalk(benchmark::State &state)
+{
+    VanillaPageTable pt;
+    for (Vpn v = 0; v < 100000; ++v)
+        pt.map(v, v);
+    Vpn v = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pt.walk(v));
+        v = (v + 7919) % 100000;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VanillaPtWalk);
+
+void
+BM_MosaicPtWalk(benchmark::State &state)
+{
+    MosaicPageTable pt(4, 0x7F);
+    for (Vpn v = 0; v < 100000; ++v)
+        pt.setCpfn(v, static_cast<Cpfn>(v % 104));
+    Vpn v = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pt.walk(v));
+        v = (v + 7919) % 100000;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MosaicPtWalk);
+
+void
+BM_HashedPtWalk(benchmark::State &state)
+{
+    HashedMosaicPageTable pt(4, 0x7F, 16384);
+    for (Vpn v = 0; v < 100000; ++v)
+        pt.setCpfn(1, v, static_cast<Cpfn>(v % 104));
+    Vpn v = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pt.walk(1, v));
+        v = (v + 7919) % 100000;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashedPtWalk);
+
+void
+BM_VanillaPtMap(benchmark::State &state)
+{
+    VanillaPageTable pt;
+    Vpn v = 0;
+    for (auto _ : state) {
+        pt.map(v, v);
+        v = (v + 1) & ((Vpn{1} << 30) - 1);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VanillaPtMap);
+
+void
+BM_WalkCacheLookup(benchmark::State &state)
+{
+    WalkCache cache(32);
+    for (std::uint64_t key = 0; key < 16; ++key)
+        cache.fill(1, key << 20, 4);
+    std::uint64_t key = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.skippableLevels(1, (key & 15) << 20, 4));
+        ++key;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WalkCacheLookup);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The paper's motivation, quantified (§1, §5.1-5.2): TLB misses of
+ * contiguity-based reach techniques vs Mosaic as physical memory
+ * fragments. Reproduces the dynamic behind the Zhu et al. Redis
+ * result the paper quotes (2 MiB pages' gains evaporating at 50 %
+ * fragmentation) on our own substrate, with a CoLT-style coalesced
+ * TLB as the intermediate design point.
+ *
+ * Expected shape: at 0 % fragmentation THP is the best or tied with
+ * Mosaic; by ~50 % pinned memory THP sits on the 4 KiB floor and
+ * CoLT's coverage collapses toward 1 page/entry, while Mosaic's
+ * misses barely move.
+ *
+ * Knobs: MOSAIC_FRAG_FRAMES (default 32768 = 128 MiB),
+ * MOSAIC_FRAG_WORKLOAD (0=BTree 1=Graph500 2=GUPS 3=XSBench
+ * 4=KVStore).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hh"
+#include "core/fragmentation_sim.hh"
+#include "mem/compaction.hh"
+#include "mem/fragmenter.hh"
+#include "util/table.hh"
+
+using namespace mosaic;
+
+int
+main()
+{
+    const auto frames = static_cast<std::size_t>(
+        bench::envLong("MOSAIC_FRAG_FRAMES", 32 * 1024));
+    const auto wl = bench::envLong("MOSAIC_FRAG_WORKLOAD", 0);
+    const WorkloadKind kind = wl == 1 ? WorkloadKind::Graph500
+        : wl == 2                     ? WorkloadKind::Gups
+        : wl == 3                     ? WorkloadKind::XsBench
+        : wl == 4                     ? WorkloadKind::KvStore
+                                      : WorkloadKind::BTree;
+
+    std::cout << "Motivation: TLB misses vs physical-memory "
+                 "fragmentation (" << workloadName(kind) << ", "
+              << frames * pageSize / (1024 * 1024)
+              << " MiB memory, 1024-entry 8-way TLB)\n\n";
+
+    // Two fragmentation regimes: pinning in 256 KiB chunks breaks
+    // only 2 MiB contiguity (THP dies, CoLT's 8-page runs survive);
+    // pinning single frames breaks everything contiguity-based.
+    struct Regime
+    {
+        unsigned granularity;
+        const char *label;
+    };
+    const Regime regimes[] = {
+        {6, "coarse fragmentation (256 KiB pinned chunks)"},
+        {0, "fine fragmentation (single pinned frames)"},
+    };
+
+    for (const Regime &regime : regimes) {
+        TextTable table({"Pinned %", "frag index", "4KiB", "THP",
+                         "(huge/fb)", "CoLT-8", "(covg)",
+                         "Perforated", "(perf/fb/holes)", "Mosaic-8"});
+        for (const double pinned : {0.0, 0.1, 0.25, 0.4, 0.5}) {
+            FragmentationOptions options;
+            options.numFrames = frames;
+            options.pinnedFraction = pinned;
+            options.pinGranularityOrder = regime.granularity;
+            options.kind = kind;
+            const FragmentationResult r = runFragmentation(options);
+            char perf_note[48];
+            std::snprintf(perf_note, sizeof(perf_note),
+                          "%llu/%llu/%.0f",
+                          (unsigned long long)r.perforatedRegions,
+                          (unsigned long long)r.perforatedFallbacks,
+                          r.meanHoles);
+            table.beginRow()
+                .cell(pinned * 100.0, 0)
+                .cell(r.fragmentationIndex, 3)
+                .cell(r.misses4k)
+                .cell(r.missesThp)
+                .cell(std::to_string(r.hugeMappings) + "/" +
+                      std::to_string(r.hugeFallbacks))
+                .cell(r.missesColt)
+                .cell(r.coltCoverage, 2)
+                .cell(r.missesPerforated)
+                .cell(perf_note)
+                .cell(r.missesMosaic);
+        }
+        std::cout << "--- " << regime.label << " ---\n";
+        bench::printTable(table, std::cout);
+        std::cout << "\n";
+    }
+
+    // The other way out: pay for defragmentation. For each
+    // fragmentation level, what would compaction cost to give THP
+    // its 2 MiB regions back?
+    {
+        TextTable table({"Pinned %", "granularity", "regions wanted",
+                         "achievable", "page copies", "MiB moved",
+                         "blocked windows"});
+        const auto wanted = static_cast<std::uint64_t>(
+            0.35 * static_cast<double>(frames) / 512.0);
+        for (const unsigned granularity : {6u, 0u}) {
+            for (const double pinned_frac : {0.1, 0.25, 0.5}) {
+                BuddyAllocator buddy(frames);
+                Rng rng(11);
+                const std::vector<Pfn> pins = fragmentMemory(
+                    buddy, pinned_frac, rng, granularity);
+                std::vector<bool> pinned(frames, false);
+                for (const Pfn pfn : pins)
+                    pinned[pfn] = true;
+                // The workload's pages are the movable population.
+                // A long-running heap scatters them: model that by
+                // spreading them uniformly over the free frames
+                // (allocation/free churn), not packed.
+                std::vector<bool> movable(frames, false);
+                std::vector<Pfn> free_frames;
+                while (const auto pfn = buddy.allocateFrame())
+                    free_frames.push_back(*pfn);
+                for (std::size_t i = free_frames.size(); i-- > 1;)
+                    std::swap(free_frames[i],
+                              free_frames[rng.below(i + 1)]);
+                const std::uint64_t movers = std::min<std::uint64_t>(
+                    wanted * 512, free_frames.size());
+                for (std::uint64_t i = 0; i < movers; ++i)
+                    movable[free_frames[i]] = true;
+                const CompactionPlan plan = planCompaction(
+                    frames, pinned, movable, wanted);
+                table.beginRow()
+                    .cell(pinned_frac * 100.0, 0)
+                    .cell(granularity == 0 ? "fine" : "coarse")
+                    .cell(wanted)
+                    .cell(plan.regionsAchievable)
+                    .cell(plan.pageCopies)
+                    .cell(static_cast<double>(plan.bytesMoved()) /
+                              (1024.0 * 1024.0),
+                          1)
+                    .cell(plan.windowsBlockedByPins);
+            }
+        }
+        std::cout << "--- the defragmentation bill THP would have "
+                     "to pay (Mosaic pays zero) ---\n";
+        bench::printTable(table, std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout << "Paper context: every prior reach technique in "
+                 "section 5.1-5.2 rides physical contiguity, and "
+                 "dies once fragmentation is finer than its granule "
+                 "- THP needs 2 MiB runs, CoLT needs (here) 8-frame "
+                 "runs; Mosaic's hashing-based placement keeps its "
+                 "column flat in both regimes. (Zhu et al., quoted "
+                 "in the paper's introduction, measured THP falling "
+                 "from +29 % to -11 % on Redis at 50 % "
+                 "fragmentation.)\n";
+    return 0;
+}

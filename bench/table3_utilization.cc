@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Regenerates Table 3: memory utilization under mosaic page
+ * allocation at the first associativity conflict (the measured
+ * 1 - delta) and in steady state, for Graph500, XSBench, and BTree
+ * at four over-commit footprints.
+ *
+ * Expected shape (paper §4.2): first conflicts cluster around 98 %
+ * utilization regardless of workload or footprint; steady-state
+ * utilization exceeds 99.2 % (where default Linux starts swapping)
+ * and climbs toward 100 % as the footprint grows.
+ *
+ * Knobs: MOSAIC_T3_FRAMES (physical frames, default 16384 = 64 MiB),
+ * MOSAIC_T3_RUNS (repetitions per row, default 3; paper used 10).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/experiments.hh"
+#include "util/table.hh"
+
+using namespace mosaic;
+
+int
+main()
+{
+    const auto frames = static_cast<std::size_t>(
+        bench::envLong("MOSAIC_T3_FRAMES", 16 * 1024));
+    const auto runs = static_cast<unsigned>(
+        bench::envLong("MOSAIC_T3_RUNS", 3));
+
+    // The paper's footprints, 4158..4924 MiB against a 4096 MiB
+    // pool, as fractions: 1.0151 + k * 0.0625 for k = 0..3.
+    const double factors[] = {1.0151, 1.0776, 1.1401, 1.2026};
+
+    std::cout << "Table 3 reproduction: utilization at first "
+                 "associativity conflict and steady state\n"
+              << "memory=" << frames << " frames ("
+              << frames * pageSize / (1024.0 * 1024.0)
+              << " MiB, MOSAIC_T3_FRAMES), runs=" << runs
+              << " (MOSAIC_T3_RUNS)\n\n";
+
+    TextTable table({"Workload", "Footprint(MiB)",
+                     "First conflict (1-delta) %", "+/-",
+                     "Steady-state %", "+/-"});
+
+    for (const double factor : factors) {
+        for (const WorkloadKind kind :
+             {WorkloadKind::Graph500, WorkloadKind::XsBench,
+              WorkloadKind::BTree}) {
+            Table3Options options;
+            options.memFrames = frames;
+            options.footprintFactor = factor;
+            options.runs = runs;
+            const Table3Row row = runTable3(kind, options);
+
+            table.beginRow()
+                .cell(workloadName(kind))
+                .cell(static_cast<double>(row.footprintBytes) /
+                          (1024.0 * 1024.0),
+                      0)
+                .cell(row.firstConflictPct.mean(), 2)
+                .cell(row.firstConflictPct.stddev(), 2)
+                .cell(row.steadyPct.mean(), 2)
+                .cell(row.steadyPct.stddev(), 2);
+        }
+    }
+    bench::printTable(table, std::cout);
+
+    std::cout << "\nPaper reference: first conflict at ~98.0 % "
+                 "(+/- 0.1) for every row; steady state 99.21 % "
+                 "rising to ~100 % with footprint. Linux's default "
+                 "allocator begins swapping at ~99.2 %.\n";
+    return 0;
+}

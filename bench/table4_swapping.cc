@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Regenerates Table 4: swap I/O under increasing over-commit,
+ * default Linux allocator + global LRU vs the mosaic allocator +
+ * Horizon LRU, for Graph500, XSBench, and BTree.
+ *
+ * Expected shape (paper §4.3): at the smallest footprint (just over
+ * memory) Mosaic swaps more (red cells: Linux utilizes ~1 % more
+ * memory); past that edge case Mosaic matches or beats Linux, by up
+ * to ~29 % in the best case, with the gap shrinking again at very
+ * large over-commit.
+ *
+ * Knobs: MOSAIC_T4_FRAMES (default 16384 frames = 64 MiB),
+ * MOSAIC_T4_STEPS (footprint steps, default 5; paper used 10),
+ * MOSAIC_T4_RUNS (default 1; paper used 5).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/experiments.hh"
+#include "util/table.hh"
+
+using namespace mosaic;
+
+int
+main()
+{
+    const auto frames = static_cast<std::size_t>(
+        bench::envLong("MOSAIC_T4_FRAMES", 16 * 1024));
+    const auto steps = static_cast<unsigned>(
+        bench::envLong("MOSAIC_T4_STEPS", 5));
+    const auto runs = static_cast<unsigned>(
+        bench::envLong("MOSAIC_T4_RUNS", 1));
+
+    std::cout << "Table 4 reproduction: swap I/O, Linux vs Mosaic "
+                 "(Horizon LRU)\n"
+              << "memory=" << frames << " frames ("
+              << frames * pageSize / (1024.0 * 1024.0)
+              << " MiB, MOSAIC_T4_FRAMES), steps=" << steps
+              << " (MOSAIC_T4_STEPS), runs=" << runs
+              << " (MOSAIC_T4_RUNS)\n\n";
+
+    for (const WorkloadKind kind :
+         {WorkloadKind::Graph500, WorkloadKind::XsBench,
+          WorkloadKind::BTree}) {
+        TextTable table({"Footprint(MiB)", "Linux (pages)",
+                         "Mosaic (pages)", "Difference (%)"});
+        for (unsigned k = 0; k < steps; ++k) {
+            // Paper's ladder: 1.0151 + k * 0.0625 (up to 1.577 at
+            // ten steps).
+            Table4Options options;
+            options.memFrames = frames;
+            options.footprintFactor =
+                1.0151 + 0.0625 * (k * (steps > 1 ? 9.0 / (steps - 1)
+                                                  : 0.0));
+            options.runs = runs;
+            const Table4Row row = runTable4(kind, options);
+            table.beginRow()
+                .cell(static_cast<double>(row.footprintBytes) /
+                          (1024.0 * 1024.0),
+                      0)
+                .cell(row.linuxSwapIo.mean(), 0)
+                .cell(row.mosaicSwapIo.mean(), 0)
+                .cell(row.differencePct(), 2);
+        }
+        std::cout << "--- " << workloadName(kind)
+                  << " (positive difference = Mosaic swaps less) "
+                     "---\n";
+        bench::printTable(table, std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout << "Paper reference: Mosaic is slightly worse only at "
+                 "the smallest footprint (about -98 % Graph500, "
+                 "-16 % XSBench, -19 % BTree), then wins by up to "
+                 "29 % before the gap narrows at heavy "
+                 "over-commit.\n";
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Graph analytics scenario: the workload class the paper leads with
+ * (graph BFS with pointer-chasing over a multi-hundred-MiB working
+ * set). Runs a Graph500 R-MAT BFS through the dual-TLB simulator
+ * and reports how many TLB misses a mosaic TLB removes at each
+ * arity, on otherwise identical hardware.
+ *
+ * Usage: graph_analytics [scale]
+ *   scale (default 0.25) multiplies the graph size; 1.0 is a ~76 MiB
+ *   footprint, the paper used ~1 GiB.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiments.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace mosaic;
+
+int
+main(int argc, char **argv)
+{
+    Fig6Options options;
+    options.scale = argc > 1 ? std::atof(argv[1]) : 0.25;
+    options.waysList = {8}; // a typical L2 TLB organization
+    options.arities = {4, 8, 16, 32, 64};
+
+    std::printf("graph analytics: BFS over an R-MAT graph "
+                "(scale %.3g)\n\n", options.scale);
+    const Fig6Result result = runFig6(WorkloadKind::Graph500, options);
+
+    std::printf("footprint: %.1f MiB, %llu memory references\n",
+                result.footprintBytes / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(result.accesses));
+
+    const Fig6Row &row = result.rows.front();
+    std::printf("\n8-way 1024-entry TLB:\n");
+    std::printf("  vanilla TLB misses: %s\n",
+                withCommas(row.vanillaMisses).c_str());
+    for (std::size_t a = 0; a < result.arities.size(); ++a) {
+        std::printf("  mosaic-%-2u misses:   %12s  (%.1f%% fewer)\n",
+                    result.arities[a],
+                    withCommas(row.mosaicMisses[a]).c_str(),
+                    percentReduction(
+                        static_cast<double>(row.vanillaMisses),
+                        static_cast<double>(row.mosaicMisses[a])));
+    }
+    std::printf("\nEvery mosaic configuration uses the same number "
+                "of TLB entries as the vanilla TLB; the reach comes "
+                "from 7-bit compressed translations, not more "
+                "hardware.\n");
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Multi-tenant scenario: several processes time-share one core and
+ * one TLB — a graph-analytics job, a key-value store, and an HPC
+ * kernel. Shows the mosaic TLB holding its advantage as tenants
+ * stack (ASID tags avoid flushes; per-entry reach fights the
+ * combined working set), plus memory-side isolation: every tenant's
+ * pages land in its own hash-scattered frames.
+ *
+ * Usage: multi_tenant [scale] [quantum]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/translation_sim.hh"
+#include "util/table.hh"
+#include "workloads/factory.hh"
+
+using namespace mosaic;
+
+int
+main(int argc, char **argv)
+{
+    const double scale = argc > 1 ? std::atof(argv[1]) : 0.125;
+    const auto quantum = static_cast<std::size_t>(
+        argc > 2 ? std::atol(argv[2]) : 50'000);
+
+    const WorkloadKind tenants[] = {WorkloadKind::Graph500,
+                                    WorkloadKind::KvStore,
+                                    WorkloadKind::XsBench};
+
+    std::printf("multi-tenant: 3 processes sharing a 1024-entry "
+                "8-way TLB, %zu-access quanta\n\n", quantum);
+
+    // Record each tenant's reference stream.
+    std::vector<VectorSink> traces(std::size(tenants));
+    std::uint64_t total_footprint = 0;
+    for (std::size_t t = 0; t < std::size(tenants); ++t) {
+        const auto workload =
+            makeFig6Workload(tenants[t], scale, 42 + t);
+        workload->run(traces[t]);
+        total_footprint += workload->info().footprintBytes;
+        std::printf("tenant %zu: %-8s footprint %6.1f MiB, %9zu "
+                    "references\n",
+                    t + 1, workloadName(tenants[t]).c_str(),
+                    workload->info().footprintBytes / (1024.0 * 1024.0),
+                    traces[t].trace().size());
+    }
+
+    TranslationSimConfig config;
+    config.memory.numFrames =
+        ((total_footprint / pageSize * 13 / 10 + 4096) / 64 + 1) * 64;
+    config.waysList = {8};
+    config.arities = {4, 16};
+    TranslationSim sim(config);
+
+    // Round-robin scheduling.
+    std::vector<std::size_t> cursor(std::size(tenants), 0);
+    bool work_left = true;
+    std::uint64_t switches = 0;
+    while (work_left) {
+        work_left = false;
+        for (std::size_t t = 0; t < std::size(tenants); ++t) {
+            const auto &trace = traces[t].trace();
+            if (cursor[t] >= trace.size())
+                continue;
+            sim.setActiveAsid(static_cast<Asid>(t + 1));
+            ++switches;
+            const std::size_t end =
+                std::min(trace.size(), cursor[t] + quantum);
+            for (; cursor[t] < end; ++cursor[t])
+                sim.access(trace[cursor[t]].vaddr,
+                           trace[cursor[t]].write);
+            work_left = work_left || cursor[t] < trace.size();
+        }
+    }
+
+    std::printf("\n%llu context switches, zero TLB flushes (ASID "
+                "tags)\n\n",
+                static_cast<unsigned long long>(switches));
+    std::printf("%-14s %14s\n", "", "TLB misses");
+    std::printf("%-14s %14s\n", "vanilla",
+                withCommas(sim.vanillaStats(0).misses).c_str());
+    std::printf("%-14s %14s\n", "mosaic-4",
+                withCommas(sim.mosaicStats(0, 0).misses).c_str());
+    std::printf("%-14s %14s\n", "mosaic-16",
+                withCommas(sim.mosaicStats(0, 1).misses).c_str());
+    std::printf("\nmemory: %llu pages demand-mapped through the "
+                "iceberg allocator with zero conflicts at %.1f%% "
+                "utilization\n",
+                static_cast<unsigned long long>(sim.mappedPages()),
+                100.0 * sim.mosaicFrames().utilization());
+    return 0;
+}

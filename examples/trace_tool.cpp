@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Trace utility: record any of the paper workloads to a binary trace
+ * file, inspect a trace, or replay one through the dual-TLB
+ * simulator — the trace-driven workflow architects use to sweep
+ * designs without re-running workloads.
+ *
+ * Usage:
+ *   trace_tool record <graph500|btree|gups|xsbench> <scale> <file>
+ *   trace_tool info <file>
+ *   trace_tool replay <file> [arity]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/translation_sim.hh"
+#include "util/table.hh"
+#include "workloads/factory.hh"
+#include "workloads/trace_file.hh"
+
+using namespace mosaic;
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  %s record <graph500|btree|gups|xsbench> <scale> "
+                 "<file>\n"
+                 "  %s info <file>\n"
+                 "  %s replay <file> [arity]\n",
+                 argv0, argv0, argv0);
+    return 2;
+}
+
+int
+record(const std::string &name, double scale, const std::string &path)
+{
+    WorkloadKind kind;
+    if (name == "graph500")
+        kind = WorkloadKind::Graph500;
+    else if (name == "btree")
+        kind = WorkloadKind::BTree;
+    else if (name == "gups")
+        kind = WorkloadKind::Gups;
+    else if (name == "xsbench")
+        kind = WorkloadKind::XsBench;
+    else
+        return 2;
+
+    const auto workload = makeFig6Workload(kind, scale);
+    TraceWriter writer(path);
+    workload->run(writer);
+    writer.close();
+    std::printf("recorded %llu references of %s (%.1f MiB footprint) "
+                "to %s\n",
+                static_cast<unsigned long long>(writer.records()),
+                workloadName(kind).c_str(),
+                workload->info().footprintBytes / (1024.0 * 1024.0),
+                path.c_str());
+    return 0;
+}
+
+int
+info(const std::string &path)
+{
+    TraceReader reader(path);
+    CountingSink sink;
+    reader.replay(sink);
+    std::printf("%s: %llu references, %llu writes (%.1f%%), pages "
+                "[%llu, %llu], span %.1f MiB\n",
+                path.c_str(),
+                static_cast<unsigned long long>(sink.accesses()),
+                static_cast<unsigned long long>(sink.writes()),
+                100.0 * static_cast<double>(sink.writes()) /
+                    static_cast<double>(sink.accesses()),
+                static_cast<unsigned long long>(sink.minVpn()),
+                static_cast<unsigned long long>(sink.maxVpn()),
+                static_cast<double>(sink.maxVpn() - sink.minVpn()) *
+                    pageSize / (1024.0 * 1024.0));
+    return 0;
+}
+
+int
+replay(const std::string &path, unsigned arity)
+{
+    // Size mosaic memory from the trace's page span.
+    TraceReader probe(path);
+    CountingSink extent;
+    probe.replay(extent);
+
+    TranslationSimConfig config;
+    const std::uint64_t span_pages =
+        extent.maxVpn() - extent.minVpn() + 1;
+    config.memory.numFrames =
+        ((span_pages * 13 / 10 + 4096) / 64 + 1) * 64;
+    config.waysList = {8};
+    config.arities = {arity};
+    TranslationSim sim(config);
+
+    TraceReader reader(path);
+    reader.replay(sim);
+
+    std::printf("replayed %llu references\n",
+                static_cast<unsigned long long>(sim.totalAccesses()));
+    std::printf("  vanilla TLB misses:  %s\n",
+                withCommas(sim.vanillaStats(0).misses).c_str());
+    std::printf("  mosaic-%u TLB misses: %s\n", arity,
+                withCommas(sim.mosaicStats(0, 0).misses).c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage(argv[0]);
+    const std::string mode = argv[1];
+    if (mode == "record" && argc == 5)
+        return record(argv[2], std::atof(argv[3]), argv[4]);
+    if (mode == "info" && argc == 3)
+        return info(argv[2]);
+    if (mode == "replay" && (argc == 3 || argc == 4))
+        return replay(argv[2],
+                      argc == 4
+                          ? static_cast<unsigned>(std::atoi(argv[3]))
+                          : 4);
+    return usage(argv[0]);
+}

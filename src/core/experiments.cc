@@ -1,0 +1,147 @@
+#include "core/experiments.hh"
+
+#include "core/translation_sim.hh"
+#include "core/vm_touch_sink.hh"
+#include "os/linux_vm.hh"
+#include "os/mosaic_vm.hh"
+
+namespace mosaic
+{
+
+namespace
+{
+
+/** Mosaic memory big enough that Fig 6 never sees conflicts. */
+MemoryGeometry
+ampleGeometry(std::uint64_t footprint_bytes)
+{
+    MemoryGeometry g;
+    const std::uint64_t pages = footprint_bytes / pageSize + 1;
+    const std::uint64_t frames = pages * 13 / 10 + 4096;
+    g.numFrames = (frames / g.slotsPerBucket() + 1) * g.slotsPerBucket();
+    return g;
+}
+
+} // namespace
+
+Fig6Result
+runFig6(WorkloadKind kind, const Fig6Options &options)
+{
+    const std::unique_ptr<Workload> workload =
+        makeFig6Workload(kind, options.scale, options.seed);
+
+    TranslationSimConfig config;
+    config.memory = ampleGeometry(workload->info().footprintBytes);
+    config.tlbEntries = options.tlbEntries;
+    config.waysList = options.waysList;
+    config.arities = options.arities;
+    if (!options.kernelHugePages)
+        config.kernel.accessEvery = 0;
+    config.seed = options.seed;
+
+    TranslationSim sim(config);
+    workload->run(sim);
+
+    Fig6Result result;
+    result.kind = kind;
+    result.footprintBytes = workload->info().footprintBytes;
+    result.accesses = sim.totalAccesses();
+    result.arities = options.arities;
+    for (std::size_t w = 0; w < options.waysList.size(); ++w) {
+        Fig6Row row;
+        row.ways = options.waysList[w];
+        row.vanillaMisses = sim.vanillaStats(w).misses;
+        for (std::size_t a = 0; a < options.arities.size(); ++a)
+            row.mosaicMisses.push_back(sim.mosaicStats(w, a).misses);
+        result.rows.push_back(std::move(row));
+    }
+    return result;
+}
+
+Table3Row
+runTable3(WorkloadKind kind, const Table3Options &options)
+{
+    Table3Row row;
+    row.kind = kind;
+
+    const std::uint64_t mem_bytes =
+        std::uint64_t{options.memFrames} * pageSize;
+    const auto footprint = static_cast<std::uint64_t>(
+        static_cast<double>(mem_bytes) * options.footprintFactor);
+
+    for (unsigned run = 0; run < options.runs; ++run) {
+        const std::uint64_t seed = options.seed + 1000 * run;
+        const std::unique_ptr<Workload> workload =
+            makeFootprintWorkload(kind, footprint, seed);
+        row.footprintBytes = workload->info().footprintBytes;
+
+        MosaicVmConfig config;
+        config.geometry.numFrames = options.memFrames;
+        config.geometry.hashSeed = seed ^ 0xA110C;
+        config.seed = seed;
+        MosaicVm vm(config);
+
+        VmTouchSink sink(vm, 1);
+        workload->run(sink);
+
+        if (vm.stats().firstConflictUtilization >= 0) {
+            row.firstConflictPct.add(
+                100.0 * vm.stats().firstConflictUtilization);
+        }
+        if (vm.stats().steadyUtilization.count() > 0)
+            row.steadyPct.add(100.0 * vm.stats().steadyUtilization.mean());
+    }
+    return row;
+}
+
+double
+Table4Row::differencePct() const
+{
+    const double linux_io = linuxSwapIo.mean();
+    const double mosaic_io = mosaicSwapIo.mean();
+    if (linux_io == 0.0)
+        return 0.0;
+    return 100.0 * (linux_io - mosaic_io) / linux_io;
+}
+
+Table4Row
+runTable4(WorkloadKind kind, const Table4Options &options)
+{
+    Table4Row row;
+    row.kind = kind;
+
+    const std::uint64_t mem_bytes =
+        std::uint64_t{options.memFrames} * pageSize;
+    const auto footprint = static_cast<std::uint64_t>(
+        static_cast<double>(mem_bytes) * options.footprintFactor);
+
+    for (unsigned run = 0; run < options.runs; ++run) {
+        const std::uint64_t seed = options.seed + 1000 * run;
+        const std::unique_ptr<Workload> workload =
+            makeFootprintWorkload(kind, footprint, seed);
+        row.footprintBytes = workload->info().footprintBytes;
+
+        LinuxVmConfig linux_config;
+        linux_config.numFrames = options.memFrames;
+        LinuxVm linux_vm(linux_config);
+        VmTouchSink linux_sink(linux_vm, 1);
+        workload->run(linux_sink);
+        row.linuxSwapIo.add(
+            static_cast<double>(linux_vm.stats().swapIns +
+                                linux_vm.stats().swapOuts));
+
+        MosaicVmConfig mosaic_config;
+        mosaic_config.geometry.numFrames = options.memFrames;
+        mosaic_config.geometry.hashSeed = seed ^ 0xA110C;
+        mosaic_config.seed = seed;
+        MosaicVm mosaic_vm(mosaic_config);
+        VmTouchSink mosaic_sink(mosaic_vm, 1);
+        workload->run(mosaic_sink);
+        row.mosaicSwapIo.add(
+            static_cast<double>(mosaic_vm.stats().swapIns +
+                                mosaic_vm.stats().swapOuts));
+    }
+    return row;
+}
+
+} // namespace mosaic

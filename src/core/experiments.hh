@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Runners for the paper's evaluation experiments. Each function
+ * executes one experiment configuration and returns structured
+ * results; the bench binaries format them as the paper's tables and
+ * figures.
+ *
+ * Experiment index (see DESIGN.md):
+ *  - runFig6:   TLB misses, vanilla vs Mosaic-{arity} across TLB
+ *               associativities (Figure 6 a–d).
+ *  - runTable3: utilization at first associativity conflict and in
+ *               steady state under the mosaic allocator (Table 3).
+ *  - runTable4: swap I/O, Linux baseline vs Mosaic/Horizon LRU,
+ *               across over-commit factors (Table 4).
+ */
+
+#ifndef MOSAIC_CORE_EXPERIMENTS_HH_
+#define MOSAIC_CORE_EXPERIMENTS_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.hh"
+#include "workloads/factory.hh"
+
+namespace mosaic
+{
+
+// ---------------------------------------------------------------- Fig 6
+
+/** Options for the Figure 6 sweep. */
+struct Fig6Options
+{
+    /** Workload size multiplier (1.0 = default sizes). */
+    double scale = 1.0;
+
+    std::vector<unsigned> waysList{1, 2, 4, 8, 1024};
+    std::vector<unsigned> arities{4, 8, 16, 32, 64};
+    unsigned tlbEntries = 1024;
+
+    /** Model the kernel's huge-page mappings (paper's vanilla
+     *  advantage artifact); false = "huge pages fully disabled". */
+    bool kernelHugePages = true;
+
+    std::uint64_t seed = 1;
+};
+
+/** One associativity row of a Figure 6 panel. */
+struct Fig6Row
+{
+    unsigned ways = 0;
+    std::uint64_t vanillaMisses = 0;
+    std::vector<std::uint64_t> mosaicMisses; // parallel to arities
+};
+
+/** One Figure 6 panel (one workload). */
+struct Fig6Result
+{
+    WorkloadKind kind{};
+    std::uint64_t footprintBytes = 0;
+    std::uint64_t accesses = 0;
+    std::vector<unsigned> arities;
+    std::vector<Fig6Row> rows;
+};
+
+Fig6Result runFig6(WorkloadKind kind, const Fig6Options &options);
+
+// -------------------------------------------------------------- Table 3
+
+/** Options for the utilization experiment. */
+struct Table3Options
+{
+    /** Physical frames of the mosaic pool. */
+    std::size_t memFrames = 16 * 1024;
+
+    /** Workload footprint as a multiple of memory (> 1). */
+    double footprintFactor = 1.015;
+
+    /** Repetitions (paper: 10). */
+    unsigned runs = 3;
+
+    std::uint64_t seed = 1;
+};
+
+/** One Table 3 row. */
+struct Table3Row
+{
+    WorkloadKind kind{};
+    std::uint64_t footprintBytes = 0;
+
+    /** Utilization (%) at the first associativity conflict. */
+    RunningStat firstConflictPct;
+
+    /** Steady-state utilization (%). */
+    RunningStat steadyPct;
+};
+
+Table3Row runTable3(WorkloadKind kind, const Table3Options &options);
+
+// -------------------------------------------------------------- Table 4
+
+/** Options for the swapping experiment. */
+struct Table4Options
+{
+    std::size_t memFrames = 16 * 1024;
+    double footprintFactor = 1.015;
+    unsigned runs = 1;
+    std::uint64_t seed = 1;
+};
+
+/** One Table 4 row. */
+struct Table4Row
+{
+    WorkloadKind kind{};
+    std::uint64_t footprintBytes = 0;
+
+    /** Swap I/O (pages in + out), averaged over runs. */
+    RunningStat linuxSwapIo;
+    RunningStat mosaicSwapIo;
+
+    /** Percent reduction by Mosaic (positive = Mosaic swaps less). */
+    double differencePct() const;
+};
+
+Table4Row runTable4(WorkloadKind kind, const Table4Options &options);
+
+} // namespace mosaic
+
+#endif // MOSAIC_CORE_EXPERIMENTS_HH_

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The paper's *motivation* experiment (§1, §5.1–5.2), which its
+ * evaluation never needed to run because Mosaic sidesteps it: how do
+ * contiguity-based reach techniques fare as physical memory
+ * fragments?
+ *
+ * Four designs translate the same reference stream over the same
+ * fragmented physical memory:
+ *  - a plain 4 KiB TLB (baseline floor);
+ *  - transparent huge pages: 2 MiB mappings when the buddy
+ *    allocator can still produce an aligned 512-frame block,
+ *    falling back to 4 KiB pages otherwise;
+ *  - a CoLT-style coalesced TLB riding whatever incidental
+ *    contiguity the 4 KiB allocations have;
+ *  - a Mosaic TLB, whose reach needs no physical contiguity at all.
+ *
+ * Expected shape: THP ~matches Mosaic with pristine memory and
+ * collapses toward the 4 KiB floor as fragmentation rises (the Zhu
+ * et al. result the paper quotes); CoLT sits in between; Mosaic is
+ * flat in fragmentation.
+ */
+
+#ifndef MOSAIC_CORE_FRAGMENTATION_SIM_HH_
+#define MOSAIC_CORE_FRAGMENTATION_SIM_HH_
+
+#include <cstdint>
+
+#include "workloads/factory.hh"
+
+namespace mosaic
+{
+
+/** Options for the fragmentation experiment. */
+struct FragmentationOptions
+{
+    /** Physical frames (default 128 MiB). */
+    std::size_t numFrames = 32 * 1024;
+
+    /** Fraction of frames pinned at random (the fragmentation). */
+    double pinnedFraction = 0.5;
+
+    /** Pinning granularity: blocks of 2^order frames (6 = 256 KiB
+     *  chunks; 0 = single frames, which annihilates contiguity at
+     *  even light pinning). */
+    unsigned pinGranularityOrder = 6;
+
+    WorkloadKind kind = WorkloadKind::BTree;
+
+    /** Workload footprint as a fraction of memory. */
+    double footprintFraction = 0.35;
+
+    unsigned tlbEntries = 1024;
+    unsigned ways = 8;
+    unsigned mosaicArity = 8;
+
+    /** Perforated pages: maximum holes tolerated per 2 MiB region
+     *  (Park et al. perforate up to a quarter of the region). */
+    unsigned maxHolesPerRegion = 128;
+
+    std::uint64_t seed = 1;
+};
+
+/** Results of one fragmentation point. */
+struct FragmentationResult
+{
+    /** Unusable-free-space index after pinning (0 = pristine). */
+    double fragmentationIndex = 0.0;
+
+    /** THP regions successfully mapped as 2 MiB. */
+    std::uint64_t hugeMappings = 0;
+
+    /** THP regions that fell back to 4 KiB pages. */
+    std::uint64_t hugeFallbacks = 0;
+
+    /** Regions mapped as perforated 2 MiB pages. */
+    std::uint64_t perforatedRegions = 0;
+
+    /** Regions where even perforation failed (too many holes). */
+    std::uint64_t perforatedFallbacks = 0;
+
+    /** Mean holes per successfully perforated region. */
+    double meanHoles = 0.0;
+
+    std::uint64_t accesses = 0;
+    std::uint64_t misses4k = 0;
+    std::uint64_t missesThp = 0;
+    std::uint64_t missesColt = 0;
+    std::uint64_t missesPerforated = 0;
+    std::uint64_t missesMosaic = 0;
+
+    /** Mean pages covered per CoLT fill (contiguity harvested). */
+    double coltCoverage = 0.0;
+};
+
+/** Run one fragmentation point. */
+FragmentationResult runFragmentation(const FragmentationOptions &options);
+
+} // namespace mosaic
+
+#endif // MOSAIC_CORE_FRAGMENTATION_SIM_HH_

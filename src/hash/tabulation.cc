@@ -1,0 +1,46 @@
+#include "hash/tabulation.hh"
+
+#include "util/random.hh"
+
+namespace mosaic
+{
+
+TabulationHash::TabulationHash(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &table : tables_) {
+        for (auto &entry : table)
+            entry = static_cast<std::uint32_t>(splitmix64(sm));
+    }
+}
+
+std::uint32_t
+TabulationHash::hash(std::uint64_t key, unsigned k) const
+{
+    std::uint32_t h = 0;
+    for (unsigned i = 0; i < numTables; ++i) {
+        const auto byte = static_cast<unsigned>((key >> (8 * i)) & 0xFF);
+        h ^= tables_[i][(byte + k) & 0xFF];
+    }
+    return h;
+}
+
+void
+TabulationHash::hashMany(std::uint64_t key, std::span<std::uint32_t> out) const
+{
+    for (auto &h : out)
+        h = 0;
+    for (unsigned i = 0; i < numTables; ++i) {
+        const auto byte = static_cast<unsigned>((key >> (8 * i)) & 0xFF);
+        for (unsigned k = 0; k < out.size(); ++k)
+            out[k] ^= tables_[i][(byte + k) & 0xFF];
+    }
+}
+
+std::uint32_t
+TabulationHash::tableEntry(unsigned table, unsigned index) const
+{
+    return tables_.at(table).at(index & 0xFF);
+}
+
+} // namespace mosaic

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tabulation hashing with multi-output probing, as used on the Mosaic
+ * TLB critical path (paper §3.1, Figure 4).
+ *
+ * The hash of a 64-bit input A is the XOR of one 32-bit table lookup
+ * per input byte: H(A) = XOR_i T_i[byte_i(A)]. To obtain several
+ * independent-enough hash functions from a single set of tables
+ * (saving chip area), output k probes each table at an offset of k:
+ * H_k(A) = XOR_i T_i[(byte_i(A) + k) mod 256].
+ *
+ * Mosaic evaluates 1 + d = 7 outputs per translation: H_0 selects the
+ * front-yard bucket and H_1..H_6 the backyard candidates.
+ */
+
+#ifndef MOSAIC_HASH_TABULATION_HH_
+#define MOSAIC_HASH_TABULATION_HH_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace mosaic
+{
+
+/**
+ * Simple tabulation hash over 64-bit keys with probed multi-output.
+ *
+ * The static tables are filled from a seeded PRNG at construction, so
+ * two instances with the same seed compute identical functions — a
+ * requirement for the OS and the simulated hardware to agree on page
+ * placements.
+ */
+class TabulationHash
+{
+  public:
+    /** Number of byte-indexed tables (one per input byte). */
+    static constexpr unsigned numTables = 8;
+
+    /** Entries per table (one per byte value). */
+    static constexpr unsigned tableEntries = 256;
+
+    /** Construct with tables filled from the given seed. */
+    explicit TabulationHash(std::uint64_t seed = 1);
+
+    /** Hash output k of the given key (probed lookup). */
+    std::uint32_t hash(std::uint64_t key, unsigned k = 0) const;
+
+    /**
+     * Compute outputs 0..out.size()-1 of the key in one pass.
+     * Mirrors the hardware, which reads all probe offsets from each
+     * table in parallel and muxes the XOR results.
+     */
+    void hashMany(std::uint64_t key, std::span<std::uint32_t> out) const;
+
+    /** Raw table entry, exposed for the Verilog generator. */
+    std::uint32_t tableEntry(unsigned table, unsigned index) const;
+
+  private:
+    std::array<std::array<std::uint32_t, tableEntries>, numTables> tables_;
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_HASH_TABULATION_HH_

@@ -1,0 +1,124 @@
+#include "hash/xxhash64.hh"
+
+#include <cstring>
+
+namespace mosaic
+{
+
+namespace
+{
+
+constexpr std::uint64_t prime1 = 0x9E3779B185EBCA87ull;
+constexpr std::uint64_t prime2 = 0xC2B2AE3D27D4EB4Full;
+constexpr std::uint64_t prime3 = 0x165667B19E3779F9ull;
+constexpr std::uint64_t prime4 = 0x85EBCA77C2B2AE63ull;
+constexpr std::uint64_t prime5 = 0x27D4EB2F165667C5ull;
+
+constexpr std::uint64_t
+rotl(std::uint64_t x, int r)
+{
+    return (x << r) | (x >> (64 - r));
+}
+
+std::uint64_t
+read64(const unsigned char *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v; // little-endian hosts only, as in the Linux kernel use
+}
+
+std::uint32_t
+read32(const unsigned char *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+constexpr std::uint64_t
+round64(std::uint64_t acc, std::uint64_t input)
+{
+    acc += input * prime2;
+    acc = rotl(acc, 31);
+    acc *= prime1;
+    return acc;
+}
+
+constexpr std::uint64_t
+mergeRound(std::uint64_t acc, std::uint64_t val)
+{
+    acc ^= round64(0, val);
+    acc = acc * prime1 + prime4;
+    return acc;
+}
+
+constexpr std::uint64_t
+avalanche(std::uint64_t h)
+{
+    h ^= h >> 33;
+    h *= prime2;
+    h ^= h >> 29;
+    h *= prime3;
+    h ^= h >> 32;
+    return h;
+}
+
+} // namespace
+
+std::uint64_t
+xxhash64(const void *data, std::size_t len, std::uint64_t seed)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    const unsigned char *end = p + len;
+    std::uint64_t h;
+
+    if (len >= 32) {
+        std::uint64_t v1 = seed + prime1 + prime2;
+        std::uint64_t v2 = seed + prime2;
+        std::uint64_t v3 = seed;
+        std::uint64_t v4 = seed - prime1;
+        do {
+            v1 = round64(v1, read64(p));
+            v2 = round64(v2, read64(p + 8));
+            v3 = round64(v3, read64(p + 16));
+            v4 = round64(v4, read64(p + 24));
+            p += 32;
+        } while (p + 32 <= end);
+        h = rotl(v1, 1) + rotl(v2, 7) + rotl(v3, 12) + rotl(v4, 18);
+        h = mergeRound(h, v1);
+        h = mergeRound(h, v2);
+        h = mergeRound(h, v3);
+        h = mergeRound(h, v4);
+    } else {
+        h = seed + prime5;
+    }
+
+    h += static_cast<std::uint64_t>(len);
+
+    while (p + 8 <= end) {
+        h ^= round64(0, read64(p));
+        h = rotl(h, 27) * prime1 + prime4;
+        p += 8;
+    }
+    if (p + 4 <= end) {
+        h ^= static_cast<std::uint64_t>(read32(p)) * prime1;
+        h = rotl(h, 23) * prime2 + prime3;
+        p += 4;
+    }
+    while (p < end) {
+        h ^= static_cast<std::uint64_t>(*p) * prime5;
+        h = rotl(h, 11) * prime1;
+        ++p;
+    }
+
+    return avalanche(h);
+}
+
+std::uint64_t
+xxhash64(std::uint64_t word, std::uint64_t seed)
+{
+    return xxhash64(&word, sizeof(word), seed);
+}
+
+} // namespace mosaic

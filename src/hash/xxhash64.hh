@@ -1,0 +1,29 @@
+/**
+ * @file
+ * A from-scratch implementation of the xxHash64 algorithm.
+ *
+ * The paper's Linux prototype hashes (ASID, VPN) pairs with xxHash,
+ * "a fast hash algorithm available in the mainline Linux kernel"
+ * (§3.2). We implement XXH64 from the published specification so the
+ * OS-side experiments can use the same function family.
+ */
+
+#ifndef MOSAIC_HASH_XXHASH64_HH_
+#define MOSAIC_HASH_XXHASH64_HH_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mosaic
+{
+
+/** XXH64 of an arbitrary byte buffer. */
+std::uint64_t xxhash64(const void *data, std::size_t len,
+                       std::uint64_t seed = 0);
+
+/** XXH64 of a single 64-bit word (the common Mosaic use). */
+std::uint64_t xxhash64(std::uint64_t word, std::uint64_t seed = 0);
+
+} // namespace mosaic
+
+#endif // MOSAIC_HASH_XXHASH64_HH_

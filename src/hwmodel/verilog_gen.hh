@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Generator for synthesizable Verilog of the tabulation-hash circuit
+ * (the paper's hardware artifact, Figure 4): per-byte static tables
+ * with probed read ports, XOR reduction per hash output, and a final
+ * output mux driven by the hash-selection bits.
+ *
+ * The generated RTL embeds the table contents of a concrete
+ * TabulationHash instance, so hardware and simulator compute the
+ * same function.
+ */
+
+#ifndef MOSAIC_HWMODEL_VERILOG_GEN_HH_
+#define MOSAIC_HWMODEL_VERILOG_GEN_HH_
+
+#include <string>
+
+#include "hash/tabulation.hh"
+
+namespace mosaic
+{
+
+/** Options for Verilog generation. */
+struct VerilogOptions
+{
+    std::string moduleName = "tabulation_hash";
+
+    /** Number of probed hash outputs generated in parallel. */
+    unsigned numHashes = 7;
+
+    /** Register the output (one pipeline stage), as in the paper. */
+    bool registered = true;
+};
+
+/** Emit a complete Verilog module for the given hash instance. */
+std::string generateVerilog(const TabulationHash &hash,
+                            const VerilogOptions &options);
+
+/**
+ * Emit a self-checking testbench for the generated module: random
+ * (key, sel) vectors with expected outputs computed by the C++
+ * model, so RTL simulation verifies that hardware and simulator
+ * implement the same function.
+ */
+std::string generateTestbench(const TabulationHash &hash,
+                              const VerilogOptions &options,
+                              unsigned num_vectors = 64,
+                              std::uint64_t seed = 2);
+
+} // namespace mosaic
+
+#endif // MOSAIC_HWMODEL_VERILOG_GEN_HH_

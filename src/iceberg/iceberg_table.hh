@@ -1,0 +1,308 @@
+/**
+ * @file
+ * A generic, stable Iceberg hash table (Bender et al., "All-Purpose
+ * Hashing"), the hashing scheme underlying Mosaic page allocation
+ * (paper §2.3).
+ *
+ * Structure: the table is an array of buckets; each bucket has a
+ * large *front yard* of f slots and a small *backyard* of b slots.
+ * A key hashes to one front-yard bucket (h0) and to d backyard
+ * buckets (h1..hd). Insertion first tries the front yard; if it is
+ * full, the key goes to the emptiest of its d candidate backyards
+ * (power of d choices).
+ *
+ * The three properties Mosaic needs hold by construction:
+ *  - low associativity: a key can live in only f + d*b slots;
+ *  - stability: an item never moves after insertion;
+ *  - high utilization: with f = 56, b = 8, d = 6 the first failed
+ *    insertion empirically occurs at ~98 % load (Table 3).
+ */
+
+#ifndef MOSAIC_ICEBERG_ICEBERG_TABLE_HH_
+#define MOSAIC_ICEBERG_ICEBERG_TABLE_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hash/tabulation.hh"
+#include "util/log.hh"
+
+namespace mosaic
+{
+
+/** Static shape parameters of an iceberg table / mosaic memory. */
+struct IcebergConfig
+{
+    /** Number of buckets. */
+    std::size_t buckets = 1024;
+
+    /** Front-yard slots per bucket (f). */
+    unsigned frontSlots = 56;
+
+    /** Backyard slots per bucket (b). */
+    unsigned backSlots = 8;
+
+    /** Number of backyard candidate buckets (d). */
+    unsigned backChoices = 6;
+
+    /** Seed for the tabulation hash tables. */
+    std::uint64_t seed = 1;
+
+    /** Total slots: f + b per bucket. */
+    std::size_t capacity() const
+    {
+        return buckets * (frontSlots + backSlots);
+    }
+
+    /** Associativity h = f + d*b (104 with paper defaults). */
+    unsigned associativity() const
+    {
+        return frontSlots + backChoices * backSlots;
+    }
+};
+
+/** Which yard a slot belongs to. */
+enum class Yard : std::uint8_t { Front, Back };
+
+/** Identifies one slot in the table. */
+struct SlotRef
+{
+    Yard yard = Yard::Front;
+    std::size_t bucket = 0;
+    unsigned slot = 0;
+
+    bool operator==(const SlotRef &) const = default;
+};
+
+/**
+ * The iceberg hash table, mapping 64-bit keys to values.
+ *
+ * @tparam Value the mapped type; must be movable.
+ */
+template <typename Value>
+class IcebergTable
+{
+  public:
+    explicit IcebergTable(const IcebergConfig &config)
+        : config_(config),
+          hasher_(config.seed),
+          buckets_(config.buckets)
+    {
+        ensure(config.buckets > 0, "iceberg: need at least one bucket");
+        ensure(config.backChoices >= 1, "iceberg: need d >= 1");
+        for (auto &bucket : buckets_) {
+            bucket.front.resize(config.frontSlots);
+            bucket.back.resize(config.backSlots);
+            for (auto &slot : bucket.back)
+                slot.inBackyard = true;
+        }
+    }
+
+    /** Shape parameters this table was built with. */
+    const IcebergConfig &config() const { return config_; }
+
+    /** Number of stored items. */
+    std::size_t size() const { return size_; }
+
+    /** Total slot capacity. */
+    std::size_t capacity() const { return config_.capacity(); }
+
+    /** Current load factor in [0, 1]. */
+    double loadFactor() const
+    {
+        return static_cast<double>(size_) / static_cast<double>(capacity());
+    }
+
+    /** Items currently stored in backyards (for balance analysis). */
+    std::size_t backyardSize() const { return backSize_; }
+
+    /**
+     * Insert or overwrite. Returns false on an associativity
+     * conflict: all f + d*b candidate slots are occupied by other
+     * keys. The table is unchanged in that case.
+     */
+    bool
+    insert(std::uint64_t key, Value value)
+    {
+        if (Slot *existing = findSlot(key)) {
+            existing->value = std::move(value);
+            return true;
+        }
+
+        Bucket &fb = buckets_[frontBucket(key)];
+        for (auto &slot : fb.front) {
+            if (!slot.used) {
+                fill(slot, key, std::move(value));
+                return true;
+            }
+        }
+
+        // Front yard full: power-of-d-choices over backyards.
+        std::size_t best = config_.buckets; // invalid
+        unsigned best_occupancy = config_.backSlots + 1;
+        for (unsigned k = 0; k < config_.backChoices; ++k) {
+            const std::size_t b = backBucket(key, k);
+            const unsigned occ = backOccupancy(b);
+            if (occ < best_occupancy) {
+                best_occupancy = occ;
+                best = b;
+            }
+        }
+        if (best == config_.buckets ||
+                best_occupancy >= config_.backSlots) {
+            return false; // associativity conflict
+        }
+        for (auto &slot : buckets_[best].back) {
+            if (!slot.used) {
+                fill(slot, key, std::move(value));
+                ++backSize_;
+                return true;
+            }
+        }
+        panic("iceberg: occupancy accounting out of sync");
+    }
+
+    /** Look up a key; nullptr when absent. Pointer stays valid until
+     *  the key is erased (stability). */
+    Value *
+    find(std::uint64_t key)
+    {
+        Slot *slot = findSlot(key);
+        return slot ? &slot->value : nullptr;
+    }
+
+    const Value *
+    find(std::uint64_t key) const
+    {
+        auto *self = const_cast<IcebergTable *>(this);
+        return self->find(key);
+    }
+
+    /** True when the key is present. */
+    bool contains(std::uint64_t key) const { return find(key) != nullptr; }
+
+    /** Remove a key. Returns false when it was absent. */
+    bool
+    erase(std::uint64_t key)
+    {
+        Slot *slot = findSlot(key);
+        if (!slot)
+            return false;
+        if (slot->inBackyard)
+            --backSize_;
+        slot->used = false;
+        slot->value = Value{};
+        --size_;
+        return true;
+    }
+
+    /**
+     * Where a key is stored, for stability tests and analysis;
+     * nullopt when the key is absent.
+     */
+    std::optional<SlotRef>
+    locate(std::uint64_t key) const
+    {
+        const Bucket &fb = buckets_[frontBucket(key)];
+        for (unsigned i = 0; i < config_.frontSlots; ++i) {
+            if (fb.front[i].used && fb.front[i].key == key)
+                return SlotRef{Yard::Front, frontBucket(key), i};
+        }
+        for (unsigned k = 0; k < config_.backChoices; ++k) {
+            const std::size_t b = backBucket(key, k);
+            for (unsigned i = 0; i < config_.backSlots; ++i) {
+                if (buckets_[b].back[i].used && buckets_[b].back[i].key == key)
+                    return SlotRef{Yard::Back, b, i};
+            }
+        }
+        return std::nullopt;
+    }
+
+    /** Front-yard bucket index for a key (h0). */
+    std::size_t
+    frontBucket(std::uint64_t key) const
+    {
+        return hasher_.hash(key, 0) % config_.buckets;
+    }
+
+    /** k-th backyard candidate bucket for a key (h_{k+1}). */
+    std::size_t
+    backBucket(std::uint64_t key, unsigned k) const
+    {
+        return hasher_.hash(key, k + 1) % config_.buckets;
+    }
+
+    /** Number of used backyard slots in bucket b. */
+    unsigned
+    backOccupancy(std::size_t b) const
+    {
+        unsigned occ = 0;
+        for (const auto &slot : buckets_[b].back)
+            occ += slot.used ? 1 : 0;
+        return occ;
+    }
+
+    /** Number of used front-yard slots in bucket b. */
+    unsigned
+    frontOccupancy(std::size_t b) const
+    {
+        unsigned occ = 0;
+        for (const auto &slot : buckets_[b].front)
+            occ += slot.used ? 1 : 0;
+        return occ;
+    }
+
+  private:
+    struct Slot
+    {
+        std::uint64_t key = 0;
+        Value value{};
+        bool used = false;
+        bool inBackyard = false;
+    };
+
+    struct Bucket
+    {
+        std::vector<Slot> front;
+        std::vector<Slot> back;
+    };
+
+    void
+    fill(Slot &slot, std::uint64_t key, Value value)
+    {
+        slot.key = key;
+        slot.value = std::move(value);
+        slot.used = true;
+        ++size_;
+    }
+
+    Slot *
+    findSlot(std::uint64_t key)
+    {
+        Bucket &fb = buckets_[frontBucket(key)];
+        for (auto &slot : fb.front) {
+            if (slot.used && slot.key == key)
+                return &slot;
+        }
+        for (unsigned k = 0; k < config_.backChoices; ++k) {
+            Bucket &bb = buckets_[backBucket(key, k)];
+            for (auto &slot : bb.back) {
+                if (slot.used && slot.key == key)
+                    return &slot;
+            }
+        }
+        return nullptr;
+    }
+
+    IcebergConfig config_;
+    TabulationHash hasher_;
+    std::vector<Bucket> buckets_;
+    std::size_t size_ = 0;
+    std::size_t backSize_ = 0;
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_ICEBERG_ICEBERG_TABLE_HH_

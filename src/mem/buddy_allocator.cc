@@ -1,0 +1,161 @@
+#include "mem/buddy_allocator.hh"
+
+#include <algorithm>
+
+namespace mosaic
+{
+
+BuddyAllocator::BuddyAllocator(std::size_t num_frames)
+    : numFrames_(num_frames),
+      blocks_(num_frames),
+      heads_(maxOrder + 1, invalidPfn)
+{
+    const std::size_t top = std::size_t{1} << maxOrder;
+    ensure(num_frames >= top && num_frames % top == 0,
+           "buddy: numFrames must be a multiple of the top order");
+    for (Pfn pfn = 0; pfn < num_frames; pfn += top)
+        pushFree(pfn, maxOrder);
+    freeFrames_ = num_frames;
+}
+
+void
+BuddyAllocator::pushFree(Pfn pfn, unsigned order)
+{
+    Block &b = blocks_[pfn];
+    b.freeOrder = static_cast<std::uint8_t>(order);
+    b.prev = invalidPfn;
+    b.next = heads_[order];
+    if (heads_[order] != invalidPfn)
+        blocks_[heads_[order]].prev = pfn;
+    heads_[order] = pfn;
+}
+
+void
+BuddyAllocator::removeFree(Pfn pfn, unsigned order)
+{
+    Block &b = blocks_[pfn];
+    ensure(b.freeOrder == order, "buddy: free-list order mismatch");
+    if (b.prev != invalidPfn)
+        blocks_[b.prev].next = b.next;
+    else
+        heads_[order] = b.next;
+    if (b.next != invalidPfn)
+        blocks_[b.next].prev = b.prev;
+    b.freeOrder = notFree;
+}
+
+std::optional<Pfn>
+BuddyAllocator::allocate(unsigned order)
+{
+    ensure(order <= maxOrder, "buddy: order out of range");
+
+    unsigned found = order;
+    while (found <= maxOrder && heads_[found] == invalidPfn)
+        ++found;
+    if (found > maxOrder)
+        return std::nullopt;
+
+    Pfn pfn = heads_[found];
+    removeFree(pfn, found);
+
+    // Split down to the requested order, freeing the upper halves.
+    while (found > order) {
+        --found;
+        pushFree(pfn + (Pfn{1} << found), found);
+    }
+    freeFrames_ -= std::size_t{1} << order;
+    return pfn;
+}
+
+bool
+BuddyAllocator::isFree(Pfn pfn) const
+{
+    ensure(pfn < numFrames_, "buddy: PFN out of range");
+    for (unsigned order = 0; order <= maxOrder; ++order) {
+        const Pfn head = pfn & ~((Pfn{1} << order) - 1);
+        if (blocks_[head].freeOrder == order)
+            return true;
+    }
+    return false;
+}
+
+bool
+BuddyAllocator::allocateSpecific(Pfn pfn)
+{
+    ensure(pfn < numFrames_, "buddy: PFN out of range");
+    for (unsigned order = 0; order <= maxOrder; ++order) {
+        const Pfn head = pfn & ~((Pfn{1} << order) - 1);
+        if (blocks_[head].freeOrder != order)
+            continue;
+        removeFree(head, order);
+        // Split the block, returning every half not containing pfn.
+        Pfn cur = head;
+        for (unsigned o = order; o-- > 0;) {
+            const Pfn upper = cur + (Pfn{1} << o);
+            if (pfn >= upper) {
+                pushFree(cur, o);
+                cur = upper;
+            } else {
+                pushFree(upper, o);
+            }
+        }
+        --freeFrames_;
+        return true;
+    }
+    return false;
+}
+
+void
+BuddyAllocator::free(Pfn pfn, unsigned order)
+{
+    ensure(order <= maxOrder, "buddy: order out of range");
+    ensure(pfn % (Pfn{1} << order) == 0, "buddy: misaligned free");
+    ensure(pfn < numFrames_, "buddy: PFN out of range");
+    ensure(blocks_[pfn].freeOrder == notFree, "buddy: double free");
+
+    freeFrames_ += std::size_t{1} << order;
+    while (order < maxOrder) {
+        const Pfn buddy = pfn ^ (Pfn{1} << order);
+        if (blocks_[buddy].freeOrder != order)
+            break;
+        removeFree(buddy, order);
+        pfn = std::min(pfn, buddy);
+        ++order;
+    }
+    pushFree(pfn, order);
+}
+
+std::size_t
+BuddyAllocator::freeBlocks(unsigned order) const
+{
+    std::size_t count = 0;
+    for (Pfn pfn = heads_[order]; pfn != invalidPfn;
+         pfn = blocks_[pfn].next)
+        ++count;
+    return count;
+}
+
+int
+BuddyAllocator::largestFreeOrder() const
+{
+    for (int order = maxOrder; order >= 0; --order) {
+        if (heads_[order] != invalidPfn)
+            return order;
+    }
+    return -1;
+}
+
+double
+BuddyAllocator::fragmentationIndex() const
+{
+    if (freeFrames_ == 0)
+        return 0.0;
+    // Free frames sitting in blocks smaller than a huge page.
+    std::size_t small_free = 0;
+    for (unsigned order = 0; order < maxOrder; ++order)
+        small_free += freeBlocks(order) << order;
+    return static_cast<double>(small_free) /
+           static_cast<double>(freeFrames_);
+}
+
+} // namespace mosaic

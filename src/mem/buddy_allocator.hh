@@ -1,0 +1,111 @@
+/**
+ * @file
+ * A binary buddy allocator over physical frames, like the Linux page
+ * allocator that backs the huge-page baselines the paper argues
+ * against. Needed to model *fragmentation*: transparent huge pages
+ * require 512 contiguous, aligned free frames, and whether those
+ * exist is exactly what a buddy allocator's free lists encode.
+ *
+ * Orders 0..maxOrder; order k = 2^k contiguous frames. Frees
+ * coalesce with their buddy recursively, as in Linux.
+ */
+
+#ifndef MOSAIC_MEM_BUDDY_ALLOCATOR_HH_
+#define MOSAIC_MEM_BUDDY_ALLOCATOR_HH_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/log.hh"
+#include "util/types.hh"
+
+namespace mosaic
+{
+
+/** Buddy allocator over [0, numFrames) frame numbers. */
+class BuddyAllocator
+{
+  public:
+    /** Largest block: 2^maxOrder frames (9 -> 2 MiB, like x86). */
+    static constexpr unsigned maxOrder = 9;
+
+    /** @param num_frames total frames; must be a multiple of
+     *         2^maxOrder. */
+    explicit BuddyAllocator(std::size_t num_frames);
+
+    std::size_t numFrames() const { return numFrames_; }
+
+    /** Free frames remaining (across all orders). */
+    std::size_t freeFrames() const { return freeFrames_; }
+
+    /**
+     * Allocate a naturally aligned block of 2^order frames.
+     * @return the first PFN of the block, or nullopt if no block of
+     *         that order (or splittable larger order) exists.
+     */
+    std::optional<Pfn> allocate(unsigned order);
+
+    /** Convenience: one 4 KiB frame. */
+    std::optional<Pfn> allocateFrame() { return allocate(0); }
+
+    /** Convenience: one 2 MiB block (order 9). */
+    std::optional<Pfn> allocateHuge() { return allocate(maxOrder); }
+
+    /**
+     * Carve one specific frame out of free memory (splitting the
+     * free block containing it). Needed by the perforated-pages
+     * baseline, which claims the free frames of a chosen 2 MiB
+     * window individually.
+     * @return false when the frame is not free.
+     */
+    bool allocateSpecific(Pfn pfn);
+
+    /** True when the frame lies inside some free block. */
+    bool isFree(Pfn pfn) const;
+
+    /**
+     * Free a block previously returned by allocate(order). Buddies
+     * coalesce upward greedily.
+     */
+    void free(Pfn pfn, unsigned order);
+
+    /** Free blocks currently on the order-k list. */
+    std::size_t freeBlocks(unsigned order) const;
+
+    /**
+     * The largest allocatable order right now — the instantaneous
+     * contiguity of free memory.
+     */
+    int largestFreeOrder() const;
+
+    /**
+     * Fraction of free memory that is *not* usable for huge pages:
+     * the standard unusable-free-space index at maxOrder.
+     */
+    double fragmentationIndex() const;
+
+  private:
+    struct Block
+    {
+        Pfn prev = invalidPfn;
+        Pfn next = invalidPfn;
+
+        /** Order if this PFN heads a free block; 0xFF otherwise. */
+        std::uint8_t freeOrder = notFree;
+    };
+
+    static constexpr std::uint8_t notFree = 0xFF;
+
+    void pushFree(Pfn pfn, unsigned order);
+    void removeFree(Pfn pfn, unsigned order);
+
+    std::size_t numFrames_;
+    std::size_t freeFrames_ = 0;
+    std::vector<Block> blocks_;
+    std::vector<Pfn> heads_; // per-order free-list heads
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_MEM_BUDDY_ALLOCATOR_HH_

@@ -1,0 +1,65 @@
+#include "mem/compaction.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace mosaic
+{
+
+CompactionPlan
+planCompaction(std::size_t num_frames, const std::vector<bool> &pinned,
+               const std::vector<bool> &movable,
+               std::uint64_t regions_wanted)
+{
+    ensure(num_frames % 512 == 0, "compaction: frames % 512");
+    ensure(pinned.size() == num_frames && movable.size() == num_frames,
+           "compaction: flag vectors must cover all frames");
+
+    CompactionPlan plan;
+    plan.regionsRequested = regions_wanted;
+
+    // Classify windows: blocked (any pin), else count the movable
+    // pages that would have to migrate out.
+    const std::size_t windows = num_frames / 512;
+    std::vector<std::uint32_t> cost;
+    cost.reserve(windows);
+    std::size_t free_frames = 0;
+    for (std::size_t w = 0; w < windows; ++w) {
+        bool blocked = false;
+        std::uint32_t movers = 0;
+        for (std::size_t i = w * 512; i < (w + 1) * 512; ++i) {
+            if (pinned[i]) {
+                blocked = true;
+            } else if (movable[i]) {
+                ++movers;
+            } else {
+                ++free_frames;
+            }
+        }
+        if (blocked)
+            ++plan.windowsBlockedByPins;
+        else
+            cost.push_back(movers);
+    }
+    std::sort(cost.begin(), cost.end());
+
+    // Claim the cheapest windows. Each claimed window's movers need
+    // destination frames *outside* the claimed set; the free frames
+    // inside a claimed window are consumed by the region itself.
+    std::size_t free_outside = free_frames;
+    for (const std::uint32_t movers : cost) {
+        if (plan.regionsAchievable >= regions_wanted)
+            break;
+        // Free frames inside this window stop being destinations.
+        const std::size_t window_free = 512 - movers;
+        if (free_outside < window_free + movers)
+            break; // nowhere left to migrate to
+        free_outside -= window_free + movers;
+        plan.pageCopies += movers;
+        ++plan.regionsAchievable;
+    }
+    return plan;
+}
+
+} // namespace mosaic

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * A memory-compaction cost model: what would it take to *restore*
+ * the 2 MiB contiguity that huge pages need (paper §1, §5.1 — "the
+ * cost of defragmenting memory can easily nullify these gains")?
+ *
+ * Linux-style compaction migrates movable pages out of target
+ * windows; unmovable (pinned) pages block a window outright. The
+ * planner picks the cheapest windows for a requested number of huge
+ * regions and reports the page copies and TLB shootdowns the
+ * migration would cost — the bill Mosaic never pays.
+ */
+
+#ifndef MOSAIC_MEM_COMPACTION_HH_
+#define MOSAIC_MEM_COMPACTION_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace mosaic
+{
+
+/** The cost of creating huge-page contiguity by compaction. */
+struct CompactionPlan
+{
+    /** Huge regions requested. */
+    std::uint64_t regionsRequested = 0;
+
+    /** Regions that can be produced at all (enough pin-free
+     *  windows and enough free space to migrate into). */
+    std::uint64_t regionsAchievable = 0;
+
+    /** Movable pages that must be copied. */
+    std::uint64_t pageCopies = 0;
+
+    /** Bytes moved (pageCopies * 4 KiB). */
+    std::uint64_t bytesMoved() const { return pageCopies * pageSize; }
+
+    /** TLB shootdowns: one remap per moved page. */
+    std::uint64_t shootdowns() const { return pageCopies; }
+
+    /** Windows rejected because a pinned page blocks them. */
+    std::uint64_t windowsBlockedByPins = 0;
+};
+
+/**
+ * Plan a compaction run.
+ *
+ * @param num_frames total frames; multiple of 512.
+ * @param pinned per-frame flag: unmovable.
+ * @param movable per-frame flag: allocated and migratable.
+ *        (frames neither pinned nor movable are free)
+ * @param regions_wanted how many 2 MiB regions the caller needs.
+ */
+CompactionPlan planCompaction(std::size_t num_frames,
+                              const std::vector<bool> &pinned,
+                              const std::vector<bool> &movable,
+                              std::uint64_t regions_wanted);
+
+} // namespace mosaic
+
+#endif // MOSAIC_MEM_COMPACTION_HH_

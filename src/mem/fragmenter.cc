@@ -1,0 +1,43 @@
+#include "mem/fragmenter.hh"
+
+#include <algorithm>
+
+namespace mosaic
+{
+
+std::vector<Pfn>
+fragmentMemory(BuddyAllocator &buddy, double pinned_fraction, Rng &rng,
+               unsigned granularity_order)
+{
+    ensure(pinned_fraction >= 0.0 && pinned_fraction <= 1.0,
+           "fragmenter: fraction out of range");
+    ensure(buddy.freeFrames() == buddy.numFrames(),
+           "fragmenter: allocator must be fresh");
+    ensure(granularity_order <= BuddyAllocator::maxOrder,
+           "fragmenter: granularity above top order");
+
+    // Take every block of the pin granularity...
+    std::vector<Pfn> blocks;
+    blocks.reserve(buddy.numFrames() >> granularity_order);
+    while (auto pfn = buddy.allocate(granularity_order))
+        blocks.push_back(*pfn);
+
+    // ...shuffle, and give back all but the pinned fraction.
+    for (std::size_t i = blocks.size(); i-- > 1;)
+        std::swap(blocks[i], blocks[rng.below(i + 1)]);
+
+    const auto pinned_blocks = static_cast<std::size_t>(
+        pinned_fraction * static_cast<double>(blocks.size()));
+    for (std::size_t i = pinned_blocks; i < blocks.size(); ++i)
+        buddy.free(blocks[i], granularity_order);
+
+    std::vector<Pfn> pinned;
+    pinned.reserve(pinned_blocks << granularity_order);
+    for (std::size_t i = 0; i < pinned_blocks; ++i) {
+        for (Pfn p = 0; p < (Pfn{1} << granularity_order); ++p)
+            pinned.push_back(blocks[i] + p);
+    }
+    return pinned;
+}
+
+} // namespace mosaic

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Controlled physical-memory fragmentation, in the style of the
+ * experiments the paper cites (Zhu et al., ATC '20): allocate every
+ * frame, then free a chosen fraction *at random*, leaving the free
+ * space scattered so that almost no 2 MiB-aligned runs survive.
+ */
+
+#ifndef MOSAIC_MEM_FRAGMENTER_HH_
+#define MOSAIC_MEM_FRAGMENTER_HH_
+
+#include <vector>
+
+#include "mem/buddy_allocator.hh"
+#include "util/random.hh"
+
+namespace mosaic
+{
+
+/**
+ * Fragment a freshly constructed buddy allocator.
+ *
+ * @param buddy the allocator; must own all its frames (fresh).
+ * @param pinned_fraction fraction of frames left allocated (pinned).
+ * @param rng randomness for the scatter.
+ * @param granularity_order pinning is done in blocks of
+ *        2^granularity_order frames. Order 0 (single frames) kills
+ *        every huge-page run at even light pinning; coarser
+ *        granularities (e.g. 6 = 256 KiB chunks, typical unmovable
+ *        kernel allocations) give the gradual contiguity decay the
+ *        defragmentation literature measures.
+ * @return the pinned PFNs (the caller may treat them as unmovable
+ *         kernel/file pages).
+ */
+std::vector<Pfn> fragmentMemory(BuddyAllocator &buddy,
+                                double pinned_fraction, Rng &rng,
+                                unsigned granularity_order = 0);
+
+} // namespace mosaic
+
+#endif // MOSAIC_MEM_FRAGMENTER_HH_

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The baseline fully-associative frame allocator: any free frame can
+ * back any virtual page, like a conventional OS allocator. Used for
+ * the "vanilla"/default-Linux side of every comparison.
+ */
+
+#ifndef MOSAIC_MEM_FREELIST_ALLOCATOR_HH_
+#define MOSAIC_MEM_FREELIST_ALLOCATOR_HH_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/log.hh"
+#include "util/types.hh"
+
+namespace mosaic
+{
+
+/** A LIFO free list over all physical frames. */
+class FreeListAllocator
+{
+  public:
+    explicit FreeListAllocator(std::size_t num_frames)
+        : numFrames_(num_frames)
+    {
+        free_.reserve(num_frames);
+        // Push in reverse so frames are first handed out in
+        // ascending PFN order, like a freshly booted system.
+        for (std::size_t i = num_frames; i-- > 0;)
+            free_.push_back(static_cast<Pfn>(i));
+    }
+
+    std::size_t numFrames() const { return numFrames_; }
+
+    std::size_t freeFrames() const { return free_.size(); }
+
+    std::size_t usedFrames() const { return numFrames_ - free_.size(); }
+
+    double
+    utilization() const
+    {
+        return static_cast<double>(usedFrames()) /
+               static_cast<double>(numFrames_);
+    }
+
+    /** Pop a free frame; nullopt when memory is exhausted. */
+    std::optional<Pfn>
+    allocate()
+    {
+        if (free_.empty())
+            return std::nullopt;
+        const Pfn pfn = free_.back();
+        free_.pop_back();
+        return pfn;
+    }
+
+    /** Return a frame to the free list. */
+    void
+    release(Pfn pfn)
+    {
+        ensure(pfn < numFrames_, "freelist: PFN out of range");
+        free_.push_back(pfn);
+    }
+
+  private:
+    std::size_t numFrames_;
+    std::vector<Pfn> free_;
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_MEM_FREELIST_ALLOCATOR_HH_

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Physical-memory geometry for Mosaic: how frames are grouped into
+ * iceberg buckets, and how many candidate frames a virtual page has.
+ *
+ * Paper defaults (§2.3, §3.1): buckets of 64 frames split into a
+ * 56-frame front yard and an 8-frame backyard; each page hashes to
+ * one front-yard bucket and d = 6 backyard buckets, for an
+ * associativity of h = 56 + 6*8 = 104 and 7-bit CPFNs.
+ */
+
+#ifndef MOSAIC_MEM_GEOMETRY_HH_
+#define MOSAIC_MEM_GEOMETRY_HH_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/log.hh"
+#include "util/types.hh"
+
+namespace mosaic
+{
+
+/** Ceiling of log2(x) for x >= 1. */
+constexpr unsigned
+ceilLog2(std::uint64_t x)
+{
+    unsigned bits = 0;
+    std::uint64_t v = 1;
+    while (v < x) {
+        v <<= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+/** Shape of mosaic physical memory. */
+struct MemoryGeometry
+{
+    /** Total physical frames; must be a multiple of slotsPerBucket. */
+    std::size_t numFrames = 64 * 1024;
+
+    /** Front-yard slots per bucket (f). */
+    unsigned frontSlots = 56;
+
+    /** Backyard slots per bucket (b). */
+    unsigned backSlots = 8;
+
+    /** Number of backyard candidate buckets (d). */
+    unsigned backChoices = 6;
+
+    /** Seed for the placement hash. */
+    std::uint64_t hashSeed = 1;
+
+    unsigned slotsPerBucket() const { return frontSlots + backSlots; }
+
+    std::size_t numBuckets() const { return numFrames / slotsPerBucket(); }
+
+    /** Associativity h: candidate frames per virtual page. */
+    unsigned
+    associativity() const
+    {
+        return frontSlots + backChoices * backSlots;
+    }
+
+    /** Bytes of physical memory modeled. */
+    std::uint64_t bytes() const { return std::uint64_t{numFrames} * pageSize; }
+
+    /** Validate invariants; call once after construction. */
+    void
+    check() const
+    {
+        ensure(frontSlots >= 1, "geometry: front yard must be nonempty");
+        ensure(backSlots >= 1, "geometry: backyard must be nonempty");
+        ensure(backChoices >= 1, "geometry: need at least one choice");
+        ensure(numFrames % slotsPerBucket() == 0,
+               "geometry: numFrames must be a bucket multiple");
+        ensure(numBuckets() >= backChoices + 1,
+               "geometry: fewer buckets than hash choices");
+    }
+
+    /** Geometry matching the paper's 4 GiB Linux mosaic pool. */
+    static MemoryGeometry
+    paperLinuxPool()
+    {
+        MemoryGeometry g;
+        g.numFrames = (std::uint64_t{4} << 30) / pageSize;
+        return g;
+    }
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_MEM_GEOMETRY_HH_

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Mosaic frame allocation: the iceberg placement policy over the
+ * frame table (paper §2.3–2.4).
+ *
+ * Allocation order for a page's candidate set:
+ *  1. a free slot in the front-yard bucket;
+ *  2. the oldest ghost in the front-yard bucket (Horizon LRU treats
+ *     ghost frames as free);
+ *  3. power-of-d-choices over the backyard buckets, where a bucket's
+ *     occupancy counts only live (non-ghost) pages; within the chosen
+ *     bucket, a free slot, else the oldest ghost.
+ *
+ * When every candidate slot holds a live page, the allocation is an
+ * *associativity conflict* and the caller must evict a live page —
+ * normally the least-recently-used candidate (Horizon LRU, §2.4).
+ */
+
+#ifndef MOSAIC_MEM_MOSAIC_ALLOCATOR_HH_
+#define MOSAIC_MEM_MOSAIC_ALLOCATOR_HH_
+
+#include <optional>
+
+#include "mem/frame_table.hh"
+#include "mem/mosaic_mapper.hh"
+
+namespace mosaic
+{
+
+/** One placement decision made by the allocator. */
+struct Placement
+{
+    /** The chosen frame. */
+    Pfn pfn = invalidPfn;
+
+    /** Its compressed encoding relative to the page's candidates. */
+    Cpfn cpfn = 0;
+
+    /** True when a ghost page occupies the frame and must be evicted
+     *  before the frame can be reused. */
+    bool evictsGhost = false;
+};
+
+/**
+ * Stateless placement policy; all mutable state lives in the
+ * FrameTable owned by the caller.
+ */
+class MosaicAllocator
+{
+  public:
+    explicit MosaicAllocator(const MemoryGeometry &geometry)
+        : mapper_(geometry)
+    {
+    }
+
+    const MosaicMapper &mapper() const { return mapper_; }
+    const MemoryGeometry &geometry() const { return mapper_.geometry(); }
+
+    /**
+     * Choose a frame for a page with the given candidate set.
+     *
+     * @param c candidate buckets of the page being allocated.
+     * @param frames the frame table to inspect.
+     * @param is_ghost predicate: is this used frame a ghost?
+     * @return the placement, or nullopt on an associativity conflict.
+     */
+    template <typename GhostPred>
+    std::optional<Placement>
+    place(const CandidateSet &c, const FrameTable &frames,
+          GhostPred &&is_ghost) const
+    {
+        const MemoryGeometry &g = geometry();
+
+        // 1. Free front-yard slot.
+        std::optional<Placement> front_ghost;
+        for (unsigned off = 0; off < g.frontSlots; ++off) {
+            const Pfn pfn = mapper_.frontPfn(c, off);
+            const Frame &f = frames.frame(pfn);
+            if (!f.used) {
+                return Placement{pfn, mapper_.codec().encodeFront(off),
+                                 false};
+            }
+            if (is_ghost(f)) {
+                if (!front_ghost ||
+                        f.lastAccess <
+                            frames.frame(front_ghost->pfn).lastAccess) {
+                    front_ghost = Placement{
+                        pfn, mapper_.codec().encodeFront(off), true};
+                }
+            }
+        }
+
+        // 2. Oldest front-yard ghost.
+        if (front_ghost)
+            return front_ghost;
+
+        // 3. Power-of-d-choices over backyards; ghosts don't count
+        //    towards occupancy.
+        unsigned best_choice = c.numBackChoices;
+        unsigned best_live = g.backSlots + 1;
+        for (unsigned k = 0; k < c.numBackChoices; ++k) {
+            unsigned live = 0;
+            for (unsigned off = 0; off < g.backSlots; ++off) {
+                const Frame &f = frames.frame(mapper_.backPfn(c, k, off));
+                if (f.used && !is_ghost(f))
+                    ++live;
+            }
+            if (live < best_live) {
+                best_live = live;
+                best_choice = k;
+            }
+        }
+        if (best_choice == c.numBackChoices || best_live >= g.backSlots)
+            return std::nullopt; // associativity conflict
+
+        std::optional<Placement> back_ghost;
+        for (unsigned off = 0; off < g.backSlots; ++off) {
+            const Pfn pfn = mapper_.backPfn(c, best_choice, off);
+            const Frame &f = frames.frame(pfn);
+            if (!f.used) {
+                return Placement{
+                    pfn, mapper_.codec().encodeBack(best_choice, off),
+                    false};
+            }
+            if (is_ghost(f)) {
+                if (!back_ghost ||
+                        f.lastAccess <
+                            frames.frame(back_ghost->pfn).lastAccess) {
+                    back_ghost = Placement{
+                        pfn, mapper_.codec().encodeBack(best_choice, off),
+                        true};
+                }
+            }
+        }
+        ensure(back_ghost.has_value(),
+               "mosaic_allocator: occupancy accounting out of sync");
+        return back_ghost;
+    }
+
+    /** Visit every candidate slot of a page as (pfn, cpfn). */
+    template <typename Visitor>
+    void
+    forEachCandidate(const CandidateSet &c, Visitor &&visit) const
+    {
+        const MemoryGeometry &g = geometry();
+        for (unsigned off = 0; off < g.frontSlots; ++off) {
+            visit(mapper_.frontPfn(c, off),
+                  mapper_.codec().encodeFront(off));
+        }
+        for (unsigned k = 0; k < c.numBackChoices; ++k) {
+            for (unsigned off = 0; off < g.backSlots; ++off) {
+                visit(mapper_.backPfn(c, k, off),
+                      mapper_.codec().encodeBack(k, off));
+            }
+        }
+    }
+
+    /**
+     * The least-recently-used *used* candidate slot — the victim on
+     * an associativity conflict. Panics if every candidate is free
+     * (callers only invoke this after place() failed).
+     */
+    Placement
+    lruCandidate(const CandidateSet &c, const FrameTable &frames) const
+    {
+        std::optional<Placement> best;
+        Tick best_tick = invalidTick;
+        forEachCandidate(c, [&](Pfn pfn, Cpfn cpfn) {
+            const Frame &f = frames.frame(pfn);
+            if (f.used && f.lastAccess < best_tick) {
+                best_tick = f.lastAccess;
+                best = Placement{pfn, cpfn, false};
+            }
+        });
+        ensure(best.has_value(), "mosaic_allocator: no LRU candidate");
+        return *best;
+    }
+
+  private:
+    MosaicMapper mapper_;
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_MEM_MOSAIC_ALLOCATOR_HH_

@@ -1,0 +1,78 @@
+#include "mem/mosaic_mapper.hh"
+
+#include <span>
+
+namespace mosaic
+{
+
+MosaicMapper::MosaicMapper(const MemoryGeometry &geometry)
+    : geometry_(geometry), codec_(geometry), hasher_(geometry.hashSeed)
+{
+    geometry_.check();
+    ensure(geometry_.backChoices <= maxBackChoices,
+           "mapper: d exceeds maxBackChoices");
+}
+
+CandidateSet
+MosaicMapper::candidates(std::uint64_t hash_input) const
+{
+    CandidateSet out;
+    std::array<std::uint32_t, maxBackChoices + 1> hashes;
+    const unsigned n = geometry_.backChoices + 1;
+    hasher_.hashMany(hash_input, std::span(hashes.data(), n));
+
+    const auto buckets = static_cast<std::uint32_t>(geometry_.numBuckets());
+    out.frontBucket = hashes[0] % buckets;
+    out.numBackChoices = geometry_.backChoices;
+    for (unsigned k = 0; k < geometry_.backChoices; ++k)
+        out.backBuckets[k] = hashes[k + 1] % buckets;
+    return out;
+}
+
+Pfn
+MosaicMapper::frontPfn(const CandidateSet &c, unsigned offset) const
+{
+    ensure(offset < geometry_.frontSlots, "mapper: front offset range");
+    return Pfn{c.frontBucket} * geometry_.slotsPerBucket() + offset;
+}
+
+Pfn
+MosaicMapper::backPfn(const CandidateSet &c, unsigned choice,
+                      unsigned offset) const
+{
+    ensure(choice < c.numBackChoices, "mapper: backyard choice range");
+    ensure(offset < geometry_.backSlots, "mapper: backyard offset range");
+    return Pfn{c.backBuckets[choice]} * geometry_.slotsPerBucket() +
+           geometry_.frontSlots + offset;
+}
+
+Pfn
+MosaicMapper::toPfn(const CandidateSet &c, Cpfn cpfn) const
+{
+    const CpfnCodec::Decoded d = codec_.decode(cpfn);
+    if (d.front)
+        return frontPfn(c, d.offset);
+    return backPfn(c, d.choice, d.offset);
+}
+
+Cpfn
+MosaicMapper::toCpfn(const CandidateSet &c, Pfn pfn) const
+{
+    const unsigned spb = geometry_.slotsPerBucket();
+    const auto bucket = static_cast<std::uint32_t>(pfn / spb);
+    const auto slot = static_cast<unsigned>(pfn % spb);
+
+    if (slot < geometry_.frontSlots) {
+        if (bucket == c.frontBucket)
+            return codec_.encodeFront(slot);
+    } else {
+        const unsigned offset = slot - geometry_.frontSlots;
+        for (unsigned k = 0; k < c.numBackChoices; ++k) {
+            if (c.backBuckets[k] == bucket)
+                return codec_.encodeBack(k, offset);
+        }
+    }
+    panic("mapper: PFN is not a candidate slot of this page");
+}
+
+} // namespace mosaic

@@ -1,0 +1,93 @@
+#include "os/access_bit_scanner.hh"
+
+#include <bit>
+
+#include "util/log.hh"
+
+namespace mosaic
+{
+
+AccessBitScanner::AccessBitScanner(const ScannerConfig &config)
+    : config_(config), pages_(config.numPages), rng_(config.seed)
+{
+    ensure(config.historyBits >= 1 && config.historyBits <= 8,
+           "scanner: history must fit one byte");
+    ensure(config.hotThreshold <= config.historyBits,
+           "scanner: threshold above history width");
+}
+
+void
+AccessBitScanner::recordAccess(std::size_t page)
+{
+    pages_.at(page).accessBit = true;
+}
+
+std::uint64_t
+AccessBitScanner::scan(Tick now)
+{
+    ++scans_;
+    const std::uint8_t history_mask =
+        static_cast<std::uint8_t>((1u << config_.historyBits) - 1);
+    std::uint64_t cleared_this_scan = 0;
+
+    for (PageState &page : pages_) {
+        bool observed_accessed;
+        bool cleared = false;
+
+        if (config_.policy == ScanPolicy::ClearAll || !page.hot) {
+            // Read and clear: exact observation, one TLB shootdown
+            // if the bit was set.
+            observed_accessed = page.accessBit;
+            if (page.accessBit) {
+                page.accessBit = false;
+                cleared = true;
+            }
+        } else if (rng_.chance(config_.hotSampleFraction)) {
+            // Sampled hot page: same as above.
+            observed_accessed = page.accessBit;
+            if (page.accessBit) {
+                page.accessBit = false;
+                cleared = true;
+            }
+        } else {
+            // Unsampled hot page: assumed accessed, bit untouched,
+            // no invalidation.
+            observed_accessed = true;
+        }
+
+        if (observed_accessed)
+            page.estimate = now;
+        page.history = static_cast<std::uint8_t>(
+            ((page.history << 1) | (observed_accessed ? 1 : 0)) &
+            history_mask);
+        page.hot = static_cast<unsigned>(std::popcount(page.history)) >=
+                   config_.hotThreshold;
+
+        cleared_this_scan += cleared ? 1 : 0;
+    }
+    cleared_ += cleared_this_scan;
+    return cleared_this_scan;
+}
+
+Tick
+AccessBitScanner::estimatedLastAccess(std::size_t page) const
+{
+    return pages_.at(page).estimate;
+}
+
+bool
+AccessBitScanner::isHot(std::size_t page) const
+{
+    return pages_.at(page).hot;
+}
+
+std::size_t
+AccessBitScanner::hotPages() const
+{
+    std::size_t n = 0;
+    for (const PageState &page : pages_)
+        n += page.hot ? 1 : 0;
+    return n;
+}
+
+} // namespace mosaic

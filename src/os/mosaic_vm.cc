@@ -1,0 +1,293 @@
+#include "os/mosaic_vm.hh"
+
+#include <algorithm>
+
+namespace mosaic
+{
+
+MosaicVm::MosaicVm(const MosaicVmConfig &config)
+    : config_(config),
+      allocator_(config.geometry),
+      frames_(config.geometry.numFrames),
+      rng_(config.seed),
+      globalLru_(config.geometry.numFrames)
+{
+    liveCap_ = config_.policy == EvictionPolicy::ShrunkenCache
+        ? static_cast<std::size_t>(
+              static_cast<double>(frames_.numFrames()) *
+              (1.0 - config_.shrinkDelta))
+        : frames_.numFrames();
+}
+
+MosaicPageTable &
+MosaicVm::pageTable(Asid asid)
+{
+    auto it = tables_.find(asid);
+    if (it == tables_.end()) {
+        it = tables_.emplace(asid,
+                 std::make_unique<MosaicPageTable>(
+                     config_.arity,
+                     allocator_.mapper().codec().invalid()))
+                 .first;
+    }
+    return *it->second;
+}
+
+std::size_t
+MosaicVm::numFrames() const
+{
+    return frames_.numFrames();
+}
+
+std::size_t
+MosaicVm::residentPages() const
+{
+    return frames_.usedFrames();
+}
+
+bool
+MosaicVm::isGhostFrame(Pfn pfn) const
+{
+    const Frame &f = frames_.frame(pfn);
+    return f.used && f.lastAccess < horizon_;
+}
+
+std::size_t
+MosaicVm::ghostPages() const
+{
+    std::size_t n = 0;
+    for (Pfn pfn = 0; pfn < frames_.numFrames(); ++pfn)
+        n += isGhostFrame(pfn) ? 1 : 0;
+    return n;
+}
+
+std::uint64_t
+MosaicVm::locationIdFor(Asid asid, Vpn vpn)
+{
+    MosaicPageTable &pt = pageTable(asid);
+    const TocKey key{asid, pt.mvpnOf(vpn)};
+    auto it = locationIds_.find(key);
+    if (it == locationIds_.end()) {
+        // Random IDs per §2.5: collisions are tolerable because
+        // iceberg hashing is robust to a few duplicate inputs.
+        const std::uint64_t loc_id = rng_() >> 6;
+        it = locationIds_.emplace(key, loc_id).first;
+        locUsers_[loc_id].push_back(key);
+    }
+    return it->second;
+}
+
+std::uint64_t
+MosaicVm::hashInputFor(Asid asid, Vpn vpn)
+{
+    if (config_.sharing == SharingMode::PageIdHash)
+        return packPageId(PageId{asid, vpn});
+    const std::uint64_t loc_id = locationIdFor(asid, vpn);
+    return (loc_id << 6) | pageTable(asid).offsetOf(vpn);
+}
+
+std::vector<std::pair<Asid, Vpn>>
+MosaicVm::mappingsOf(Pfn pfn) const
+{
+    const Frame &f = frames_.frame(pfn);
+    std::vector<std::pair<Asid, Vpn>> out;
+    out.emplace_back(f.owner.asid, f.owner.vpn);
+    if (auto it = sharers_.find(pfn); it != sharers_.end()) {
+        for (const auto &mapping : it->second) {
+            if (mapping != out.front())
+                out.push_back(mapping);
+        }
+    }
+    return out;
+}
+
+void
+MosaicVm::evictFrame(Pfn pfn)
+{
+    const Frame &f = frames_.frame(pfn);
+    const std::uint64_t key = hashInputFor(f.owner.asid, f.owner.vpn);
+    if (f.dirty) {
+        swap_.writeOut(key);
+        ++stats_.swapOuts;
+        if (stats_.firstSwapOutUtilization < 0)
+            stats_.firstSwapOutUtilization = frames_.utilization();
+    }
+    for (const auto &[asid, vpn] : mappingsOf(pfn))
+        pageTable(asid).clearCpfn(vpn);
+    sharers_.erase(pfn);
+    if (config_.policy == EvictionPolicy::ShrunkenCache)
+        globalLru_.remove(pfn);
+    frames_.unmap(pfn);
+}
+
+void
+MosaicVm::unmapRange(Asid asid, Vpn vpn, std::size_t npages)
+{
+    MosaicPageTable &pt = pageTable(asid);
+    for (std::size_t i = 0; i < npages; ++i) {
+        const Vpn v = vpn + i;
+        const std::uint64_t key = hashInputFor(asid, v);
+        swap_.invalidate(key);
+        const MosaicWalkResult walk = pt.walk(v);
+        if (!walk.present)
+            continue;
+        const CandidateSet cand =
+            allocator_.mapper().candidates(key);
+        const Pfn pfn = allocator_.mapper().toPfn(cand, walk.cpfn);
+        // Unlike eviction, releasing a range writes nothing back:
+        // the contents are dead. Clear every mapping of the frame
+        // (shared ToCs release for all sharers at once).
+        for (const auto &[a, vp] : mappingsOf(pfn))
+            pageTable(a).clearCpfn(vp);
+        sharers_.erase(pfn);
+        if (config_.policy == EvictionPolicy::ShrunkenCache)
+            globalLru_.remove(pfn);
+        frames_.unmap(pfn);
+    }
+}
+
+void
+MosaicVm::shareRange(Asid src_asid, Vpn src_vpn, Asid dst_asid,
+                     Vpn dst_vpn, std::size_t npages)
+{
+    ensure(config_.sharing == SharingMode::LocationId,
+           "mosaic_vm: sharing requires LocationId mode");
+    MosaicPageTable &src_pt = pageTable(src_asid);
+    MosaicPageTable &dst_pt = pageTable(dst_asid);
+    const unsigned arity = config_.arity;
+    ensure(src_pt.offsetOf(src_vpn) == 0 && dst_pt.offsetOf(dst_vpn) == 0,
+           "mosaic_vm: share range must be mosaic-aligned");
+    ensure(npages % arity == 0,
+           "mosaic_vm: share range must cover whole mosaic pages");
+
+    for (std::size_t i = 0; i < npages; i += arity) {
+        // Bind the destination ToC to the source's location ID.
+        const std::uint64_t loc_id = locationIdFor(src_asid, src_vpn + i);
+        const TocKey dst_key{dst_asid, dst_pt.mvpnOf(dst_vpn + i)};
+        ensure(!locationIds_.contains(dst_key),
+               "mosaic_vm: destination ToC already bound");
+        locationIds_.emplace(dst_key, loc_id);
+        locUsers_[loc_id].push_back(dst_key);
+
+        // Make already-resident sub-pages visible immediately.
+        for (unsigned sub = 0; sub < arity; ++sub) {
+            const Vpn sv = src_vpn + i + sub;
+            const Vpn dv = dst_vpn + i + sub;
+            const MosaicWalkResult walk = src_pt.walk(sv);
+            if (walk.present) {
+                dst_pt.setCpfn(dv, walk.cpfn);
+                const CandidateSet cand = allocator_.mapper().candidates(
+                    hashInputFor(src_asid, sv));
+                const Pfn pfn = allocator_.mapper().toPfn(cand, walk.cpfn);
+                sharers_[pfn].emplace_back(dst_asid, dv);
+            }
+        }
+    }
+}
+
+Pfn
+MosaicVm::touch(Asid asid, Vpn vpn, bool write)
+{
+    ++clock_;
+    MosaicPageTable &pt = pageTable(asid);
+    const std::uint64_t hash_input = hashInputFor(asid, vpn);
+    const CandidateSet cand = allocator_.mapper().candidates(hash_input);
+
+    if (const MosaicWalkResult walk = pt.walk(vpn); walk.present) {
+        const Pfn pfn = allocator_.mapper().toPfn(cand, walk.cpfn);
+        if (frames_.frame(pfn).lastAccess < horizon_) {
+            // A resident ghost was referenced again: a strict global
+            // LRU would have evicted it; Horizon LRU rescues it.
+            ++stats_.ghostRescues;
+        }
+        frames_.touch(pfn, clock_, write);
+        if (config_.policy == EvictionPolicy::ShrunkenCache)
+            globalLru_.touch(pfn);
+        return pfn;
+    }
+
+    // Page fault.
+    const bool major = swap_.contains(hash_input);
+
+    if (config_.sharing == SharingMode::LocationId) {
+        // Another mapping of the same ToC may already have the page
+        // resident: adopt its frame instead of allocating.
+        const std::uint64_t loc_id = locationIdFor(asid, vpn);
+        const unsigned offset = pt.offsetOf(vpn);
+        for (const TocKey &user : locUsers_[loc_id]) {
+            if (user.asid == asid && user.mvpn == pt.mvpnOf(vpn))
+                continue;
+            MosaicPageTable &peer_pt = pageTable(user.asid);
+            const Vpn peer_vpn =
+                (user.mvpn << ceilLog2(config_.arity)) | offset;
+            const MosaicWalkResult peer = peer_pt.walk(peer_vpn);
+            if (peer.present) {
+                const Pfn pfn = allocator_.mapper().toPfn(cand, peer.cpfn);
+                pt.setCpfn(vpn, peer.cpfn);
+                sharers_[pfn].emplace_back(asid, vpn);
+                frames_.touch(pfn, clock_, write);
+                if (config_.policy == EvictionPolicy::ShrunkenCache)
+                    globalLru_.touch(pfn);
+                ++stats_.minorFaults;
+                return pfn;
+            }
+        }
+    }
+
+    // ShrunkenCache holds live pages below (1 - delta)p by evicting
+    // the global LRU page first, so placement usually finds room.
+    if (config_.policy == EvictionPolicy::ShrunkenCache &&
+            frames_.usedFrames() >= liveCap_ && !globalLru_.empty()) {
+        evictFrame(globalLru_.front());
+    }
+
+    const auto is_ghost = [this](const Frame &f) {
+        return f.lastAccess < horizon_;
+    };
+    std::optional<Placement> placement =
+        allocator_.place(cand, frames_, is_ghost);
+
+    if (!placement) {
+        // Associativity conflict: every candidate slot holds a live
+        // page. Evict the LRU candidate; under Horizon LRU, also
+        // raise the horizon to its access time, ghosting everything
+        // older (§2.4).
+        ++stats_.conflicts;
+        if (stats_.firstConflictUtilization < 0)
+            stats_.firstConflictUtilization = frames_.utilization();
+        const Placement victim = allocator_.lruCandidate(cand, frames_);
+        if (config_.policy == EvictionPolicy::HorizonLru) {
+            horizon_ = std::max(horizon_,
+                                frames_.frame(victim.pfn).lastAccess);
+        }
+        evictFrame(victim.pfn);
+        placement = Placement{victim.pfn, victim.cpfn, false};
+    } else if (placement->evictsGhost) {
+        ++stats_.ghostEvictions;
+        evictFrame(placement->pfn);
+    }
+
+    // A page read back from swap starts clean; anything else (a
+    // fresh zero-filled page) must be written out if ever evicted.
+    const bool dirty = !major || write;
+    frames_.map(placement->pfn, PageId{asid, vpn}, clock_, dirty);
+    if (config_.policy == EvictionPolicy::ShrunkenCache)
+        globalLru_.pushBack(placement->pfn);
+    pt.setCpfn(vpn, placement->cpfn);
+
+    if (major) {
+        swap_.readIn(hash_input);
+        ++stats_.swapIns;
+        ++stats_.majorFaults;
+    } else {
+        ++stats_.minorFaults;
+    }
+
+    if (samplingSteadyState_ || frames_.utilization() >= 0.98) {
+        samplingSteadyState_ = true;
+        stats_.steadyUtilization.add(frames_.utilization());
+    }
+    return placement->pfn;
+}
+
+} // namespace mosaic

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The mosaic virtual-memory subsystem: iceberg page allocation
+ * (paper §2.3) plus Horizon LRU eviction with ghost pages (§2.4).
+ *
+ * Also implements the location-ID sharing extension sketched in
+ * §2.5: in SharingMode::LocationId the placement hash input is a
+ * per-ToC random identifier instead of (ASID, VPN), so the same ToC
+ * — and therefore the same physical frames — can back mappings in
+ * several address spaces.
+ */
+
+#ifndef MOSAIC_OS_MOSAIC_VM_HH_
+#define MOSAIC_OS_MOSAIC_VM_HH_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/frame_table.hh"
+#include "mem/mosaic_allocator.hh"
+#include "os/lru_list.hh"
+#include "os/swap_device.hh"
+#include "os/virtual_memory.hh"
+#include "pt/mosaic_page_table.hh"
+#include "util/random.hh"
+
+namespace mosaic
+{
+
+/** How placement-hash inputs are derived (paper §2.2 vs §2.5). */
+enum class SharingMode
+{
+    /** Hash (ASID, VPN): the paper's default; no page sharing. */
+    PageIdHash,
+
+    /** Hash (location ID, sub-page index): enables shared ToCs. */
+    LocationId,
+};
+
+/**
+ * Eviction policy (for the ablation study; the paper's design is
+ * HorizonLru, §2.4).
+ */
+enum class EvictionPolicy
+{
+    /** Ghost pages below a rising horizon; the paper's algorithm. */
+    HorizonLru,
+
+    /** Naive: on a conflict, evict the LRU candidate. No ghosts.
+     *  Lacks Horizon LRU's global-LRU equivalence. */
+    LocalLru,
+
+    /** Prior work (Bender et al. SPAA '21): run replacement as if
+     *  memory were (1 - delta)p so conflicts "never" happen; evicts
+     *  the global LRU page at the capacity cap, wasting delta*p
+     *  frames. */
+    ShrunkenCache,
+};
+
+/** Configuration of a MosaicVm instance. */
+struct MosaicVmConfig
+{
+    MemoryGeometry geometry{};
+    unsigned arity = 4;
+    SharingMode sharing = SharingMode::PageIdHash;
+    EvictionPolicy policy = EvictionPolicy::HorizonLru;
+
+    /** Reserved fraction for ShrunkenCache (its delta). */
+    double shrinkDelta = 0.02;
+
+    /** Seed for location-ID generation. */
+    std::uint64_t seed = 12345;
+};
+
+/** Mosaic paging: iceberg allocation + Horizon LRU. */
+class MosaicVm : public VirtualMemory
+{
+  public:
+    explicit MosaicVm(const MosaicVmConfig &config);
+
+    Pfn touch(Asid asid, Vpn vpn, bool write) override;
+    std::size_t numFrames() const override;
+    std::size_t residentPages() const override;
+    const VmStats &stats() const override { return stats_; }
+    std::string name() const override { return "mosaic"; }
+
+    /** The page table of an address space (created on demand). */
+    MosaicPageTable &pageTable(Asid asid);
+
+    /** Frame-level metadata (for inspection and tests). */
+    const FrameTable &frameTable() const { return frames_; }
+
+    /** The placement machinery (for inspection and tests). */
+    const MosaicAllocator &allocator() const { return allocator_; }
+
+    /** Current Horizon LRU horizon timestamp. */
+    Tick horizon() const { return horizon_; }
+
+    /** Current logical time. */
+    Tick now() const { return clock_; }
+
+    /** True when the frame's page is a ghost (resident but logically
+     *  evicted: last accessed before the horizon). */
+    bool isGhostFrame(Pfn pfn) const;
+
+    /** Resident pages that are ghosts. */
+    std::size_t ghostPages() const;
+
+    /**
+     * Release a range of pages (munmap): resident frames are freed
+     * without writeback, swap copies are dropped, and the range can
+     * be faulted in fresh afterwards.
+     */
+    void unmapRange(Asid asid, Vpn vpn, std::size_t npages);
+
+    /**
+     * Share the mosaic pages covering @p npages base pages starting
+     * at (src_asid, src_vpn) into (dst_asid, dst_vpn). Requires
+     * SharingMode::LocationId; both VPNs must be mosaic-aligned and
+     * npages a multiple of the arity. After sharing, touches through
+     * either mapping resolve to the same physical frames.
+     */
+    void shareRange(Asid src_asid, Vpn src_vpn, Asid dst_asid,
+                    Vpn dst_vpn, std::size_t npages);
+
+  private:
+    struct TocKey
+    {
+        Asid asid;
+        Mvpn mvpn;
+        bool operator<(const TocKey &o) const
+        {
+            return asid != o.asid ? asid < o.asid : mvpn < o.mvpn;
+        }
+    };
+
+    /** Placement-hash input for one base page. */
+    std::uint64_t hashInputFor(Asid asid, Vpn vpn);
+
+    /** Location ID of the ToC containing (asid, vpn), creating one
+     *  if needed (LocationId mode only). */
+    std::uint64_t locationIdFor(Asid asid, Vpn vpn);
+
+    /** Evict the page in @p pfn: write to swap if needed, clear all
+     *  page-table mappings of it, free the frame. */
+    void evictFrame(Pfn pfn);
+
+    /** All (asid, vpn) mappings currently resolving to the frame. */
+    std::vector<std::pair<Asid, Vpn>> mappingsOf(Pfn pfn) const;
+
+    MosaicVmConfig config_;
+    MosaicAllocator allocator_;
+    FrameTable frames_;
+    SwapDevice swap_;
+    VmStats stats_;
+    Tick clock_ = 0;
+    Tick horizon_ = 0;
+    Rng rng_;
+
+    /** ShrunkenCache: global LRU order and the live-page cap. */
+    LruList globalLru_;
+    std::size_t liveCap_;
+
+    std::map<Asid, std::unique_ptr<MosaicPageTable>> tables_;
+
+    /** LocationId mode: ToC -> location ID. */
+    std::map<TocKey, std::uint64_t> locationIds_;
+
+    /** LocationId mode: location ID -> ToCs bound to it. */
+    std::map<std::uint64_t, std::vector<TocKey>> locUsers_;
+
+    /** True once utilization first reached the steady-state band. */
+    bool samplingSteadyState_ = false;
+
+    /** LocationId mode: frame -> sharing mappings beyond the owner.
+     *  Only frames referenced by shared ToCs appear here. */
+    std::unordered_map<Pfn, std::vector<std::pair<Asid, Vpn>>> sharers_;
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_OS_MOSAIC_VM_HH_

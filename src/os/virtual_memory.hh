@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The interface shared by the mosaic and baseline virtual-memory
+ * models: demand paging driven by page touches.
+ */
+
+#ifndef MOSAIC_OS_VIRTUAL_MEMORY_HH_
+#define MOSAIC_OS_VIRTUAL_MEMORY_HH_
+
+#include <cstddef>
+#include <string>
+
+#include "os/vm_stats.hh"
+#include "util/types.hh"
+
+namespace mosaic
+{
+
+/**
+ * A demand-paged virtual-memory subsystem over a fixed number of
+ * physical frames. Callers drive it with page touches; the model
+ * performs allocation, eviction, and swap accounting.
+ */
+class VirtualMemory
+{
+  public:
+    virtual ~VirtualMemory() = default;
+
+    /**
+     * Access one virtual page, faulting it in if necessary.
+     * @return the PFN now backing the page.
+     */
+    virtual Pfn touch(Asid asid, Vpn vpn, bool write) = 0;
+
+    /** Physical frames managed by this instance. */
+    virtual std::size_t numFrames() const = 0;
+
+    /** Frames currently backing pages. */
+    virtual std::size_t residentPages() const = 0;
+
+    virtual const VmStats &stats() const = 0;
+
+    virtual std::string name() const = 0;
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_OS_VIRTUAL_MEMORY_HH_

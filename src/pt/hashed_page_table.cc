@@ -1,0 +1,119 @@
+#include "pt/hashed_page_table.hh"
+
+#include "mem/geometry.hh"
+#include "util/log.hh"
+
+namespace mosaic
+{
+
+HashedMosaicPageTable::HashedMosaicPageTable(unsigned arity,
+                                             Cpfn unmapped_code,
+                                             std::size_t buckets,
+                                             std::uint64_t seed)
+    : arity_(arity),
+      log2Arity_(ceilLog2(arity)),
+      unmapped_(unmapped_code),
+      seed_(seed),
+      buckets_(buckets)
+{
+    ensure(arity >= 1 && arity <= maxArity, "hashed_pt: arity range");
+    ensure((arity & (arity - 1)) == 0, "hashed_pt: arity power of two");
+    ensure(buckets >= 1, "hashed_pt: need at least one bucket");
+}
+
+const HashedMosaicPageTable::Entry *
+HashedMosaicPageTable::findEntry(std::uint64_t key, unsigned *refs) const
+{
+    const Node *node = &buckets_[bucketOf(key)];
+    while (node) {
+        if (refs)
+            ++*refs;
+        for (const Entry &entry : node->entries) {
+            if (entry.used && entry.key == key)
+                return &entry;
+        }
+        node = node->overflow.get();
+    }
+    return nullptr;
+}
+
+HashedMosaicPageTable::Entry &
+HashedMosaicPageTable::entryFor(std::uint64_t key)
+{
+    Node *node = &buckets_[bucketOf(key)];
+    Entry *free_slot = nullptr;
+    while (true) {
+        for (Entry &entry : node->entries) {
+            if (entry.used && entry.key == key)
+                return entry;
+            if (!entry.used && !free_slot)
+                free_slot = &entry;
+        }
+        if (!node->overflow)
+            break;
+        node = node->overflow.get();
+    }
+    if (!free_slot) {
+        node->overflow = std::make_unique<Node>();
+        free_slot = &node->overflow->entries[0];
+    }
+    free_slot->key = key;
+    free_slot->used = true;
+    free_slot->cpfns.fill(unmapped_);
+    ++tocs_;
+    return *free_slot;
+}
+
+void
+HashedMosaicPageTable::setCpfn(Asid asid, Vpn vpn, Cpfn cpfn)
+{
+    Entry &entry = entryFor(keyOf(asid, mvpnOf(vpn)));
+    Cpfn &slot = entry.cpfns[offsetOf(vpn)];
+    if (slot == unmapped_ && cpfn != unmapped_)
+        ++mapped_;
+    else if (slot != unmapped_ && cpfn == unmapped_)
+        --mapped_;
+    slot = cpfn;
+}
+
+void
+HashedMosaicPageTable::clearCpfn(Asid asid, Vpn vpn)
+{
+    setCpfn(asid, vpn, unmapped_);
+}
+
+MosaicWalkResult
+HashedMosaicPageTable::walk(Asid asid, Vpn vpn) const
+{
+    MosaicWalkResult out;
+    const Entry *entry = findEntry(keyOf(asid, mvpnOf(vpn)), &out.memRefs);
+    if (!entry) {
+        out.cpfn = unmapped_;
+        // A miss costs at least the bucket probe.
+        if (out.memRefs == 0)
+            out.memRefs = 1;
+        return out;
+    }
+    out.toc = std::span<const Cpfn>(entry->cpfns.data(), arity_);
+    out.cpfn = entry->cpfns[offsetOf(vpn)];
+    out.present = out.cpfn != unmapped_;
+    return out;
+}
+
+unsigned
+HashedMosaicPageTable::maxChainLength() const
+{
+    unsigned longest = 0;
+    for (const Node &bucket : buckets_) {
+        unsigned length = 1;
+        const Node *node = &bucket;
+        while (node->overflow) {
+            ++length;
+            node = node->overflow.get();
+        }
+        longest = std::max(longest, length);
+    }
+    return longest;
+}
+
+} // namespace mosaic

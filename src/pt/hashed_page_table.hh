@@ -1,0 +1,112 @@
+/**
+ * @file
+ * A hashed mosaic page table (paper §5.5): buckets of inline ToC
+ * entries with overflow chains, keyed by (ASID, MVPN). Demonstrates
+ * the paper's claim that mosaic "can use any page-table structure":
+ * the same ToC leaves behind a one-reference (best case) walk
+ * instead of the radix tree's four.
+ *
+ * Bucket geometry follows the classic design: four entries per
+ * bucket (one cache line of PTE-sized records), collision chains
+ * beyond that — the chains being the known weakness §5.5 discusses.
+ */
+
+#ifndef MOSAIC_PT_HASHED_PAGE_TABLE_HH_
+#define MOSAIC_PT_HASHED_PAGE_TABLE_HH_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hash/xxhash64.hh"
+#include "pt/mosaic_page_table.hh"
+#include "util/types.hh"
+
+namespace mosaic
+{
+
+/** Open hash table of mosaic ToCs with bucketed chaining. */
+class HashedMosaicPageTable
+{
+  public:
+    /** Entries stored inline per bucket (one cache line). */
+    static constexpr unsigned bucketEntries = 4;
+
+    /**
+     * @param arity sub-pages per mosaic page (power of two, <= 64).
+     * @param unmapped_code the CPFN codec's invalid sentinel.
+     * @param buckets hash-bucket count; sizes the table.
+     * @param seed hash seed.
+     */
+    HashedMosaicPageTable(unsigned arity, Cpfn unmapped_code,
+                          std::size_t buckets = 4096,
+                          std::uint64_t seed = 1);
+
+    unsigned arity() const { return arity_; }
+    Cpfn unmappedCode() const { return unmapped_; }
+
+    Mvpn mvpnOf(Vpn vpn) const { return vpn >> log2Arity_; }
+    unsigned offsetOf(Vpn vpn) const { return vpn & (arity_ - 1); }
+
+    /** Set the CPFN of one base page for (asid, vpn). */
+    void setCpfn(Asid asid, Vpn vpn, Cpfn cpfn);
+
+    /** Clear the CPFN of one base page. */
+    void clearCpfn(Asid asid, Vpn vpn);
+
+    /** Walk: memRefs counts bucket/chain nodes touched. */
+    MosaicWalkResult walk(Asid asid, Vpn vpn) const;
+
+    /** Base pages currently mapped. */
+    std::uint64_t mappedPages() const { return mapped_; }
+
+    /** Mosaic pages (ToCs) stored. */
+    std::uint64_t storedTocs() const { return tocs_; }
+
+    /** Longest collision chain (in nodes) in the table. */
+    unsigned maxChainLength() const;
+
+  private:
+    struct Entry
+    {
+        std::uint64_t key = 0;
+        std::array<Cpfn, maxArity> cpfns{};
+        bool used = false;
+    };
+
+    struct Node
+    {
+        std::array<Entry, bucketEntries> entries{};
+        std::unique_ptr<Node> overflow;
+    };
+
+    std::uint64_t
+    keyOf(Asid asid, Mvpn mvpn) const
+    {
+        return (std::uint64_t{asid} << 40) | mvpn;
+    }
+
+    std::size_t
+    bucketOf(std::uint64_t key) const
+    {
+        return xxhash64(key, seed_) % buckets_.size();
+    }
+
+    /** Find the entry for a key; optionally counts node hops. */
+    const Entry *findEntry(std::uint64_t key, unsigned *refs) const;
+
+    /** Find or create the entry for a key. */
+    Entry &entryFor(std::uint64_t key);
+
+    unsigned arity_;
+    unsigned log2Arity_;
+    Cpfn unmapped_;
+    std::uint64_t seed_;
+    std::vector<Node> buckets_;
+    std::uint64_t mapped_ = 0;
+    std::uint64_t tocs_ = 0;
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_PT_HASHED_PAGE_TABLE_HH_

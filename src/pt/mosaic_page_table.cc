@@ -1,0 +1,62 @@
+#include "pt/mosaic_page_table.hh"
+
+#include "mem/geometry.hh"
+
+namespace mosaic
+{
+
+MosaicPageTable::MosaicPageTable(unsigned arity, Cpfn unmapped_code)
+    : tree_(vpnBits - ceilLog2(arity)),
+      arity_(arity),
+      log2Arity_(ceilLog2(arity)),
+      unmapped_(unmapped_code)
+{
+    ensure(arity >= 1 && arity <= maxArity, "mosaic_pt: arity range");
+    ensure((arity & (arity - 1)) == 0, "mosaic_pt: arity power of two");
+}
+
+Toc &
+MosaicPageTable::leafFor(Vpn vpn, unsigned *refs)
+{
+    Toc &toc = tree_.getOrCreate(mvpnOf(vpn), refs);
+    if (!toc.initialized) {
+        toc.cpfns.fill(unmapped_);
+        toc.initialized = true;
+    }
+    return toc;
+}
+
+void
+MosaicPageTable::setCpfn(Vpn vpn, Cpfn cpfn)
+{
+    Toc &toc = leafFor(vpn);
+    Cpfn &slot = toc.cpfns[offsetOf(vpn)];
+    if (slot == unmapped_ && cpfn != unmapped_)
+        ++mapped_;
+    else if (slot != unmapped_ && cpfn == unmapped_)
+        --mapped_;
+    slot = cpfn;
+}
+
+void
+MosaicPageTable::clearCpfn(Vpn vpn)
+{
+    setCpfn(vpn, unmapped_);
+}
+
+MosaicWalkResult
+MosaicPageTable::walk(Vpn vpn) const
+{
+    MosaicWalkResult out;
+    const Toc *toc = tree_.find(mvpnOf(vpn), &out.memRefs);
+    if (!toc || !toc->initialized) {
+        out.cpfn = unmapped_;
+        return out;
+    }
+    out.toc = std::span<const Cpfn>(toc->cpfns.data(), arity_);
+    out.cpfn = toc->cpfns[offsetOf(vpn)];
+    out.present = out.cpfn != unmapped_;
+    return out;
+}
+
+} // namespace mosaic

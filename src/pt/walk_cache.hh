@@ -1,0 +1,106 @@
+/**
+ * @file
+ * An MMU page-walk cache (paper §5.4): caches upper-level page-table
+ * nodes so a TLB miss's walk can skip directly to a lower level,
+ * like x86 PML4/PDPT/PDE caches. Complements Mosaic: Mosaic raises
+ * the TLB hit rate, walk caches cut the cost of the misses that
+ * remain.
+ *
+ * Model: a small fully-associative LRU array of (ASID, level,
+ * key-prefix) entries. A walk for a key skips every level whose
+ * prefix is cached and performs one memory reference per remaining
+ * level; afterwards all its prefixes are inserted.
+ */
+
+#ifndef MOSAIC_PT_WALK_CACHE_HH_
+#define MOSAIC_PT_WALK_CACHE_HH_
+
+#include <cstdint>
+
+#include "pt/radix_tree.hh"
+#include "tlb/set_assoc.hh"
+#include "util/types.hh"
+
+namespace mosaic
+{
+
+/** Page-walk cache over the upper levels of a radix page table. */
+class WalkCache
+{
+  public:
+    /**
+     * @param entries cache size (x86 parts have a few dozen).
+     */
+    explicit WalkCache(unsigned entries = 32)
+        : array_(TlbGeometry{entries, entries})
+    {
+    }
+
+    /**
+     * Levels of an @p total_levels walk that can be skipped for
+     * @p key: the deepest cached prefix covers itself and everything
+     * above it. The leaf level is never skippable (its node holds
+     * the PTE/ToC being fetched).
+     */
+    unsigned
+    skippableLevels(Asid asid, std::uint64_t key, unsigned total_levels)
+    {
+        ++lookups_;
+        for (unsigned depth = total_levels - 1; depth >= 1; --depth) {
+            if (array_.find(prefixOf(key, total_levels, depth),
+                            tag(asid, depth,
+                                prefixOf(key, total_levels, depth)))) {
+                ++hits_;
+                return depth;
+            }
+        }
+        return 0;
+    }
+
+    /** Insert every upper-level prefix of a completed walk. */
+    void
+    fill(Asid asid, std::uint64_t key, unsigned total_levels)
+    {
+        for (unsigned depth = 1; depth < total_levels; ++depth) {
+            const std::uint64_t prefix =
+                prefixOf(key, total_levels, depth);
+            const std::uint64_t t = tag(asid, depth, prefix);
+            if (!array_.find(prefix, t)) {
+                bool evicted = false;
+                array_.allocate(prefix, t, &evicted);
+            }
+        }
+    }
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t hits() const { return hits_; }
+
+  private:
+    struct Empty
+    {
+    };
+
+    /** Key prefix covering the first @p depth levels of the walk. */
+    static std::uint64_t
+    prefixOf(std::uint64_t key, unsigned total_levels, unsigned depth)
+    {
+        const unsigned dropped =
+            (total_levels - depth) * RadixTree<int>::fanoutBits;
+        return dropped >= 64 ? 0 : key >> dropped;
+    }
+
+    static std::uint64_t
+    tag(Asid asid, unsigned depth, std::uint64_t prefix)
+    {
+        return (std::uint64_t{asid} << 44) |
+               (std::uint64_t{depth} << 40) | (prefix & 0xFFFFFFFFFFull);
+    }
+
+    SetAssocArray<Empty> array_;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t hits_ = 0;
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_PT_WALK_CACHE_HH_

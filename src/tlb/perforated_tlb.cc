@@ -1,0 +1,60 @@
+#include "tlb/perforated_tlb.hh"
+
+namespace mosaic
+{
+
+PerforatedTlb::PerforatedTlb(const TlbGeometry &geometry)
+    : array_(geometry)
+{
+}
+
+std::optional<Pfn>
+PerforatedTlb::lookup(Asid asid, Vpn vpn)
+{
+    ++stats_.accesses;
+    const Vpn huge_vpn = vpn >> 9;
+    const unsigned off = vpn & 0x1FF;
+
+    if (auto *e = array_.find(huge_vpn, tagHuge(asid, huge_vpn))) {
+        if (!isHole(e->payload.holes, off)) {
+            ++stats_.hits;
+            return e->payload.basePfn + off;
+        }
+        // A hole: fall through to the 4 KiB side.
+        ++holeLookups_;
+    }
+    if (auto *e = array_.find(vpn, tagPage(asid, vpn))) {
+        ++stats_.hits;
+        return e->payload.basePfn;
+    }
+    ++stats_.misses;
+    return std::nullopt;
+}
+
+void
+PerforatedTlb::fillPerforated(Asid asid, Vpn vpn, Pfn base_pfn,
+                              const HoleBitmap &holes)
+{
+    const Vpn huge_vpn = vpn >> 9;
+    bool evicted = false;
+    auto &e = array_.allocate(huge_vpn, tagHuge(asid, huge_vpn),
+                              &evicted);
+    if (evicted)
+        ++stats_.evictions;
+    e.payload.basePfn = base_pfn;
+    e.payload.holes = holes;
+    e.payload.huge = true;
+}
+
+void
+PerforatedTlb::fill4k(Asid asid, Vpn vpn, Pfn pfn)
+{
+    bool evicted = false;
+    auto &e = array_.allocate(vpn, tagPage(asid, vpn), &evicted);
+    if (evicted)
+        ++stats_.evictions;
+    e.payload.basePfn = pfn;
+    e.payload.huge = false;
+}
+
+} // namespace mosaic

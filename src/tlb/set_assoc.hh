@@ -1,0 +1,201 @@
+/**
+ * @file
+ * A generic set-associative cache array with true-LRU replacement,
+ * shared by the vanilla and mosaic TLB models.
+ *
+ * The paper stresses that mosaic's mapping restrictions are
+ * orthogonal to the TLB's own cache organization (§3.1): a mosaic TLB
+ * can be direct-mapped through fully associative, exactly like a
+ * conventional one. This array implements that whole range: ways ==
+ * entries gives a fully associative table, ways == 1 direct-mapped.
+ */
+
+#ifndef MOSAIC_TLB_SET_ASSOC_HH_
+#define MOSAIC_TLB_SET_ASSOC_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/log.hh"
+#include "util/types.hh"
+
+namespace mosaic
+{
+
+/** Cache organization of a TLB. */
+struct TlbGeometry
+{
+    /** Total entries (paper: 1024). */
+    unsigned entries = 1024;
+
+    /** Associativity; entries for fully associative, 1 for direct. */
+    unsigned ways = 4;
+
+    unsigned sets() const { return entries / ways; }
+
+    void
+    check() const
+    {
+        ensure(entries > 0 && ways > 0, "tlb: empty geometry");
+        ensure(ways <= entries, "tlb: more ways than entries");
+        ensure(entries % ways == 0, "tlb: entries must divide into sets");
+    }
+};
+
+/**
+ * The tag/data array. Replacement is true LRU within a set, driven by
+ * a monotonic use counter.
+ */
+template <typename Payload>
+class SetAssocArray
+{
+  public:
+    struct Entry
+    {
+        std::uint64_t tag = 0;
+        Tick lastUse = 0;
+        bool valid = false;
+        Payload payload{};
+    };
+
+    explicit SetAssocArray(const TlbGeometry &geometry)
+        : geometry_(geometry), entries_(geometry.entries)
+    {
+        geometry_.check();
+    }
+
+    const TlbGeometry &geometry() const { return geometry_; }
+
+    /** Set index for an index key (e.g. a VPN or MVPN). */
+    std::uint64_t
+    setOf(std::uint64_t index_key) const
+    {
+        return index_key % geometry_.sets();
+    }
+
+    /** Find a valid entry with this tag; updates recency on hit. */
+    Entry *
+    find(std::uint64_t index_key, std::uint64_t tag)
+    {
+        const std::uint64_t set = setOf(index_key);
+        for (unsigned w = 0; w < geometry_.ways; ++w) {
+            Entry &e = at(set, w);
+            if (e.valid && e.tag == tag) {
+                e.lastUse = ++useClock_;
+                return &e;
+            }
+        }
+        return nullptr;
+    }
+
+    /** Find without updating recency (for inspection). */
+    const Entry *
+    peek(std::uint64_t index_key, std::uint64_t tag) const
+    {
+        const std::uint64_t set = setOf(index_key);
+        for (unsigned w = 0; w < geometry_.ways; ++w) {
+            const Entry &e = at(set, w);
+            if (e.valid && e.tag == tag)
+                return &e;
+        }
+        return nullptr;
+    }
+
+    /**
+     * Claim an entry for this tag: an invalid way if one exists,
+     * otherwise the LRU way (setting *evicted). The returned entry is
+     * marked valid and most recently used; the caller sets the
+     * payload.
+     */
+    Entry &
+    allocate(std::uint64_t index_key, std::uint64_t tag, bool *evicted)
+    {
+        const std::uint64_t set = setOf(index_key);
+        Entry *victim = nullptr;
+        for (unsigned w = 0; w < geometry_.ways; ++w) {
+            Entry &e = at(set, w);
+            if (!e.valid) {
+                victim = &e;
+                break;
+            }
+            if (!victim || e.lastUse < victim->lastUse)
+                victim = &e;
+        }
+        *evicted = victim->valid;
+        victim->valid = true;
+        victim->tag = tag;
+        victim->lastUse = ++useClock_;
+        victim->payload = Payload{};
+        return *victim;
+    }
+
+    /** Invalidate a specific tag; true when something was dropped. */
+    bool
+    invalidate(std::uint64_t index_key, std::uint64_t tag)
+    {
+        const std::uint64_t set = setOf(index_key);
+        for (unsigned w = 0; w < geometry_.ways; ++w) {
+            Entry &e = at(set, w);
+            if (e.valid && e.tag == tag) {
+                e.valid = false;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Invalidate every entry matching a predicate on (tag, payload);
+     *  returns how many were dropped. */
+    template <typename Pred>
+    unsigned
+    invalidateIf(Pred &&pred)
+    {
+        unsigned dropped = 0;
+        for (Entry &e : entries_) {
+            if (e.valid && pred(e.tag, e.payload)) {
+                e.valid = false;
+                ++dropped;
+            }
+        }
+        return dropped;
+    }
+
+    /** Drop everything. */
+    void
+    flush()
+    {
+        for (Entry &e : entries_)
+            e.valid = false;
+    }
+
+    /** Number of currently valid entries. */
+    unsigned
+    validEntries() const
+    {
+        unsigned n = 0;
+        for (const Entry &e : entries_)
+            n += e.valid ? 1 : 0;
+        return n;
+    }
+
+  private:
+    Entry &
+    at(std::uint64_t set, unsigned way)
+    {
+        return entries_[set * geometry_.ways + way];
+    }
+
+    const Entry &
+    at(std::uint64_t set, unsigned way) const
+    {
+        return entries_[set * geometry_.ways + way];
+    }
+
+    TlbGeometry geometry_;
+    std::vector<Entry> entries_;
+    Tick useClock_ = 0;
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_TLB_SET_ASSOC_HH_

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Counters shared by every TLB model. Figure 6 reports the `misses`
+ * field of these counters.
+ */
+
+#ifndef MOSAIC_TLB_TLB_STATS_HH_
+#define MOSAIC_TLB_TLB_STATS_HH_
+
+#include <cstdint>
+
+namespace mosaic
+{
+
+/** Hit/miss accounting for one TLB. */
+struct TlbStats
+{
+    /** Total translation requests. */
+    std::uint64_t accesses = 0;
+
+    /** Requests satisfied from the TLB. */
+    std::uint64_t hits = 0;
+
+    /** Requests that required a page-table walk. */
+    std::uint64_t misses = 0;
+
+    /** Misses where the mosaic entry was present but the accessed
+     *  sub-page's CPFN was not yet valid (sub-entry fill, §3.1). */
+    std::uint64_t subEntryFills = 0;
+
+    /** Valid entries displaced by capacity/conflict replacement. */
+    std::uint64_t evictions = 0;
+
+    /** Entries or sub-entries dropped by explicit invalidation. */
+    std::uint64_t invalidations = 0;
+
+    double
+    missRate() const
+    {
+        return accesses == 0
+            ? 0.0
+            : static_cast<double>(misses) / static_cast<double>(accesses);
+    }
+
+    void
+    reset()
+    {
+        *this = TlbStats{};
+    }
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_TLB_TLB_STATS_HH_

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * We use xoshiro256** (Blackman & Vigna) rather than std::mt19937 so
+ * that random streams are fast, reproducible across standard library
+ * versions, and cheap to fork into independent sub-streams.
+ */
+
+#ifndef MOSAIC_UTIL_RANDOM_HH_
+#define MOSAIC_UTIL_RANDOM_HH_
+
+#include <array>
+#include <cstdint>
+
+namespace mosaic
+{
+
+/**
+ * xoshiro256** pseudo-random generator.
+ *
+ * Satisfies the UniformRandomBitGenerator requirements so it can also
+ * be plugged into <random> distributions when needed.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed via splitmix64 expansion. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type{0}; }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t operator()();
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p);
+
+    /**
+     * Fork an independent generator. Equivalent to a long jump in the
+     * stream: the child is seeded from the parent's output, so parent
+     * and child sequences do not overlap in practice.
+     */
+    Rng fork();
+
+  private:
+    std::array<std::uint64_t, 4> s_;
+};
+
+/** splitmix64: the recommended seeder/mixer for xoshiro state. */
+std::uint64_t splitmix64(std::uint64_t &state);
+
+} // namespace mosaic
+
+#endif // MOSAIC_UTIL_RANDOM_HH_

@@ -1,0 +1,66 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mosaic
+{
+
+void
+RunningStat::add(double x)
+{
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+}
+
+double
+RunningStat::stddev() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+Histogram::Histogram(std::size_t buckets, double width)
+    : counts_(buckets, 0), width_(width)
+{
+}
+
+void
+Histogram::add(double x)
+{
+    auto idx = static_cast<std::size_t>(std::max(0.0, x / width_));
+    idx = std::min(idx, counts_.size() - 1);
+    ++counts_[idx];
+    ++total_;
+}
+
+double
+Histogram::cdf(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::uint64_t below = 0;
+    for (std::size_t k = 0; k <= i && k < counts_.size(); ++k)
+        below += counts_[k];
+    return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+double
+percentReduction(double baseline, double measured)
+{
+    if (baseline == 0.0)
+        return 0.0;
+    return 100.0 * (baseline - measured) / baseline;
+}
+
+} // namespace mosaic

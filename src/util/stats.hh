@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Lightweight statistics helpers used by the experiment harnesses:
+ * running mean/stddev accumulators and simple histograms.
+ */
+
+#ifndef MOSAIC_UTIL_STATS_HH_
+#define MOSAIC_UTIL_STATS_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mosaic
+{
+
+/**
+ * Welford running mean / variance accumulator.
+ *
+ * Used to report "average ± standard deviation over N runs" in the
+ * Table 3 / Table 4 harnesses, matching the paper's methodology.
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples added so far. */
+    std::size_t count() const { return n_; }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample standard deviation; 0 with < 2 samples. */
+    double stddev() const;
+
+    /** Smallest sample seen; 0 when empty. */
+    double min() const { return n_ ? min_ : 0.0; }
+
+    /** Largest sample seen; 0 when empty. */
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Reset to the empty state. */
+    void reset() { *this = RunningStat(); }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-width bucket histogram over [0, buckets * width).
+ *
+ * Values beyond the last bucket are clamped into it, so the histogram
+ * never loses samples; used for occupancy and distance distributions.
+ */
+class Histogram
+{
+  public:
+    Histogram(std::size_t buckets, double width);
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Count in bucket i. */
+    std::uint64_t at(std::size_t i) const { return counts_.at(i); }
+
+    /** Number of buckets. */
+    std::size_t size() const { return counts_.size(); }
+
+    /** Total samples added. */
+    std::uint64_t total() const { return total_; }
+
+    /** Bucket width. */
+    double width() const { return width_; }
+
+    /** Fraction of samples at or below bucket i (inclusive CDF). */
+    double cdf(std::size_t i) const;
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    double width_;
+    std::uint64_t total_ = 0;
+};
+
+/** Percentage change helper: positive when measured < baseline. */
+double percentReduction(double baseline, double measured);
+
+} // namespace mosaic
+
+#endif // MOSAIC_UTIL_STATS_HH_

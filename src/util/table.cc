@@ -1,0 +1,143 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace mosaic
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != headers_.size())
+        throw std::invalid_argument("TextTable row width mismatch");
+    rows_.push_back(std::move(row));
+}
+
+TextTable &
+TextTable::beginRow()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+TextTable &
+TextTable::cell(const std::string &value)
+{
+    if (rows_.empty() || rows_.back().size() >= headers_.size())
+        throw std::logic_error("TextTable::cell without room in row");
+    rows_.back().push_back(value);
+    return *this;
+}
+
+TextTable &
+TextTable::cell(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return cell(oss.str());
+}
+
+TextTable &
+TextTable::cell(std::uint64_t value)
+{
+    return cell(withCommas(value));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto rule = [&] {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << std::string(widths[c] + 2, '-');
+            os << (c + 1 < widths.size() ? "+" : "");
+        }
+        os << '\n';
+    };
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &v = c < row.size() ? row[c] : std::string();
+            os << ' ' << std::setw(static_cast<int>(widths[c])) << v << ' ';
+            os << (c + 1 < widths.size() ? "|" : "");
+        }
+        os << '\n';
+    };
+
+    emit(headers_);
+    rule();
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    // RFC 4180 quoting: cells containing commas, quotes, or
+    // newlines are wrapped and embedded quotes doubled (numeric
+    // cells use thousands separators, so this is common).
+    auto field = [](const std::string &v) {
+        if (v.find_first_of(",\"\n") == std::string::npos)
+            return v;
+        std::string quoted = "\"";
+        for (const char ch : v) {
+            if (ch == '"')
+                quoted += '"';
+            quoted += ch;
+        }
+        quoted += '"';
+        return quoted;
+    };
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << field(row[c]) << (c + 1 < row.size() ? "," : "");
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+withCommas(std::uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    std::size_t lead = digits.size() % 3;
+    if (lead == 0)
+        lead = 3;
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+        if (i != 0 && (i - lead) % 3 == 0 && i >= lead)
+            out.push_back(',');
+        out.push_back(digits[i]);
+    }
+    return out;
+}
+
+std::string
+humanCount(std::uint64_t value)
+{
+    if (value >= 10'000'000)
+        return std::to_string(value / 1'000'000) + "M";
+    if (value >= 10'000)
+        return std::to_string(value / 1'000) + "K";
+    return std::to_string(value);
+}
+
+} // namespace mosaic

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark harnesses.
+ *
+ * Every experiment binary prints its results as an aligned table that
+ * mirrors the corresponding table or figure in the paper, and can also
+ * emit machine-readable CSV.
+ */
+
+#ifndef MOSAIC_UTIL_TABLE_HH_
+#define MOSAIC_UTIL_TABLE_HH_
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mosaic
+{
+
+/**
+ * A simple row/column text table with right-aligned numeric columns.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a fully formed row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Begin building a row cell by cell. */
+    TextTable &beginRow();
+
+    /** Append one cell to the row under construction. */
+    TextTable &cell(const std::string &value);
+
+    /** Append a formatted numeric cell (fixed, given precision). */
+    TextTable &cell(double value, int precision);
+
+    /** Append an integral cell with thousands separators. */
+    TextTable &cell(std::uint64_t value);
+
+    /** Number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Render with aligned columns to the stream. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no alignment padding). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format an integer with thousands separators, e.g. 12,345,678. */
+std::string withCommas(std::uint64_t value);
+
+/** Format like the paper's figure annotations: 12M, 940K, 1,246K... */
+std::string humanCount(std::uint64_t value);
+
+} // namespace mosaic
+
+#endif // MOSAIC_UTIL_TABLE_HH_

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Fundamental types and address-geometry constants shared across the
+ * Mosaic Pages library.
+ *
+ * The geometry follows the paper's experimental platform (Table 1a):
+ * 4 KiB base pages, 36-bit virtual page numbers and 36-bit physical
+ * frame numbers (i.e. a 48-bit virtual address space and up to 64-bit
+ * physical addresses truncated to 48 bits of frame space).
+ */
+
+#ifndef MOSAIC_UTIL_TYPES_HH_
+#define MOSAIC_UTIL_TYPES_HH_
+
+#include <cstdint>
+#include <limits>
+
+namespace mosaic
+{
+
+/** A full virtual or physical byte address. */
+using Addr = std::uint64_t;
+
+/** A virtual page number (virtual address >> pageShift). */
+using Vpn = std::uint64_t;
+
+/** A physical frame number (physical address >> pageShift). */
+using Pfn = std::uint64_t;
+
+/** A mosaic virtual page number (Vpn >> log2(arity)). */
+using Mvpn = std::uint64_t;
+
+/** An address-space identifier (one per process). */
+using Asid = std::uint16_t;
+
+/** A compressed physical frame number; only the low 7 bits are used. */
+using Cpfn = std::uint8_t;
+
+/** Logical simulation time: a monotonically increasing access count. */
+using Tick = std::uint64_t;
+
+/** Base page geometry (4 KiB pages). */
+constexpr unsigned pageShift = 12;
+constexpr Addr pageSize = Addr{1} << pageShift;
+constexpr Addr pageOffsetMask = pageSize - 1;
+
+/** Huge page geometry (2 MiB pages, 512 base pages). */
+constexpr unsigned hugePageShift = 21;
+constexpr Addr hugePageSize = Addr{1} << hugePageShift;
+constexpr unsigned pagesPerHugePage = 1u << (hugePageShift - pageShift);
+
+/** Width of virtual page numbers, per the paper's platform. */
+constexpr unsigned vpnBits = 36;
+
+/** Width of uncompressed physical frame numbers. */
+constexpr unsigned pfnBits = 36;
+
+/** Sentinel for "no frame". */
+constexpr Pfn invalidPfn = std::numeric_limits<Pfn>::max();
+
+/** Sentinel for "no page". */
+constexpr Vpn invalidVpn = std::numeric_limits<Vpn>::max();
+
+/** Sentinel for "no timestamp yet". */
+constexpr Tick invalidTick = std::numeric_limits<Tick>::max();
+
+/** Extract the virtual page number from a virtual address. */
+constexpr Vpn
+vpnOf(Addr vaddr)
+{
+    return vaddr >> pageShift;
+}
+
+/** Extract the byte offset within a page from an address. */
+constexpr Addr
+pageOffsetOf(Addr addr)
+{
+    return addr & pageOffsetMask;
+}
+
+/** Reassemble a virtual address from a page number and offset. */
+constexpr Addr
+addrOf(Vpn vpn, Addr offset = 0)
+{
+    return (vpn << pageShift) | (offset & pageOffsetMask);
+}
+
+/**
+ * A (ASID, VPN) pair: the identity of a virtual page across the whole
+ * machine. Mosaic hashes this pair to choose candidate frames.
+ */
+struct PageId
+{
+    Asid asid = 0;
+    Vpn vpn = invalidVpn;
+
+    bool operator==(const PageId &) const = default;
+    auto operator<=>(const PageId &) const = default;
+};
+
+/** Pack a PageId into a single 64-bit hash input (ASID | VPN). */
+constexpr std::uint64_t
+packPageId(PageId id)
+{
+    return (std::uint64_t{id.asid} << 48) | (id.vpn & ((std::uint64_t{1} << vpnBits) - 1));
+}
+
+} // namespace mosaic
+
+#endif // MOSAIC_UTIL_TYPES_HH_

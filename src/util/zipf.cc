@@ -1,0 +1,56 @@
+#include "util/zipf.hh"
+
+#include <cmath>
+
+#include "util/log.hh"
+
+namespace mosaic
+{
+
+double
+ZipfSampler::zeta(std::uint64_t n, double theta)
+{
+    // Exact for small n; Euler-Maclaurin tail approximation beyond,
+    // keeping construction O(1)-ish for huge key spaces.
+    constexpr std::uint64_t exact_limit = 1'000'000;
+    double sum = 0.0;
+    const std::uint64_t exact = n < exact_limit ? n : exact_limit;
+    for (std::uint64_t i = 1; i <= exact; ++i)
+        sum += std::pow(static_cast<double>(i), -theta);
+    if (n > exact) {
+        const double a = static_cast<double>(exact);
+        const double b = static_cast<double>(n);
+        sum += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) /
+               (1.0 - theta);
+    }
+    return sum;
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta)
+    : n_(n), theta_(theta)
+{
+    ensure(n >= 1, "zipf: need at least one item");
+    ensure(theta > 0.0 && theta < 1.0, "zipf: theta in (0, 1)");
+    alpha_ = 1.0 / (1.0 - theta);
+    zetan_ = zeta(n, theta);
+    const double zeta2 = zeta(2, theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2 / zetan_);
+}
+
+std::uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    const double u = rng.uniform();
+    const double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    const auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+}
+
+} // namespace mosaic

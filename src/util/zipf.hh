@@ -1,0 +1,47 @@
+/**
+ * @file
+ * A Zipf-distributed integer sampler (Gray et al., SIGMOD '94 — the
+ * sampler YCSB popularized), for skewed key popularity in the
+ * key-value workload.
+ */
+
+#ifndef MOSAIC_UTIL_ZIPF_HH_
+#define MOSAIC_UTIL_ZIPF_HH_
+
+#include <cstdint>
+
+#include "util/random.hh"
+
+namespace mosaic
+{
+
+/** Samples ranks in [0, n) with probability proportional to
+ *  1 / (rank+1)^theta. */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n number of items.
+     * @param theta skew in (0, 1); 0.99 is the YCSB default.
+     */
+    ZipfSampler(std::uint64_t n, double theta = 0.99);
+
+    /** Draw one rank (0 = most popular). */
+    std::uint64_t sample(Rng &rng) const;
+
+    std::uint64_t n() const { return n_; }
+    double theta() const { return theta_; }
+
+  private:
+    static double zeta(std::uint64_t n, double theta);
+
+    std::uint64_t n_;
+    double theta_;
+    double alpha_;
+    double zetan_;
+    double eta_;
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_UTIL_ZIPF_HH_

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The memory-reference stream interface between workload engines and
+ * the translation simulator: workloads execute their algorithms and
+ * emit each data access (virtual address + read/write) into a sink.
+ */
+
+#ifndef MOSAIC_WORKLOADS_ACCESS_SINK_HH_
+#define MOSAIC_WORKLOADS_ACCESS_SINK_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace mosaic
+{
+
+/** One memory reference. */
+struct MemRef
+{
+    Addr vaddr = 0;
+    bool write = false;
+};
+
+/** Receives the reference stream of a running workload. */
+class AccessSink
+{
+  public:
+    virtual ~AccessSink() = default;
+
+    /** One data reference at a virtual byte address. */
+    virtual void access(Addr vaddr, bool write) = 0;
+};
+
+/** Counts references and touched pages; useful in tests. */
+class CountingSink : public AccessSink
+{
+  public:
+    void
+    access(Addr vaddr, bool write) override
+    {
+        ++accesses_;
+        writes_ += write ? 1 : 0;
+        const Vpn vpn = vpnOf(vaddr);
+        if (vpn < minVpn_)
+            minVpn_ = vpn;
+        if (vpn > maxVpn_)
+            maxVpn_ = vpn;
+    }
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t writes() const { return writes_; }
+    Vpn minVpn() const { return minVpn_; }
+    Vpn maxVpn() const { return maxVpn_; }
+
+  private:
+    std::uint64_t accesses_ = 0;
+    std::uint64_t writes_ = 0;
+    Vpn minVpn_ = invalidVpn;
+    Vpn maxVpn_ = 0;
+};
+
+/** Records the full trace; for tests on small workloads only. */
+class VectorSink : public AccessSink
+{
+  public:
+    void
+    access(Addr vaddr, bool write) override
+    {
+        trace_.push_back(MemRef{vaddr, write});
+    }
+
+    const std::vector<MemRef> &trace() const { return trace_; }
+
+  private:
+    std::vector<MemRef> trace_;
+};
+
+/** Duplicates a stream into several sinks. */
+class TeeSink : public AccessSink
+{
+  public:
+    void add(AccessSink *sink) { sinks_.push_back(sink); }
+
+    void
+    access(Addr vaddr, bool write) override
+    {
+        for (AccessSink *sink : sinks_)
+            sink->access(vaddr, write);
+    }
+
+  private:
+    std::vector<AccessSink *> sinks_;
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_WORKLOADS_ACCESS_SINK_HH_

@@ -1,0 +1,250 @@
+#include "workloads/btree.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace mosaic
+{
+
+BTreeIndex::BTreeIndex(const BTreeConfig &config)
+    : config_(config)
+{
+    ensure(config.numKeys >= 2, "btree: need at least two keys");
+
+    // Bulk-load leaves with keys 2*i, then build inner levels until a
+    // single root remains.
+    std::vector<std::uint32_t> level;
+    std::uint64_t next_key = 0;
+    for (std::uint64_t remaining = config.numKeys; remaining > 0;) {
+        const std::uint64_t take =
+            std::min<std::uint64_t>(remaining, fanout);
+        Node node;
+        node.leaf = true;
+        node.keys.reserve(take);
+        for (std::uint64_t i = 0; i < take; ++i, ++next_key)
+            node.keys.push_back(2 * next_key);
+        level.push_back(static_cast<std::uint32_t>(nodes_.size()));
+        nodes_.push_back(std::move(node));
+        remaining -= take;
+    }
+    height_ = 1;
+    root_ = buildLevel(std::move(level));
+
+    // Reserve virtual space for growth: every insert can split at
+    // most one node per level plus a new root (bulk-loaded leaves
+    // are full, so early inserts split eagerly). Virtual space is
+    // cheap; only touched pages count.
+    const std::uint64_t capacity =
+        nodes_.size() + config.numInserts * (height_ + 2) + 16;
+    nodeCapacity_ = capacity;
+    nodeRegion_ =
+        arena_.allocate("btree_nodes", capacity * nodeBytes);
+    info_.name = "btree";
+    info_.footprintBytes = arena_.footprintBytes();
+}
+
+void
+BTreeIndex::touchNode(std::uint32_t node_id, std::size_t slot,
+                      unsigned field_offset, bool write,
+                      AccessSink &sink) const
+{
+    sink.access(nodeRegion_.at(std::uint64_t{node_id} * nodeBytes +
+                               slot * slotBytes + field_offset),
+                write);
+}
+
+void
+BTreeIndex::touchSlotRange(std::uint32_t node_id, std::size_t first,
+                           std::size_t last, AccessSink &sink) const
+{
+    for (std::size_t s = first; s <= last; s += 64 / slotBytes)
+        touchNode(node_id, s, 0, true, sink);
+}
+
+std::uint32_t
+BTreeIndex::buildLevel(std::vector<std::uint32_t> level_nodes)
+{
+    if (level_nodes.size() == 1)
+        return level_nodes.front();
+
+    std::vector<std::uint32_t> parents;
+    for (std::size_t i = 0; i < level_nodes.size(); i += fanout) {
+        const std::size_t take =
+            std::min<std::size_t>(fanout, level_nodes.size() - i);
+        Node node;
+        node.leaf = false;
+        node.keys.reserve(take);
+        node.children.reserve(take);
+        for (std::size_t k = 0; k < take; ++k) {
+            const Node &child = nodes_[level_nodes[i + k]];
+            node.keys.push_back(child.keys.front());
+            node.children.push_back(level_nodes[i + k]);
+        }
+        parents.push_back(static_cast<std::uint32_t>(nodes_.size()));
+        nodes_.push_back(std::move(node));
+    }
+    ++height_;
+    return buildLevel(std::move(parents));
+}
+
+bool
+BTreeIndex::lookup(std::uint64_t key, AccessSink &sink)
+{
+    std::uint32_t node_id = root_;
+    while (true) {
+        const Node &node = nodes_[node_id];
+        const Addr node_base = nodeRegion_.at(
+            std::uint64_t{node_id} * nodeBytes);
+
+        // Binary search over the node's slots; each probe touches
+        // the slot's key field within the node page.
+        std::size_t lo = 0, hi = node.keys.size();
+        while (lo < hi) {
+            const std::size_t mid = (lo + hi) / 2;
+            sink.access(node_base + mid * slotBytes, false);
+            if (node.keys[mid] <= key)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+
+        if (node.leaf) {
+            if (lo == 0)
+                return false;
+            // Re-read the matching slot's value field.
+            sink.access(node_base + (lo - 1) * slotBytes + 8, false);
+            return node.keys[lo - 1] == key;
+        }
+
+        const std::size_t child_idx = lo == 0 ? 0 : lo - 1;
+        sink.access(node_base + child_idx * slotBytes + 8, false);
+        node_id = node.children[child_idx];
+    }
+}
+
+BTreeIndex::SplitResult
+BTreeIndex::insertInto(std::uint32_t node_id, std::uint64_t key,
+                       bool &inserted, AccessSink &sink)
+{
+    // Binary search probes, as in lookup().
+    {
+        const Node &node = nodes_[node_id];
+        std::size_t lo = 0, hi = node.keys.size();
+        while (lo < hi) {
+            const std::size_t mid = (lo + hi) / 2;
+            touchNode(node_id, mid, 0, false, sink);
+            if (node.keys[mid] <= key)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+
+        if (node.leaf) {
+            if (lo > 0 && node.keys[lo - 1] == key) {
+                inserted = false;
+                return {};
+            }
+            Node &leaf = nodes_[node_id];
+            leaf.keys.insert(leaf.keys.begin() +
+                                 static_cast<std::ptrdiff_t>(lo),
+                             key);
+            touchSlotRange(node_id, lo, leaf.keys.size() - 1, sink);
+            inserted = true;
+        } else {
+            const std::size_t child_idx = lo == 0 ? 0 : lo - 1;
+            touchNode(node_id, child_idx, 8, false, sink);
+            const std::uint32_t child = node.children[child_idx];
+            const SplitResult below =
+                insertInto(child, key, inserted, sink);
+            if (below.split) {
+                // Re-fetch: the recursion may have grown nodes_.
+                Node &inner = nodes_[node_id];
+                inner.keys.insert(
+                    inner.keys.begin() +
+                        static_cast<std::ptrdiff_t>(child_idx + 1),
+                    below.separator);
+                inner.children.insert(
+                    inner.children.begin() +
+                        static_cast<std::ptrdiff_t>(child_idx + 1),
+                    below.right);
+                touchSlotRange(node_id, child_idx + 1,
+                               inner.keys.size() - 1, sink);
+            }
+        }
+    }
+
+    // Split on overflow (identical for leaves and inner nodes).
+    Node &node = nodes_[node_id];
+    if (node.keys.size() <= fanout)
+        return {};
+    ensure(nodes_.size() < nodeCapacity_,
+           "btree: node arena exhausted (raise numInserts headroom)");
+    ++splits_;
+    const std::size_t half = node.keys.size() / 2;
+    Node right;
+    right.leaf = node.leaf;
+    right.keys.assign(node.keys.begin() +
+                          static_cast<std::ptrdiff_t>(half),
+                      node.keys.end());
+    if (!node.leaf) {
+        right.children.assign(node.children.begin() +
+                                  static_cast<std::ptrdiff_t>(half),
+                              node.children.end());
+        node.children.resize(half);
+    }
+    node.keys.resize(half);
+    const auto right_id = static_cast<std::uint32_t>(nodes_.size());
+    const std::uint64_t separator = right.keys.front();
+    nodes_.push_back(std::move(right));
+    // The copy-out writes the new node's slots.
+    touchSlotRange(right_id, 0, nodes_[right_id].keys.size() - 1, sink);
+    return {true, separator, right_id};
+}
+
+bool
+BTreeIndex::insert(std::uint64_t key, AccessSink &sink)
+{
+    bool inserted = false;
+    const SplitResult top = insertInto(root_, key, inserted, sink);
+    if (top.split) {
+        ensure(nodes_.size() < nodeCapacity_,
+               "btree: node arena exhausted");
+        Node new_root;
+        new_root.leaf = false;
+        new_root.keys = {nodes_[root_].keys.front(), top.separator};
+        new_root.children = {root_, top.right};
+        root_ = static_cast<std::uint32_t>(nodes_.size());
+        nodes_.push_back(std::move(new_root));
+        touchSlotRange(root_, 0, 1, sink);
+        ++height_;
+    }
+    return inserted;
+}
+
+void
+BTreeIndex::run(AccessSink &sink)
+{
+    Rng rng(config_.seed ^ 0xB7EEu);
+    lastHits_ = 0;
+    const std::uint64_t ops = config_.numLookups + config_.numInserts;
+    std::uint64_t inserts_left = config_.numInserts;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        // Interleave inserts evenly among the lookups.
+        const bool do_insert =
+            inserts_left > 0 &&
+            (config_.numLookups == 0 ||
+             i % (ops / std::max<std::uint64_t>(1, config_.numInserts) +
+                  1) == 0);
+        if (do_insert) {
+            --inserts_left;
+            // Odd keys: never loaded, so most inserts succeed.
+            insert(rng.below(2 * config_.numKeys) | 1, sink);
+        } else {
+            const std::uint64_t key = rng.below(2 * config_.numKeys);
+            lastHits_ += lookup(key, sink) ? 1 : 0;
+        }
+    }
+}
+
+} // namespace mosaic

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * A B+-tree index workload: bulk-loaded tree with 4 KiB nodes and
+ * random point lookups, modeling the paper's "BTree" benchmark
+ * ("index lookups on a B+ Tree data structure", Table 2). Every key
+ * probe during the root-to-leaf descent is emitted as a reference
+ * into the node's page.
+ */
+
+#ifndef MOSAIC_WORKLOADS_BTREE_HH_
+#define MOSAIC_WORKLOADS_BTREE_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hh"
+#include "workloads/virtual_arena.hh"
+#include "workloads/workload.hh"
+
+namespace mosaic
+{
+
+/** Parameters of the B+-tree workload. */
+struct BTreeConfig
+{
+    /** Keys bulk-loaded into the tree (keys are 2*i, so half of all
+     *  probes in the key range miss). */
+    std::uint64_t numKeys = std::uint64_t{4} << 20;
+
+    /** Random point lookups to execute. */
+    std::uint64_t numLookups = 400'000;
+
+    /** Random inserts interleaved with the lookups (each one may
+     *  split nodes up the descent path, like a live index). */
+    std::uint64_t numInserts = 0;
+
+    std::uint64_t seed = 1;
+};
+
+/** Bulk-loaded B+-tree with random probes. */
+class BTreeIndex : public Workload
+{
+  public:
+    /** 4 KiB nodes of 16-byte (key, value-or-child) slots. */
+    static constexpr unsigned nodeBytes = 4096;
+    static constexpr unsigned slotBytes = 16;
+    static constexpr unsigned fanout = nodeBytes / slotBytes;
+
+    explicit BTreeIndex(const BTreeConfig &config);
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    void run(AccessSink &sink) override;
+
+    /** Levels in the tree, leaves included. */
+    unsigned height() const { return height_; }
+
+    /** Point lookup used by run(); exposed for tests.
+     *  @return true when the key is present. */
+    bool lookup(std::uint64_t key, AccessSink &sink);
+
+    /**
+     * Insert a key (no value semantics beyond presence). Splits
+     * full nodes on the way back up; exposed for tests.
+     * @return false when the key already existed.
+     */
+    bool insert(std::uint64_t key, AccessSink &sink);
+
+    /** Lookups that found their key in the last run(). */
+    std::uint64_t lastRunHits() const { return lastHits_; }
+
+    /** Total nodes (grows as inserts split). */
+    std::size_t nodeCount() const { return nodes_.size(); }
+
+    /** Node splits performed by inserts. */
+    std::uint64_t splits() const { return splits_; }
+
+  private:
+    struct Node
+    {
+        /** Separator or leaf keys, ascending. */
+        std::vector<std::uint64_t> keys;
+
+        /** Child node ids (inner) — values are implicit for leaves. */
+        std::vector<std::uint32_t> children;
+
+        bool leaf = true;
+    };
+
+    std::uint32_t buildLevel(std::vector<std::uint32_t> level_nodes);
+
+    /** Recursive insert; returns the id of a new right sibling and
+     *  its separator key when the child split. */
+    struct SplitResult
+    {
+        bool split = false;
+        std::uint64_t separator = 0;
+        std::uint32_t right = 0;
+    };
+    SplitResult insertInto(std::uint32_t node_id, std::uint64_t key,
+                           bool &inserted, AccessSink &sink);
+
+    /** Emit one access into a node's page. */
+    void touchNode(std::uint32_t node_id, std::size_t slot,
+                   unsigned field_offset, bool write,
+                   AccessSink &sink) const;
+
+    /** Emit the writes of shifting/copying a slot range (one write
+     *  per cache line, like a memmove). */
+    void touchSlotRange(std::uint32_t node_id, std::size_t first,
+                        std::size_t last, AccessSink &sink) const;
+
+    BTreeConfig config_;
+    WorkloadInfo info_;
+    VirtualArena arena_;
+    ArenaRegion nodeRegion_;
+    std::vector<Node> nodes_;
+    std::uint32_t root_ = 0;
+    unsigned height_ = 0;
+    std::uint64_t lastHits_ = 0;
+    std::uint64_t splits_ = 0;
+    std::uint64_t nodeCapacity_ = 0;
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_WORKLOADS_BTREE_HH_

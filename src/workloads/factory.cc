@@ -1,0 +1,149 @@
+#include "workloads/factory.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+#include "workloads/btree.hh"
+#include "workloads/graph500.hh"
+#include "workloads/gups.hh"
+#include "workloads/kvstore.hh"
+#include "workloads/xsbench.hh"
+
+namespace mosaic
+{
+
+std::string
+workloadName(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::Graph500:
+        return "Graph500";
+      case WorkloadKind::BTree:
+        return "BTree";
+      case WorkloadKind::Gups:
+        return "GUPS";
+      case WorkloadKind::XsBench:
+        return "XSBench";
+      case WorkloadKind::KvStore:
+        return "KVStore";
+    }
+    panic("factory: unknown workload kind");
+}
+
+std::unique_ptr<Workload>
+makeFig6Workload(WorkloadKind kind, double scale, std::uint64_t seed)
+{
+    ensure(scale > 0, "factory: scale must be positive");
+    const auto scaled = [scale](std::uint64_t v) {
+        return std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(static_cast<double>(v) * scale));
+    };
+
+    switch (kind) {
+      case WorkloadKind::Graph500: {
+        Graph500Config c;
+        c.numVertices = scaled(std::uint64_t{1} << 20);
+        c.edgeFactor = 8;
+        c.numBfsRoots = 1;
+        c.seed = seed;
+        return std::make_unique<Graph500>(c);
+      }
+      case WorkloadKind::BTree: {
+        BTreeConfig c;
+        c.numKeys = scaled(std::uint64_t{4} << 20);
+        c.numLookups = scaled(400'000);
+        c.seed = seed;
+        return std::make_unique<BTreeIndex>(c);
+      }
+      case WorkloadKind::Gups: {
+        GupsConfig c;
+        c.tableEntries = scaled(std::uint64_t{1} << 24);
+        c.numUpdates = scaled(4'000'000);
+        c.seed = seed;
+        return std::make_unique<Gups>(c);
+      }
+      case WorkloadKind::XsBench: {
+        XsBenchConfig c;
+        c.gridpointsPerNuclide =
+            static_cast<unsigned>(scaled(8192));
+        c.numLookups = scaled(200'000);
+        c.seed = seed;
+        return std::make_unique<XsBench>(c);
+      }
+      case WorkloadKind::KvStore: {
+        KvStoreConfig c;
+        c.numKeys = scaled(std::uint64_t{1} << 19);
+        c.numOps = scaled(500'000);
+        c.seed = seed;
+        return std::make_unique<KvStore>(c);
+      }
+    }
+    panic("factory: unknown workload kind");
+}
+
+std::unique_ptr<Workload>
+makeFootprintWorkload(WorkloadKind kind, std::uint64_t footprint_bytes,
+                      std::uint64_t seed)
+{
+    ensure(footprint_bytes >= (std::uint64_t{8} << 20),
+           "factory: footprint targets below 8 MiB are not supported");
+
+    switch (kind) {
+      case WorkloadKind::Graph500: {
+        // footprint ~= n*(16) + 2*(n*ef)*4 + padding = n*(16 + 8*ef)
+        Graph500Config c;
+        c.edgeFactor = 8;
+        c.numVertices = footprint_bytes / (16 + 8ull * c.edgeFactor);
+        c.numBfsRoots = 2;
+        c.seed = seed;
+        return std::make_unique<Graph500>(c);
+      }
+      case WorkloadKind::BTree: {
+        // footprint ~= nodes * 4096, nodes ~= keys/256 * 256/255.
+        BTreeConfig c;
+        c.numKeys = (footprint_bytes / 16) * 255 / 256;
+        c.numLookups = c.numKeys / 4;
+        c.seed = seed;
+        return std::make_unique<BTreeIndex>(c);
+      }
+      case WorkloadKind::Gups: {
+        GupsConfig c;
+        c.tableEntries = footprint_bytes / 8;
+        c.numUpdates = 3 * c.tableEntries;
+        c.seed = seed;
+        return std::make_unique<Gups>(c);
+      }
+      case WorkloadKind::XsBench: {
+        // Per gridpoint-per-nuclide: egrid 8*n + index 4*n*n +
+        // nuclide 48*n bytes, with n nuclides.
+        XsBenchConfig c;
+        const std::uint64_t n = c.numNuclides;
+        const std::uint64_t per_gpp = 8 * n + 4 * n * n + 48 * n;
+        c.gridpointsPerNuclide =
+            static_cast<unsigned>(footprint_bytes / per_gpp);
+        ensure(c.gridpointsPerNuclide >= 16,
+               "factory: xsbench footprint too small");
+        // Enough lookups that nearly every index-grid page is
+        // touched (one lookup touches one random unionized row;
+        // ~8 rows per page gives > 99.9 % page coverage).
+        c.numLookups = 8 * n * c.gridpointsPerNuclide *
+                       (4 * n) / pageSize;
+        c.seed = seed;
+        return std::make_unique<XsBench>(c);
+      }
+      case WorkloadKind::KvStore: {
+        // footprint ~= keys * (16 * slotsPerKey + valueBytes).
+        KvStoreConfig c;
+        c.numKeys = footprint_bytes /
+                    static_cast<std::uint64_t>(
+                        16 * c.indexSlotsPerKey + c.valueBytes);
+        c.numOps = c.numKeys;
+        c.includeLoadPhase = true;
+        c.seed = seed;
+        return std::make_unique<KvStore>(c);
+      }
+    }
+    panic("factory: unknown workload kind");
+}
+
+} // namespace mosaic

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Construction helpers for the paper's workloads: the Figure 6
+ * configurations (fixed reference-stream sizes) and footprint-
+ * targeted instances for the memory-pressure experiments (Tables 3
+ * and 4), where each workload must occupy a specific fraction of
+ * physical memory.
+ */
+
+#ifndef MOSAIC_WORKLOADS_FACTORY_HH_
+#define MOSAIC_WORKLOADS_FACTORY_HH_
+
+#include <memory>
+#include <string>
+
+#include "workloads/workload.hh"
+
+namespace mosaic
+{
+
+/** The four paper workloads (Table 2), plus the Redis-style
+ *  key-value store the paper's introduction motivates with. */
+enum class WorkloadKind { Graph500, BTree, Gups, XsBench, KvStore };
+
+/** Printable name matching the paper's tables. */
+std::string workloadName(WorkloadKind kind);
+
+/**
+ * Build a Figure 6 workload. @p scale multiplies the default data
+ * sizes (1.0 gives footprints of roughly 64–192 MiB, which keeps the
+ * full sweep to minutes; larger values approach the paper's
+ * gigabyte-scale footprints).
+ */
+std::unique_ptr<Workload> makeFig6Workload(WorkloadKind kind,
+                                           double scale = 1.0,
+                                           std::uint64_t seed = 1);
+
+/**
+ * Build a workload whose virtual footprint is approximately
+ * @p footprint_bytes (within a few percent), with its operation
+ * count scaled so that the whole footprint is re-referenced several
+ * times — the regime of the swapping experiments.
+ */
+std::unique_ptr<Workload> makeFootprintWorkload(WorkloadKind kind,
+                                                std::uint64_t footprint_bytes,
+                                                std::uint64_t seed = 1);
+
+} // namespace mosaic
+
+#endif // MOSAIC_WORKLOADS_FACTORY_HH_

@@ -1,0 +1,26 @@
+#include "workloads/gups.hh"
+
+namespace mosaic
+{
+
+Gups::Gups(const GupsConfig &config)
+    : config_(config)
+{
+    tableRegion_ = arena_.allocate("gups_table", config.tableEntries * 8);
+    info_.name = "gups";
+    info_.footprintBytes = arena_.footprintBytes();
+}
+
+void
+Gups::run(AccessSink &sink)
+{
+    Rng rng(config_.seed ^ 0x60B5u);
+    for (std::uint64_t i = 0; i < config_.numUpdates; ++i) {
+        const std::uint64_t idx = rng.below(config_.tableEntries);
+        const Addr addr = tableRegion_.element(idx, 8);
+        sink.access(addr, false); // load
+        sink.access(addr, true);  // xor-update store
+    }
+}
+
+} // namespace mosaic

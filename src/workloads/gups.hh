@@ -1,0 +1,52 @@
+/**
+ * @file
+ * GUPS (Giga-Updates Per Second): random read-modify-write updates
+ * over a large table. The paper uses it as the adversarial case —
+ * accesses are uniformly random, so virtual locality barely exists
+ * and mosaic's gains are smallest (§4.1).
+ */
+
+#ifndef MOSAIC_WORKLOADS_GUPS_HH_
+#define MOSAIC_WORKLOADS_GUPS_HH_
+
+#include <cstdint>
+
+#include "util/random.hh"
+#include "workloads/virtual_arena.hh"
+#include "workloads/workload.hh"
+
+namespace mosaic
+{
+
+/** Parameters of the GUPS workload. */
+struct GupsConfig
+{
+    /** 8-byte table entries; footprint = 8 * tableEntries. */
+    std::uint64_t tableEntries = std::uint64_t{1} << 24;
+
+    /** Random read-modify-write updates. */
+    std::uint64_t numUpdates = 4'000'000;
+
+    std::uint64_t seed = 1;
+};
+
+/** Random-update microbenchmark. */
+class Gups : public Workload
+{
+  public:
+    explicit Gups(const GupsConfig &config);
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    void run(AccessSink &sink) override;
+
+  private:
+    GupsConfig config_;
+    WorkloadInfo info_;
+    VirtualArena arena_;
+    ArenaRegion tableRegion_;
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_WORKLOADS_GUPS_HH_

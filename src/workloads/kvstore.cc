@@ -1,0 +1,116 @@
+#include "workloads/kvstore.hh"
+
+#include "hash/mix.hh"
+#include "util/log.hh"
+
+namespace mosaic
+{
+
+KvStore::KvStore(const KvStoreConfig &config)
+    : config_(config),
+      zipf_(config.numKeys, config.zipfTheta)
+{
+    ensure(config.numKeys >= 1, "kvstore: need at least one key");
+    ensure(config.indexSlotsPerKey > 1.05,
+           "kvstore: index must have slack");
+
+    const auto slots = static_cast<std::uint64_t>(
+        static_cast<double>(config.numKeys) * config.indexSlotsPerKey);
+    index_.resize(slots);
+
+    // Load phase (host side): insert keys 0..numKeys-1. Values are
+    // placed in key order — the layout a load phase produces.
+    for (std::uint64_t key = 0; key < config.numKeys; ++key) {
+        std::size_t slot =
+            static_cast<std::size_t>(mix64(key) % index_.size());
+        while (index_[slot].used)
+            slot = (slot + 1) % index_.size();
+        index_[slot] = Slot{key, key, true};
+    }
+
+    indexRegion_ = arena_.allocate("kv_index", slots * 16);
+    valueRegion_ = arena_.allocate(
+        "kv_values", config.numKeys * config.valueBytes);
+    info_.name = "kvstore";
+    info_.footprintBytes = arena_.footprintBytes();
+}
+
+std::size_t
+KvStore::probe(std::uint64_t key, AccessSink &sink) const
+{
+    std::size_t slot =
+        static_cast<std::size_t>(mix64(key) % index_.size());
+    ++lookups_;
+    while (true) {
+        ++probes_;
+        sink.access(indexRegion_.element(slot, 16), false);
+        if (index_[slot].used && index_[slot].key == key)
+            return slot;
+        if (!index_[slot].used)
+            return slot; // not found: empty slot ends the probe
+        slot = (slot + 1) % index_.size();
+    }
+}
+
+void
+KvStore::touchValue(std::uint64_t value_index, bool write,
+                    AccessSink &sink) const
+{
+    const Addr base =
+        valueRegion_.element(value_index, config_.valueBytes);
+    for (Addr offset = 0; offset < config_.valueBytes; offset += 64)
+        sink.access(base + offset, write);
+}
+
+bool
+KvStore::get(std::uint64_t key, AccessSink &sink)
+{
+    const std::size_t slot = probe(key, sink);
+    if (!index_[slot].used || index_[slot].key != key)
+        return false;
+    touchValue(index_[slot].valueIndex, false, sink);
+    return true;
+}
+
+void
+KvStore::set(std::uint64_t key, AccessSink &sink)
+{
+    const std::size_t slot = probe(key, sink);
+    ensure(index_[slot].used && index_[slot].key == key,
+           "kvstore: SET of unknown key");
+    touchValue(index_[slot].valueIndex, true, sink);
+}
+
+void
+KvStore::run(AccessSink &sink)
+{
+    if (config_.includeLoadPhase) {
+        // The load: every index slot written (sequentially), every
+        // value written once in placement order.
+        for (std::uint64_t slot = 0; slot < index_.size(); ++slot) {
+            if ((indexRegion_.element(slot, 16) & 63) == 0 || slot == 0)
+                sink.access(indexRegion_.element(slot, 16), true);
+        }
+        for (std::uint64_t key = 0; key < config_.numKeys; ++key)
+            touchValue(key, true, sink);
+    }
+
+    Rng rng(config_.seed ^ 0x4B56u);
+    for (std::uint64_t op = 0; op < config_.numOps; ++op) {
+        const std::uint64_t key = zipf_.sample(rng);
+        if (rng.chance(config_.getFraction))
+            get(key, sink);
+        else
+            set(key, sink);
+    }
+}
+
+double
+KvStore::meanProbeLength() const
+{
+    return lookups_ == 0 ? 0.0
+                         : static_cast<double>(probes_) /
+                               static_cast<double>(lookups_);
+}
+
+} // namespace mosaic

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A Redis-style in-memory key-value store workload: an open-
+ * addressing hash index over a value heap, driven by Zipf-skewed
+ * GET/SET traffic. The paper's introduction motivates mosaic pages
+ * with exactly this application class (the Zhu et al. Redis
+ * measurement); this engine lets the fragmentation and TLB
+ * experiments run it.
+ */
+
+#ifndef MOSAIC_WORKLOADS_KVSTORE_HH_
+#define MOSAIC_WORKLOADS_KVSTORE_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hh"
+#include "util/zipf.hh"
+#include "workloads/virtual_arena.hh"
+#include "workloads/workload.hh"
+
+namespace mosaic
+{
+
+/** Parameters of the KV-store workload. */
+struct KvStoreConfig
+{
+    /** Distinct keys loaded. */
+    std::uint64_t numKeys = std::uint64_t{1} << 20;
+
+    /** Value size in bytes (Redis-style small objects). */
+    unsigned valueBytes = 256;
+
+    /** Index slots per key (load factor = 1/slotsPerKey). */
+    double indexSlotsPerKey = 1.5;
+
+    /** GET/SET operations to execute. */
+    std::uint64_t numOps = 1'000'000;
+
+    /** Fraction of operations that are GETs (the rest are SETs). */
+    double getFraction = 0.9;
+
+    /** Zipf skew of key popularity (YCSB default). */
+    double zipfTheta = 0.99;
+
+    /** Emit the load phase (a sequential sweep writing every value)
+     *  at the start of run(); the memory-pressure experiments need
+     *  the whole footprint touched. */
+    bool includeLoadPhase = false;
+
+    std::uint64_t seed = 1;
+};
+
+/** Hash index + value heap under Zipf GET/SET traffic. */
+class KvStore : public Workload
+{
+  public:
+    explicit KvStore(const KvStoreConfig &config);
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    void run(AccessSink &sink) override;
+
+    /** One GET; exposed for tests. @return true when found. */
+    bool get(std::uint64_t key, AccessSink &sink);
+
+    /** One SET (must be of an existing key; this workload models a
+     *  loaded store, not growth). */
+    void set(std::uint64_t key, AccessSink &sink);
+
+    /** Index slots. */
+    std::uint64_t indexSlots() const { return index_.size(); }
+
+    /** Mean linear-probe length observed during the last run. */
+    double meanProbeLength() const;
+
+  private:
+    /** An index slot: key and the value's heap offset. */
+    struct Slot
+    {
+        std::uint64_t key = 0;
+        std::uint64_t valueIndex = 0;
+        bool used = false;
+    };
+
+    /** Probe the index; returns the slot holding key. Emits one
+     *  access per probed slot. */
+    std::size_t probe(std::uint64_t key, AccessSink &sink) const;
+
+    /** Touch the value of a slot (per-cacheline). */
+    void touchValue(std::uint64_t value_index, bool write,
+                    AccessSink &sink) const;
+
+    KvStoreConfig config_;
+    WorkloadInfo info_;
+    VirtualArena arena_;
+    ArenaRegion indexRegion_;
+    ArenaRegion valueRegion_;
+    std::vector<Slot> index_;
+    ZipfSampler zipf_;
+    mutable std::uint64_t probes_ = 0;
+    mutable std::uint64_t lookups_ = 0;
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_WORKLOADS_KVSTORE_HH_

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Binary reference-trace files: record a workload's access stream
+ * once, replay it many times (e.g. to sweep TLB configurations
+ * without re-executing the workload, as trace-driven studies do).
+ *
+ * Format: a 16-byte header ("MOSAICTR", version, record count),
+ * then one 8-byte record per access — the virtual address in the
+ * low 63 bits and the write flag in the top bit. Addresses in this
+ * simulator fit 48 bits, so nothing is lost.
+ */
+
+#ifndef MOSAIC_WORKLOADS_TRACE_FILE_HH_
+#define MOSAIC_WORKLOADS_TRACE_FILE_HH_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "workloads/access_sink.hh"
+
+namespace mosaic
+{
+
+/** An AccessSink that streams records into a trace file. */
+class TraceWriter : public AccessSink
+{
+  public:
+    /** Open (and truncate) the file; fatal on failure. */
+    explicit TraceWriter(const std::string &path);
+
+    /** Finalizes the header. */
+    ~TraceWriter() override;
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    void access(Addr vaddr, bool write) override;
+
+    /** Records written so far. */
+    std::uint64_t records() const { return records_; }
+
+    /** Flush buffers and finalize the header early. */
+    void close();
+
+  private:
+    std::ofstream out_;
+    std::string path_;
+    std::uint64_t records_ = 0;
+    bool closed_ = false;
+};
+
+/** Reads a trace file and replays it into a sink. */
+class TraceReader
+{
+  public:
+    /** Open and validate the header; fatal on a bad file. */
+    explicit TraceReader(const std::string &path);
+
+    /** Records the header claims. */
+    std::uint64_t records() const { return records_; }
+
+    /**
+     * Replay up to @p limit records (0 = all) into the sink.
+     * @return records actually replayed.
+     */
+    std::uint64_t replay(AccessSink &sink, std::uint64_t limit = 0);
+
+  private:
+    std::ifstream in_;
+    std::uint64_t records_ = 0;
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_WORKLOADS_TRACE_FILE_HH_

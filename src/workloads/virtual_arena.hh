@@ -1,0 +1,110 @@
+/**
+ * @file
+ * A model of a process's virtual address-space layout. Workload
+ * engines keep their data structures in ordinary host memory but
+ * report accesses at virtual addresses assigned by this arena, so the
+ * simulated reference stream has a realistic layout: each array is a
+ * virtually contiguous region.
+ *
+ * Regions are aligned to the largest mosaic page (256 KiB), which
+ * models the paper's suggestion that applications be linked with
+ * alignment directives (§2.1).
+ */
+
+#ifndef MOSAIC_WORKLOADS_VIRTUAL_ARENA_HH_
+#define MOSAIC_WORKLOADS_VIRTUAL_ARENA_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/log.hh"
+#include "util/types.hh"
+
+namespace mosaic
+{
+
+/** A named, virtually contiguous region of the address space. */
+struct ArenaRegion
+{
+    std::string name;
+    Addr base = 0;
+    std::uint64_t bytes = 0;
+
+    /** Virtual address of byte index i of this region. */
+    Addr
+    at(std::uint64_t i) const
+    {
+        return base + i;
+    }
+
+    /** Virtual address of element i of an array of element_size. */
+    Addr
+    element(std::uint64_t i, unsigned element_size) const
+    {
+        return base + i * element_size;
+    }
+};
+
+/** A bump allocator over the virtual address space. */
+class VirtualArena
+{
+  public:
+    /** Regions are aligned to this boundary (max mosaic page). */
+    static constexpr Addr regionAlign = Addr{64} * pageSize;
+
+    /** @param base first virtual address handed out (heap start). */
+    explicit VirtualArena(Addr base = Addr{1} << 30)
+        : next_(alignUp(base))
+    {
+    }
+
+    /** Reserve a region of at least @p bytes. */
+    ArenaRegion
+    allocate(std::string name, std::uint64_t bytes)
+    {
+        ensure(bytes > 0, "arena: empty region");
+        ArenaRegion region{std::move(name), next_, bytes};
+        next_ = alignUp(next_ + bytes);
+        ensure(next_ < (Addr{1} << (vpnBits + pageShift)),
+               "arena: virtual address space exhausted");
+        regions_.push_back(region);
+        return region;
+    }
+
+    /** Total bytes reserved (the workload's memory footprint). */
+    std::uint64_t
+    footprintBytes() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &r : regions_)
+            total += r.bytes;
+        return total;
+    }
+
+    /** Footprint in 4 KiB pages, counting per-region rounding. */
+    std::uint64_t
+    footprintPages() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &r : regions_)
+            total += (r.bytes + pageSize - 1) / pageSize;
+        return total;
+    }
+
+    const std::vector<ArenaRegion> &regions() const { return regions_; }
+
+  private:
+    static Addr
+    alignUp(Addr a)
+    {
+        return (a + regionAlign - 1) & ~(regionAlign - 1);
+    }
+
+    Addr next_;
+    std::vector<ArenaRegion> regions_;
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_WORKLOADS_VIRTUAL_ARENA_HH_

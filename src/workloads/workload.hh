@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The workload-engine interface. Each engine executes a real
+ * algorithm (BFS, B+-tree probes, random updates, cross-section
+ * lookups) over data structures laid out by a VirtualArena, emitting
+ * every data reference into an AccessSink.
+ */
+
+#ifndef MOSAIC_WORKLOADS_WORKLOAD_HH_
+#define MOSAIC_WORKLOADS_WORKLOAD_HH_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "workloads/access_sink.hh"
+
+namespace mosaic
+{
+
+/** Static description of a constructed workload. */
+struct WorkloadInfo
+{
+    std::string name;
+
+    /** Bytes of simulated virtual memory the workload uses. */
+    std::uint64_t footprintBytes = 0;
+};
+
+/** A runnable workload engine. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual const WorkloadInfo &info() const = 0;
+
+    /** Execute the workload, emitting its reference stream. May be
+     *  called repeatedly; each run re-executes the algorithm. */
+    virtual void run(AccessSink &sink) = 0;
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_WORKLOADS_WORKLOAD_HH_

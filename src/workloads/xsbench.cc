@@ -1,0 +1,95 @@
+#include "workloads/xsbench.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace mosaic
+{
+
+XsBench::XsBench(const XsBenchConfig &config)
+    : config_(config)
+{
+    ensure(config.numNuclides >= 2, "xsbench: need >= 2 nuclides");
+    ensure(config.numMaterials >= 1, "xsbench: need >= 1 material");
+
+    unionized_ =
+        std::uint64_t{config.numNuclides} * config.gridpointsPerNuclide;
+
+    egridRegion_ = arena_.allocate("egrid", unionized_ * 8);
+    indexGridRegion_ = arena_.allocate(
+        "index_grid", unionized_ * config.numNuclides * 4);
+    nuclideRegion_ = arena_.allocate(
+        "nuclide_grids",
+        std::uint64_t{config.numNuclides} * config.gridpointsPerNuclide *
+            48);
+
+    // Material composition mirrors XSBench's shape: material 0
+    // ("fuel") contains most nuclides; the rest hold small subsets.
+    Rng rng(config.seed ^ 0x55B3u);
+    materials_.resize(config.numMaterials);
+    for (unsigned n = 0; n < config.numNuclides; ++n) {
+        if (n < config.numNuclides / 2 || rng.chance(0.5))
+            materials_[0].push_back(n);
+    }
+    for (unsigned m = 1; m < config.numMaterials; ++m) {
+        const unsigned size = static_cast<unsigned>(rng.between(
+            3, std::min(15u, config.numNuclides)));
+        for (unsigned i = 0; i < size; ++i) {
+            materials_[m].push_back(
+                static_cast<std::uint32_t>(rng.below(config.numNuclides)));
+        }
+    }
+
+    info_.name = "xsbench";
+    info_.footprintBytes = arena_.footprintBytes();
+}
+
+void
+XsBench::singleLookup(Rng &rng, AccessSink &sink)
+{
+    // Sample a particle: uniform energy, material biased toward fuel
+    // like XSBench's distribution.
+    const std::uint64_t energy_slot = rng.below(unionized_);
+    const unsigned mat = rng.chance(0.45)
+        ? 0
+        : static_cast<unsigned>(rng.below(config_.numMaterials));
+
+    // Binary search of the unionized energy grid.
+    std::uint64_t lo = 0, hi = unionized_;
+    while (lo < hi) {
+        const std::uint64_t mid = (lo + hi) / 2;
+        sink.access(egridRegion_.element(mid, 8), false);
+        if (mid < energy_slot)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    const std::uint64_t u = lo;
+
+    // Gather each nuclide of the material: one index-grid entry and
+    // the two bracketing nuclide gridpoints.
+    for (const std::uint32_t nuc : materials_[mat]) {
+        sink.access(
+            indexGridRegion_.element(u * config_.numNuclides + nuc, 4),
+            false);
+        // The per-nuclide index the real table would store.
+        const std::uint64_t idx = std::min<std::uint64_t>(
+            config_.gridpointsPerNuclide - 2,
+            (u * config_.gridpointsPerNuclide) / unionized_);
+        const std::uint64_t base =
+            (std::uint64_t{nuc} * config_.gridpointsPerNuclide + idx);
+        sink.access(nuclideRegion_.element(base, 48), false);
+        sink.access(nuclideRegion_.element(base + 1, 48), false);
+    }
+}
+
+void
+XsBench::run(AccessSink &sink)
+{
+    Rng rng(config_.seed ^ 0x5EEDu);
+    for (std::uint64_t i = 0; i < config_.numLookups; ++i)
+        singleLookup(rng, sink);
+}
+
+} // namespace mosaic

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * An XSBench-style workload: the macroscopic cross-section lookup
+ * kernel of Monte Carlo neutron transport (Table 2). Each lookup
+ * binary-searches the unionized energy grid, then gathers data for
+ * every nuclide of a randomly chosen material — a mix of a hot
+ * search structure and large, scattered gather arrays.
+ */
+
+#ifndef MOSAIC_WORKLOADS_XSBENCH_HH_
+#define MOSAIC_WORKLOADS_XSBENCH_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hh"
+#include "workloads/virtual_arena.hh"
+#include "workloads/workload.hh"
+
+namespace mosaic
+{
+
+/** Parameters of the XSBench workload. */
+struct XsBenchConfig
+{
+    /** Nuclides in the simulation (XSBench "small" uses 68). */
+    unsigned numNuclides = 68;
+
+    /** Energy gridpoints per nuclide. */
+    unsigned gridpointsPerNuclide = 8192;
+
+    /** Materials; material 0 is "fuel" with many nuclides. */
+    unsigned numMaterials = 12;
+
+    /** Cross-section lookups to execute. */
+    std::uint64_t numLookups = 200'000;
+
+    std::uint64_t seed = 1;
+};
+
+/** Unionized-energy-grid cross-section lookups. */
+class XsBench : public Workload
+{
+  public:
+    explicit XsBench(const XsBenchConfig &config);
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    void run(AccessSink &sink) override;
+
+    /** Unionized grid size (numNuclides * gridpointsPerNuclide). */
+    std::uint64_t unionizedPoints() const { return unionized_; }
+
+    /** Nuclides in material m. */
+    const std::vector<std::uint32_t> &
+    material(unsigned m) const
+    {
+        return materials_.at(m);
+    }
+
+  private:
+    void singleLookup(Rng &rng, AccessSink &sink);
+
+    XsBenchConfig config_;
+    WorkloadInfo info_;
+    VirtualArena arena_;
+
+    std::uint64_t unionized_ = 0;
+
+    /** Nuclide lists per material. */
+    std::vector<std::vector<std::uint32_t>> materials_;
+
+    /** Sorted unionized energies (we only model the search shape, so
+     *  values are implicit: energy i sits at slot i). */
+    ArenaRegion egridRegion_;
+
+    /** unionized x numNuclides table of per-nuclide grid indices. */
+    ArenaRegion indexGridRegion_;
+
+    /** Per-nuclide (energy, 5 cross sections) records of 48 bytes. */
+    ArenaRegion nuclideRegion_;
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_WORKLOADS_XSBENCH_HH_

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the buddy allocator and the fragmenter: split/coalesce
+ * correctness, alignment, exhaustion, and the fragmentation index.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/buddy_allocator.hh"
+#include "mem/fragmenter.hh"
+
+namespace mosaic
+{
+namespace
+{
+
+TEST(Buddy, StartsFullyFree)
+{
+    BuddyAllocator b(1024);
+    EXPECT_EQ(b.freeFrames(), 1024u);
+    EXPECT_EQ(b.largestFreeOrder(), 9);
+    EXPECT_EQ(b.freeBlocks(9), 2u);
+    EXPECT_DOUBLE_EQ(b.fragmentationIndex(), 0.0);
+}
+
+TEST(Buddy, AllocateSplitsDown)
+{
+    BuddyAllocator b(512);
+    const auto pfn = b.allocateFrame();
+    ASSERT_TRUE(pfn.has_value());
+    EXPECT_EQ(b.freeFrames(), 511u);
+    // One block free at each order 0..8 after splitting the top.
+    for (unsigned order = 0; order < 9; ++order)
+        EXPECT_EQ(b.freeBlocks(order), 1u) << "order " << order;
+}
+
+TEST(Buddy, AllocationsAreAlignedAndDisjoint)
+{
+    BuddyAllocator b(4096);
+    std::set<Pfn> seen;
+    for (unsigned order : {0u, 3u, 9u, 5u, 0u, 9u}) {
+        const auto pfn = b.allocate(order);
+        ASSERT_TRUE(pfn.has_value());
+        EXPECT_EQ(*pfn % (Pfn{1} << order), 0u) << "order " << order;
+        for (Pfn p = *pfn; p < *pfn + (Pfn{1} << order); ++p)
+            EXPECT_TRUE(seen.insert(p).second);
+    }
+}
+
+TEST(Buddy, FreeCoalescesBackToTop)
+{
+    BuddyAllocator b(512);
+    std::vector<Pfn> frames;
+    for (int i = 0; i < 512; ++i) {
+        const auto pfn = b.allocateFrame();
+        ASSERT_TRUE(pfn.has_value());
+        frames.push_back(*pfn);
+    }
+    EXPECT_EQ(b.freeFrames(), 0u);
+    EXPECT_EQ(b.allocateFrame(), std::nullopt);
+    for (const Pfn pfn : frames)
+        b.free(pfn, 0);
+    EXPECT_EQ(b.freeFrames(), 512u);
+    EXPECT_EQ(b.freeBlocks(9), 1u);
+    EXPECT_EQ(b.largestFreeOrder(), 9);
+}
+
+TEST(Buddy, HugeAllocationFailsWhenFragmented)
+{
+    BuddyAllocator b(1024);
+    // Allocate everything as frames, free every second frame: 512
+    // free frames, none of them contiguous.
+    std::vector<Pfn> frames;
+    while (auto pfn = b.allocateFrame())
+        frames.push_back(*pfn);
+    for (std::size_t i = 0; i < frames.size(); i += 2)
+        b.free(frames[i], 0);
+    EXPECT_EQ(b.freeFrames(), 512u);
+    EXPECT_EQ(b.allocateHuge(), std::nullopt);
+    EXPECT_EQ(b.largestFreeOrder(), 0);
+    EXPECT_DOUBLE_EQ(b.fragmentationIndex(), 1.0);
+}
+
+TEST(Buddy, PartialFreeRebuildsContiguity)
+{
+    BuddyAllocator b(1024);
+    std::vector<Pfn> frames;
+    while (auto pfn = b.allocateFrame())
+        frames.push_back(*pfn);
+    // Free one aligned 512-run: exactly one huge block reappears.
+    for (Pfn pfn = 512; pfn < 1024; ++pfn)
+        b.free(pfn, 0);
+    EXPECT_EQ(b.freeBlocks(9), 1u);
+    const auto huge = b.allocateHuge();
+    ASSERT_TRUE(huge.has_value());
+    EXPECT_EQ(*huge, 512u);
+}
+
+TEST(Buddy, MixedOrderChurn)
+{
+    BuddyAllocator b(4096);
+    std::vector<std::pair<Pfn, unsigned>> live;
+    std::uint64_t state = 42;
+    auto next = [&] {
+        state = state * 6364136223846793005ull + 1;
+        return state >> 33;
+    };
+    for (int step = 0; step < 5000; ++step) {
+        if (live.empty() || next() % 2 == 0) {
+            const unsigned order = next() % 5;
+            if (const auto pfn = b.allocate(order))
+                live.emplace_back(*pfn, order);
+        } else {
+            const std::size_t i = next() % live.size();
+            b.free(live[i].first, live[i].second);
+            live[i] = live.back();
+            live.pop_back();
+        }
+    }
+    std::size_t live_frames = 0;
+    for (const auto &[pfn, order] : live)
+        live_frames += std::size_t{1} << order;
+    EXPECT_EQ(b.freeFrames(), 4096u - live_frames);
+    // Release everything: memory must fully coalesce.
+    for (const auto &[pfn, order] : live)
+        b.free(pfn, order);
+    EXPECT_EQ(b.freeBlocks(9), 4096u / 512);
+}
+
+using BuddyDeathTest = ::testing::Test;
+
+TEST(BuddyDeathTest, DoubleFreePanics)
+{
+    BuddyAllocator b(512);
+    const auto pfn = b.allocateFrame();
+    b.free(*pfn, 0);
+    EXPECT_DEATH(b.free(*pfn, 0), "double free");
+}
+
+TEST(BuddyDeathTest, MisalignedFreePanics)
+{
+    BuddyAllocator b(512);
+    (void)b.allocate(4);
+    EXPECT_DEATH(b.free(1, 4), "misaligned");
+}
+
+TEST(Fragmenter, PinsRequestedFraction)
+{
+    BuddyAllocator b(4096);
+    Rng rng(7);
+    const auto pinned = fragmentMemory(b, 0.25, rng);
+    EXPECT_EQ(pinned.size(), 1024u);
+    EXPECT_EQ(b.freeFrames(), 3072u);
+}
+
+TEST(Fragmenter, ZeroFractionRestoresPristineMemory)
+{
+    BuddyAllocator b(4096);
+    Rng rng(7);
+    const auto pinned = fragmentMemory(b, 0.0, rng);
+    EXPECT_TRUE(pinned.empty());
+    EXPECT_EQ(b.freeFrames(), 4096u);
+    EXPECT_EQ(b.freeBlocks(9), 8u);
+    EXPECT_DOUBLE_EQ(b.fragmentationIndex(), 0.0);
+}
+
+TEST(Fragmenter, ScatteredPinningDestroysContiguity)
+{
+    BuddyAllocator b(32 * 1024);
+    Rng rng(7);
+    (void)fragmentMemory(b, 0.5, rng);
+    // With half the frames pinned at random, the chance of any
+    // 512-frame run surviving is (1/2)^512 per window: none do.
+    EXPECT_EQ(b.allocateHuge(), std::nullopt);
+    EXPECT_GT(b.fragmentationIndex(), 0.99);
+}
+
+TEST(Fragmenter, LightPinningKeepsSomeContiguity)
+{
+    BuddyAllocator b(32 * 1024);
+    Rng rng(7);
+    (void)fragmentMemory(b, 0.001, rng);
+    // 32 pins over 64 huge regions: some regions survive intact.
+    EXPECT_GT(b.freeBlocks(9), 0u);
+}
+
+TEST(Fragmenter, DeterministicForSeed)
+{
+    BuddyAllocator a(4096), b(4096);
+    Rng ra(3), rb(3);
+    EXPECT_EQ(fragmentMemory(a, 0.3, ra), fragmentMemory(b, 0.3, rb));
+}
+
+} // namespace
+} // namespace mosaic

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the compaction cost planner (the defragmentation bill
+ * the paper argues against paying).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/compaction.hh"
+
+namespace mosaic
+{
+namespace
+{
+
+struct World
+{
+    std::vector<bool> pinned;
+    std::vector<bool> movable;
+};
+
+World
+emptyWorld(std::size_t frames)
+{
+    return {std::vector<bool>(frames, false),
+            std::vector<bool>(frames, false)};
+}
+
+TEST(Compaction, FreeMemoryCostsNothing)
+{
+    World w = emptyWorld(4096);
+    const CompactionPlan plan =
+        planCompaction(4096, w.pinned, w.movable, 4);
+    EXPECT_EQ(plan.regionsAchievable, 4u);
+    EXPECT_EQ(plan.pageCopies, 0u);
+    EXPECT_EQ(plan.windowsBlockedByPins, 0u);
+}
+
+TEST(Compaction, MovablePagesMustBeCopied)
+{
+    World w = emptyWorld(4096);
+    // Every window holds 100 movable pages.
+    for (std::size_t f = 0; f < 4096; ++f)
+        w.movable[f] = (f % 512) < 100;
+    const CompactionPlan plan =
+        planCompaction(4096, w.pinned, w.movable, 2);
+    EXPECT_EQ(plan.regionsAchievable, 2u);
+    EXPECT_EQ(plan.pageCopies, 200u);
+    EXPECT_EQ(plan.bytesMoved(), 200u * 4096);
+    EXPECT_EQ(plan.shootdowns(), 200u);
+}
+
+TEST(Compaction, CheapestWindowsChosenFirst)
+{
+    World w = emptyWorld(4096);
+    // Window 0: 10 movers; window 1: 500; others: 300.
+    for (std::size_t f = 0; f < 10; ++f)
+        w.movable[f] = true;
+    for (std::size_t f = 512; f < 512 + 500; ++f)
+        w.movable[f] = true;
+    for (std::size_t win = 2; win < 8; ++win)
+        for (std::size_t f = win * 512; f < win * 512 + 300; ++f)
+            w.movable[f] = true;
+    const CompactionPlan plan =
+        planCompaction(4096, w.pinned, w.movable, 1);
+    EXPECT_EQ(plan.regionsAchievable, 1u);
+    EXPECT_EQ(plan.pageCopies, 10u);
+}
+
+TEST(Compaction, PinnedPageBlocksWholeWindow)
+{
+    World w = emptyWorld(2048);
+    // One pinned page in every window: nothing can be produced.
+    for (std::size_t win = 0; win < 4; ++win)
+        w.pinned[win * 512 + 7] = true;
+    const CompactionPlan plan =
+        planCompaction(2048, w.pinned, w.movable, 1);
+    EXPECT_EQ(plan.regionsAchievable, 0u);
+    EXPECT_EQ(plan.windowsBlockedByPins, 4u);
+}
+
+TEST(Compaction, NeedsDestinationSpace)
+{
+    World w = emptyWorld(1024);
+    // Both windows nearly full of movable pages: claiming one
+    // window requires moving its pages into the other, which lacks
+    // room once the region itself is counted.
+    for (std::size_t f = 0; f < 1024; ++f)
+        w.movable[f] = (f % 512) < 500;
+    const CompactionPlan plan =
+        planCompaction(1024, w.pinned, w.movable, 2);
+    EXPECT_LT(plan.regionsAchievable, 2u);
+}
+
+TEST(Compaction, PartialAchievementReported)
+{
+    World w = emptyWorld(4096);
+    // 4 of 8 windows pinned; request 6 regions.
+    for (std::size_t win = 0; win < 4; ++win)
+        w.pinned[win * 512] = true;
+    const CompactionPlan plan =
+        planCompaction(4096, w.pinned, w.movable, 6);
+    EXPECT_EQ(plan.regionsAchievable, 4u);
+    EXPECT_EQ(plan.regionsRequested, 6u);
+}
+
+} // namespace
+} // namespace mosaic

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Integration tests for the fragmentation experiment: the paper's
+ * motivating claim that contiguity-based reach collapses as memory
+ * fragments while Mosaic's does not.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fragmentation_sim.hh"
+
+namespace mosaic
+{
+namespace
+{
+
+FragmentationOptions
+tinyOptions(double pinned)
+{
+    FragmentationOptions o;
+    o.numFrames = 8 * 1024; // 32 MiB
+    o.pinnedFraction = pinned;
+    o.pinGranularityOrder = 0; // single frames: the harshest regime
+    o.footprintFraction = 0.30;
+    o.tlbEntries = 256;
+    o.ways = 8;
+    return o;
+}
+
+TEST(Fragmentation, PristineMemoryMapsHugePages)
+{
+    const FragmentationResult r = runFragmentation(tinyOptions(0.0));
+    EXPECT_GT(r.hugeMappings, 0u);
+    EXPECT_EQ(r.hugeFallbacks, 0u);
+    EXPECT_LT(r.fragmentationIndex, 0.01);
+    // THP beats plain 4 KiB handily on pristine memory.
+    EXPECT_LT(r.missesThp, r.misses4k / 2);
+}
+
+TEST(Fragmentation, HeavyFragmentationKillsThp)
+{
+    const FragmentationResult r = runFragmentation(tinyOptions(0.5));
+    EXPECT_EQ(r.hugeMappings, 0u);
+    EXPECT_GT(r.hugeFallbacks, 0u);
+    // THP degenerates to the 4 KiB floor (within 5 %).
+    EXPECT_GT(r.missesThp, r.misses4k * 95 / 100);
+}
+
+TEST(Fragmentation, CoarsePinningSparesColt)
+{
+    // 256 KiB pinned chunks leave 8-frame runs everywhere: CoLT
+    // keeps (nearly) full coverage even though THP is dead.
+    FragmentationOptions o = tinyOptions(0.5);
+    o.pinGranularityOrder = 6;
+    const FragmentationResult r = runFragmentation(o);
+    EXPECT_EQ(r.hugeMappings, 0u);
+    EXPECT_GT(r.coltCoverage, 6.0);
+    EXPECT_LT(r.missesColt, r.misses4k / 2);
+}
+
+TEST(Fragmentation, MosaicIsInsensitiveToFragmentation)
+{
+    const FragmentationResult pristine =
+        runFragmentation(tinyOptions(0.0));
+    const FragmentationResult fragged =
+        runFragmentation(tinyOptions(0.5));
+    // Mosaic's misses move by at most a few percent (placement
+    // noise), not by the collapse THP shows.
+    const double ratio = static_cast<double>(fragged.missesMosaic) /
+                         static_cast<double>(pristine.missesMosaic);
+    EXPECT_LT(ratio, 1.10);
+    EXPECT_GT(ratio, 0.90);
+}
+
+TEST(Fragmentation, ColtCoverageShrinksWithFragmentation)
+{
+    const FragmentationResult pristine =
+        runFragmentation(tinyOptions(0.0));
+    const FragmentationResult fragged =
+        runFragmentation(tinyOptions(0.5));
+    // On pristine memory sequential buddy handouts give CoLT real
+    // runs to harvest; scattered free frames leave nothing.
+    EXPECT_GT(pristine.coltCoverage, fragged.coltCoverage);
+    EXPECT_LT(fragged.coltCoverage, 2.0);
+}
+
+TEST(Fragmentation, MosaicBeatsEveryBaselineWhenFragmented)
+{
+    const FragmentationResult r = runFragmentation(tinyOptions(0.5));
+    EXPECT_LT(r.missesMosaic, r.misses4k);
+    EXPECT_LT(r.missesMosaic, r.missesThp);
+    EXPECT_LT(r.missesMosaic, r.missesColt);
+}
+
+TEST(Fragmentation, AccessCountsConsistent)
+{
+    const FragmentationResult r = runFragmentation(tinyOptions(0.2));
+    EXPECT_GT(r.accesses, 0u);
+    EXPECT_LE(r.misses4k, r.accesses);
+    EXPECT_LE(r.missesMosaic, r.accesses);
+}
+
+using FragmentationDeathTest = ::testing::Test;
+
+TEST(FragmentationDeathTest, RejectsOverfullConfiguration)
+{
+    FragmentationOptions o = tinyOptions(0.7);
+    o.footprintFraction = 0.4;
+    EXPECT_DEATH((void)runFragmentation(o), "headroom");
+}
+
+} // namespace
+} // namespace mosaic

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit and property tests for src/hash: xxHash64 against published
+ * test vectors, tabulation hashing determinism and distribution, and
+ * the probed multi-output scheme of paper §3.1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "hash/mix.hh"
+#include "hash/tabulation.hh"
+#include "hash/xxhash64.hh"
+
+namespace mosaic
+{
+namespace
+{
+
+// Published XXH64 test vectors (xxHash reference implementation).
+TEST(XxHash64, EmptyInput)
+{
+    EXPECT_EQ(xxhash64(nullptr, 0, 0), 0xEF46DB3751D8E999ull);
+}
+
+TEST(XxHash64, SingleByte)
+{
+    const char a = 'a';
+    EXPECT_EQ(xxhash64(&a, 1, 0), 0xD24EC4F1A98C6E5Bull);
+}
+
+TEST(XxHash64, Abc)
+{
+    EXPECT_EQ(xxhash64("abc", 3, 0), 0x44BC2CF5AD770999ull);
+}
+
+TEST(XxHash64, SeedChangesOutput)
+{
+    EXPECT_NE(xxhash64("abc", 3, 0), xxhash64("abc", 3, 1));
+}
+
+TEST(XxHash64, LongInputsExerciseStripeLoop)
+{
+    std::vector<unsigned char> buf(1000);
+    for (std::size_t i = 0; i < buf.size(); ++i)
+        buf[i] = static_cast<unsigned char>(i * 31 + 7);
+    const auto h1 = xxhash64(buf.data(), buf.size(), 0);
+    const auto h2 = xxhash64(buf.data(), buf.size(), 0);
+    EXPECT_EQ(h1, h2);
+    buf[500] ^= 1;
+    EXPECT_NE(xxhash64(buf.data(), buf.size(), 0), h1);
+}
+
+TEST(XxHash64, AllTailLengthsDiffer)
+{
+    // Lengths 0..64 walk every remainder path (8/4/1-byte tails).
+    std::vector<unsigned char> buf(64, 0xAB);
+    std::map<std::uint64_t, std::size_t> seen;
+    for (std::size_t len = 0; len <= buf.size(); ++len) {
+        const auto h = xxhash64(buf.data(), len, 0);
+        EXPECT_FALSE(seen.contains(h)) << "collision at len " << len
+                                       << " with " << seen[h];
+        seen[h] = len;
+    }
+}
+
+TEST(XxHash64, WordOverloadMatchesBuffer)
+{
+    const std::uint64_t w = 0x0123456789ABCDEFull;
+    EXPECT_EQ(xxhash64(w, 42), xxhash64(&w, sizeof(w), 42));
+}
+
+TEST(Tabulation, DeterministicAcrossInstances)
+{
+    TabulationHash a(99), b(99);
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        EXPECT_EQ(a.hash(k * 7919), b.hash(k * 7919));
+}
+
+TEST(Tabulation, SeedsProduceDifferentFunctions)
+{
+    TabulationHash a(1), b(2);
+    int same = 0;
+    for (std::uint64_t k = 0; k < 256; ++k)
+        same += (a.hash(k) == b.hash(k)) ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Tabulation, HashManyMatchesIndividualProbes)
+{
+    TabulationHash h(5);
+    std::array<std::uint32_t, 7> out;
+    for (std::uint64_t key : {0ull, 1ull, 42ull, 0xDEADBEEFull,
+                              ~0ull}) {
+        h.hashMany(key, out);
+        for (unsigned k = 0; k < out.size(); ++k)
+            EXPECT_EQ(out[k], h.hash(key, k)) << "key " << key
+                                              << " probe " << k;
+    }
+}
+
+TEST(Tabulation, ProbedOutputsAreDistinct)
+{
+    TabulationHash h(5);
+    std::array<std::uint32_t, 7> out;
+    h.hashMany(0x123456789ABCDEFull, out);
+    for (unsigned i = 0; i < out.size(); ++i)
+        for (unsigned j = i + 1; j < out.size(); ++j)
+            EXPECT_NE(out[i], out[j]);
+}
+
+TEST(Tabulation, SingleByteChangesOutput)
+{
+    TabulationHash h(5);
+    const std::uint64_t base = 0x1122334455667788ull;
+    for (unsigned byte = 0; byte < 8; ++byte) {
+        const std::uint64_t flipped =
+            base ^ (std::uint64_t{0xFF} << (8 * byte));
+        EXPECT_NE(h.hash(base), h.hash(flipped)) << "byte " << byte;
+    }
+}
+
+TEST(Tabulation, BucketBalanceOverSequentialKeys)
+{
+    // Sequential VPNs (the common allocation pattern) must spread
+    // evenly over buckets — the property page placement relies on.
+    TabulationHash h(7);
+    constexpr unsigned buckets = 64;
+    std::array<unsigned, buckets> counts{};
+    constexpr unsigned n = 64000;
+    for (std::uint64_t k = 0; k < n; ++k)
+        ++counts[h.hash(k) % buckets];
+    const double expected = double{n} / buckets;
+    for (unsigned b = 0; b < buckets; ++b) {
+        EXPECT_GT(counts[b], expected * 0.8);
+        EXPECT_LT(counts[b], expected * 1.2);
+    }
+}
+
+TEST(Tabulation, ProbeBalanceOverSequentialKeys)
+{
+    // The probed secondary outputs must stay balanced too.
+    TabulationHash h(7);
+    constexpr unsigned buckets = 64;
+    for (unsigned probe = 1; probe <= 6; ++probe) {
+        std::array<unsigned, buckets> counts{};
+        constexpr unsigned n = 32000;
+        for (std::uint64_t k = 0; k < n; ++k)
+            ++counts[h.hash(k, probe) % buckets];
+        const double expected = double{n} / buckets;
+        for (unsigned b = 0; b < buckets; ++b) {
+            EXPECT_GT(counts[b], expected * 0.75) << "probe " << probe;
+            EXPECT_LT(counts[b], expected * 1.25) << "probe " << probe;
+        }
+    }
+}
+
+TEST(Tabulation, TableEntryExposesRom)
+{
+    TabulationHash h(11);
+    // hash(key) of a one-byte key equals the XOR of each table's
+    // entry at that byte (byte 0 = key, others = 0).
+    const std::uint64_t key = 0xA5;
+    std::uint32_t expected = h.tableEntry(0, 0xA5);
+    for (unsigned t = 1; t < TabulationHash::numTables; ++t)
+        expected ^= h.tableEntry(t, 0);
+    EXPECT_EQ(h.hash(key), expected);
+}
+
+TEST(Mix, Mix64IsBijectiveOnSamples)
+{
+    // fmix64 is invertible; distinct inputs must map to distinct
+    // outputs (spot check) and zero must not be a fixed point class.
+    std::map<std::uint64_t, std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 10000; ++i) {
+        const auto v = mix64(i);
+        EXPECT_FALSE(seen.contains(v));
+        seen[v] = i;
+    }
+}
+
+TEST(Mix, WeakHashIsCorrelatedAcrossProbes)
+{
+    // Documents *why* the weak hash is unsuitable: probe outputs are
+    // translates of each other, so the d "choices" collapse.
+    const std::uint64_t k = 1234567;
+    const std::uint64_t delta =
+        weakMultiplicativeHash(k, 1) - weakMultiplicativeHash(k, 0);
+    const std::uint64_t delta2 =
+        weakMultiplicativeHash(k, 2) - weakMultiplicativeHash(k, 1);
+    EXPECT_EQ(delta, delta2);
+}
+
+} // namespace
+} // namespace mosaic

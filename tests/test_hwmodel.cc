@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for the hardware cost model (Table 5, §4.4) and the Verilog
+ * generator: calibration-point fidelity, scaling behaviour, and RTL
+ * structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "hwmodel/circuit_model.hh"
+#include "hwmodel/verilog_gen.hh"
+#include "util/random.hh"
+
+namespace mosaic
+{
+namespace
+{
+
+CircuitParams
+paperParams(unsigned h)
+{
+    CircuitParams p;
+    p.inputBytes = 8;
+    p.outputBits = 32;
+    p.numHashes = h;
+    return p;
+}
+
+TEST(CircuitModel, Table5CalibrationPointsExact)
+{
+    struct Expected
+    {
+        unsigned h;
+        std::uint64_t luts, regs, f7, f8;
+    };
+    const Expected table5[] = {
+        {1, 858, 32, 0, 0},
+        {2, 1696, 32, 32, 0},
+        {4, 3392, 32, 64, 32},
+        {8, 6208, 32, 2880, 160},
+    };
+    for (const auto &e : table5) {
+        const FpgaCost c = TabulationCircuitModel(paperParams(e.h)).fpga();
+        EXPECT_EQ(c.luts, e.luts) << "H=" << e.h;
+        EXPECT_EQ(c.registers, e.regs) << "H=" << e.h;
+        EXPECT_EQ(c.f7Muxes, e.f7) << "H=" << e.h;
+        EXPECT_EQ(c.f8Muxes, e.f8) << "H=" << e.h;
+        EXPECT_DOUBLE_EQ(c.latencyNs, 2.155) << "H=" << e.h;
+    }
+}
+
+TEST(CircuitModel, LatencyFlatInHashCount)
+{
+    // Table 5's key result: more hash outputs do not slow the
+    // circuit (probing shares the tables).
+    const double l1 =
+        TabulationCircuitModel(paperParams(1)).fpga().latencyNs;
+    const double l8 =
+        TabulationCircuitModel(paperParams(8)).fpga().latencyNs;
+    EXPECT_DOUBLE_EQ(l1, l8);
+}
+
+TEST(CircuitModel, FpgaFrequencyAround464Mhz)
+{
+    const FpgaCost c = TabulationCircuitModel(paperParams(4)).fpga();
+    EXPECT_NEAR(c.maxFrequencyMhz(), 464.0, 1.0);
+}
+
+TEST(CircuitModel, LutsGrowWithHashes)
+{
+    std::uint64_t prev = 0;
+    for (unsigned h : {1u, 2u, 4u, 8u}) {
+        const auto c = TabulationCircuitModel(paperParams(h)).fpga();
+        EXPECT_GT(c.luts, prev);
+        prev = c.luts;
+    }
+}
+
+TEST(CircuitModel, StructuralEstimateForNonPaperConfigs)
+{
+    // A 5-table (36-bit VPN) variant: not a calibration point, must
+    // still produce sane, monotonic numbers.
+    CircuitParams p;
+    p.inputBytes = 5;
+    p.outputBits = 32;
+    p.numHashes = 7; // Mosaic's 1 + d
+    const FpgaCost c = TabulationCircuitModel(p).fpga();
+    EXPECT_GT(c.luts, 0u);
+    EXPECT_EQ(c.registers, 32u);
+    CircuitParams bigger = p;
+    bigger.inputBytes = 8;
+    EXPECT_GT(TabulationCircuitModel(bigger).fpga().luts, c.luts);
+}
+
+TEST(CircuitModel, AsicMatchesPaperProse)
+{
+    const AsicCost c = TabulationCircuitModel(paperParams(8)).asic();
+    EXPECT_DOUBLE_EQ(c.latencyPs, 220.0);
+    EXPECT_NEAR(c.maxFrequencyGhz(), 4.545, 0.1);
+    EXPECT_NEAR(c.areaKge, 13.806, 1e-9);
+}
+
+TEST(CircuitModel, AsicAreaGrowsMinimallyWithHashes)
+{
+    const double a1 = TabulationCircuitModel(paperParams(1)).asic().areaKge;
+    const double a8 = TabulationCircuitModel(paperParams(8)).asic().areaKge;
+    EXPECT_GT(a8, a1);
+    // "Minimal" growth: well under 2x for 8x the outputs.
+    EXPECT_LT(a8, a1 * 1.5);
+}
+
+TEST(CircuitModel, AsicLatencyMeets4GHz)
+{
+    const AsicCost c = TabulationCircuitModel(paperParams(8)).asic();
+    EXPECT_LE(c.latencyPs, 250.0); // fits a 4 GHz cycle
+}
+
+using CircuitModelDeathTest = ::testing::Test;
+
+TEST(CircuitModelDeathTest, RejectsBadParams)
+{
+    CircuitParams p;
+    p.inputBytes = 0;
+    EXPECT_DEATH(TabulationCircuitModel{p}, "inputBytes");
+    CircuitParams q;
+    q.numHashes = 0;
+    EXPECT_DEATH(TabulationCircuitModel{q}, "hash output");
+}
+
+TEST(VerilogGen, ContainsModuleAndTables)
+{
+    const TabulationHash hash(123);
+    VerilogOptions opt;
+    opt.numHashes = 7;
+    const std::string v = generateVerilog(hash, opt);
+    EXPECT_NE(v.find("module tabulation_hash"), std::string::npos);
+    EXPECT_NE(v.find("endmodule"), std::string::npos);
+    // All 8 tables present.
+    for (unsigned t = 0; t < 8; ++t) {
+        EXPECT_NE(v.find("function [31:0] table" + std::to_string(t)),
+                  std::string::npos);
+    }
+    // All 7 probed outputs.
+    for (unsigned k = 0; k < 7; ++k) {
+        EXPECT_NE(v.find("wire [31:0] h" + std::to_string(k)),
+                  std::string::npos);
+    }
+}
+
+TEST(VerilogGen, EmbedsActualTableContents)
+{
+    const TabulationHash hash(123);
+    VerilogOptions opt;
+    opt.numHashes = 1;
+    const std::string v = generateVerilog(hash, opt);
+    // Spot-check a table constant appears in hex.
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%08x", hash.tableEntry(0, 0));
+    EXPECT_NE(v.find(std::string("32'h") + buf), std::string::npos);
+}
+
+TEST(VerilogGen, CaseCountMatchesTableEntries)
+{
+    const TabulationHash hash(7);
+    VerilogOptions opt;
+    opt.numHashes = 2;
+    const std::string v = generateVerilog(hash, opt);
+    std::size_t cases = 0, pos = 0;
+    while ((pos = v.find("8'd", pos)) != std::string::npos) {
+        ++cases;
+        pos += 3;
+    }
+    // 8 tables x 256 case labels + 8 x numHashes probe offsets.
+    EXPECT_EQ(cases, 8u * 256 + 8u * 2);
+}
+
+TEST(VerilogGen, TestbenchContainsVectorsAndChecker)
+{
+    const TabulationHash hash(5);
+    VerilogOptions opt;
+    opt.numHashes = 7;
+    const std::string tb = generateTestbench(hash, opt, 16, 3);
+    EXPECT_NE(tb.find("module tabulation_hash_tb"), std::string::npos);
+    EXPECT_NE(tb.find("task check"), std::string::npos);
+    EXPECT_NE(tb.find("$finish"), std::string::npos);
+    // 16 vectors emitted.
+    std::size_t count = 0, pos = 0;
+    while ((pos = tb.find("        check(", pos)) != std::string::npos) {
+        ++count;
+        pos += 10;
+    }
+    EXPECT_EQ(count, 16u);
+}
+
+TEST(VerilogGen, TestbenchExpectedValuesMatchModel)
+{
+    // The first vector's expected value must equal the C++ hash of
+    // the first vector's key at its sel — regenerate the same RNG
+    // stream and cross-check the emitted hex.
+    const TabulationHash hash(5);
+    VerilogOptions opt;
+    opt.numHashes = 4;
+    const std::string tb = generateTestbench(hash, opt, 1, 77);
+
+    Rng rng(77);
+    const std::uint64_t key = rng();
+    const unsigned sel = static_cast<unsigned>(rng.below(4));
+    char expected[16];
+    std::snprintf(expected, sizeof(expected), "32'h%08x",
+                  hash.hash(key, sel));
+    EXPECT_NE(tb.find(expected), std::string::npos);
+}
+
+TEST(VerilogGen, RegisteredOptionControlsAlwaysBlock)
+{
+    const TabulationHash hash(7);
+    VerilogOptions reg;
+    reg.registered = true;
+    VerilogOptions comb;
+    comb.registered = false;
+    EXPECT_NE(generateVerilog(hash, reg).find("always @(posedge clk)"),
+              std::string::npos);
+    EXPECT_EQ(generateVerilog(hash, comb).find("always @(posedge clk)"),
+              std::string::npos);
+    EXPECT_NE(generateVerilog(hash, comb).find("assign hash_out"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace mosaic

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the Zipf sampler and the KV-store workload engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/zipf.hh"
+#include "workloads/access_sink.hh"
+#include "workloads/factory.hh"
+#include "workloads/kvstore.hh"
+
+namespace mosaic
+{
+namespace
+{
+
+TEST(Zipf, SamplesStayInRange)
+{
+    ZipfSampler zipf(1000, 0.99);
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(zipf.sample(rng), 1000u);
+}
+
+TEST(Zipf, RankZeroIsMostPopular)
+{
+    ZipfSampler zipf(10000, 0.99);
+    Rng rng(2);
+    std::vector<unsigned> counts(10, 0);
+    constexpr int draws = 100000;
+    for (int i = 0; i < draws; ++i) {
+        const auto rank = zipf.sample(rng);
+        if (rank < counts.size())
+            ++counts[rank];
+    }
+    // Monotone-ish head, and rank 0 roughly theta-consistent: for
+    // theta = 0.99 over 10k items, p(0) ~ 1/zeta ~ 9-11 %.
+    EXPECT_GT(counts[0], counts[1]);
+    EXPECT_GT(counts[1], counts[4]);
+    EXPECT_GT(counts[0], draws * 6 / 100);
+    EXPECT_LT(counts[0], draws * 16 / 100);
+}
+
+TEST(Zipf, SkewConcentratesMass)
+{
+    ZipfSampler zipf(100000, 0.99);
+    Rng rng(3);
+    std::uint64_t head = 0;
+    constexpr int draws = 50000;
+    for (int i = 0; i < draws; ++i)
+        head += zipf.sample(rng) < 1000 ? 1 : 0; // top 1 %
+    // YCSB-like skew: the top 1 % draws the majority of traffic.
+    EXPECT_GT(head, draws / 2u);
+}
+
+TEST(Zipf, SingleItem)
+{
+    ZipfSampler zipf(1, 0.5);
+    Rng rng(4);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+KvStoreConfig
+tinyStore()
+{
+    KvStoreConfig c;
+    c.numKeys = 50'000;
+    c.numOps = 5'000;
+    return c;
+}
+
+TEST(KvStore, GetFindsLoadedKeysOnly)
+{
+    KvStore store(tinyStore());
+    CountingSink sink;
+    EXPECT_TRUE(store.get(0, sink));
+    EXPECT_TRUE(store.get(49'999, sink));
+    EXPECT_FALSE(store.get(50'000, sink));
+    EXPECT_FALSE(store.get(99'999'999, sink));
+}
+
+TEST(KvStore, GetTouchesIndexThenValue)
+{
+    KvStore store(tinyStore());
+    VectorSink sink;
+    ASSERT_TRUE(store.get(7, sink));
+    // At least one index probe plus 256/64 = 4 value lines.
+    ASSERT_GE(sink.trace().size(), 5u);
+    // Value accesses are reads of 4 consecutive lines.
+    const std::size_t n = sink.trace().size();
+    for (std::size_t i = n - 4; i + 1 < n; ++i) {
+        EXPECT_EQ(sink.trace()[i + 1].vaddr - sink.trace()[i].vaddr,
+                  64u);
+        EXPECT_FALSE(sink.trace()[i].write);
+    }
+}
+
+TEST(KvStore, SetWritesValue)
+{
+    KvStore store(tinyStore());
+    VectorSink sink;
+    store.set(3, sink);
+    EXPECT_TRUE(sink.trace().back().write);
+}
+
+TEST(KvStore, RunIsDeterministic)
+{
+    KvStore a(tinyStore()), b(tinyStore());
+    VectorSink sa, sb;
+    a.run(sa);
+    b.run(sb);
+    ASSERT_EQ(sa.trace().size(), sb.trace().size());
+    EXPECT_EQ(sa.trace().back().vaddr, sb.trace().back().vaddr);
+}
+
+TEST(KvStore, ProbeLengthsModestAtConfiguredLoad)
+{
+    KvStoreConfig c = tinyStore();
+    KvStore store(c);
+    CountingSink sink;
+    store.run(sink);
+    // Linear probing at 2/3 load: expected probe length ~2.
+    EXPECT_GT(store.meanProbeLength(), 1.0);
+    EXPECT_LT(store.meanProbeLength(), 4.0);
+}
+
+TEST(KvStore, LoadPhaseCoversValues)
+{
+    KvStoreConfig c = tinyStore();
+    c.includeLoadPhase = true;
+    c.numOps = 10;
+    KvStore store(c);
+    class PageSink : public AccessSink
+    {
+      public:
+        void
+        access(Addr vaddr, bool) override
+        {
+            pages.insert(vpnOf(vaddr));
+        }
+        std::set<Vpn> pages;
+    } sink;
+    store.run(sink);
+    const double covered = static_cast<double>(sink.pages.size()) *
+                           pageSize /
+                           static_cast<double>(
+                               store.info().footprintBytes);
+    EXPECT_GT(covered, 0.95);
+}
+
+TEST(KvStore, FactoryIntegration)
+{
+    EXPECT_EQ(workloadName(WorkloadKind::KvStore), "KVStore");
+    const auto w = makeFig6Workload(WorkloadKind::KvStore, 0.1);
+    EXPECT_EQ(w->info().name, "kvstore");
+    CountingSink sink;
+    w->run(sink);
+    EXPECT_GT(sink.accesses(), 0u);
+
+    const auto f = makeFootprintWorkload(WorkloadKind::KvStore,
+                                         std::uint64_t{32} << 20);
+    const double ratio =
+        static_cast<double>(f->info().footprintBytes) /
+        static_cast<double>(std::uint64_t{32} << 20);
+    EXPECT_GT(ratio, 0.93);
+    EXPECT_LT(ratio, 1.07);
+}
+
+} // namespace
+} // namespace mosaic

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the intrusive LRU list used by the baseline VM.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "os/lru_list.hh"
+
+namespace mosaic
+{
+namespace
+{
+
+TEST(LruList, StartsEmpty)
+{
+    LruList l(8);
+    EXPECT_TRUE(l.empty());
+    EXPECT_EQ(l.size(), 0u);
+    EXPECT_FALSE(l.contains(0));
+}
+
+TEST(LruList, FifoWithoutTouches)
+{
+    LruList l(8);
+    l.pushBack(3);
+    l.pushBack(1);
+    l.pushBack(5);
+    EXPECT_EQ(l.size(), 3u);
+    EXPECT_EQ(l.popFront(), 3u);
+    EXPECT_EQ(l.popFront(), 1u);
+    EXPECT_EQ(l.popFront(), 5u);
+    EXPECT_TRUE(l.empty());
+}
+
+TEST(LruList, TouchMovesToBack)
+{
+    LruList l(8);
+    l.pushBack(0);
+    l.pushBack(1);
+    l.pushBack(2);
+    l.touch(0);
+    EXPECT_EQ(l.popFront(), 1u);
+    EXPECT_EQ(l.popFront(), 2u);
+    EXPECT_EQ(l.popFront(), 0u);
+}
+
+TEST(LruList, TouchTailIsNoop)
+{
+    LruList l(8);
+    l.pushBack(0);
+    l.pushBack(1);
+    l.touch(1);
+    EXPECT_EQ(l.popFront(), 0u);
+    EXPECT_EQ(l.popFront(), 1u);
+}
+
+TEST(LruList, RemoveMiddle)
+{
+    LruList l(8);
+    l.pushBack(0);
+    l.pushBack(1);
+    l.pushBack(2);
+    l.remove(1);
+    EXPECT_FALSE(l.contains(1));
+    EXPECT_EQ(l.size(), 2u);
+    EXPECT_EQ(l.popFront(), 0u);
+    EXPECT_EQ(l.popFront(), 2u);
+}
+
+TEST(LruList, RemoveHeadAndTail)
+{
+    LruList l(8);
+    l.pushBack(0);
+    l.pushBack(1);
+    l.pushBack(2);
+    l.remove(0);
+    l.remove(2);
+    EXPECT_EQ(l.front(), 1u);
+    l.remove(1);
+    EXPECT_TRUE(l.empty());
+}
+
+TEST(LruList, ReinsertAfterRemove)
+{
+    LruList l(4);
+    l.pushBack(2);
+    l.remove(2);
+    l.pushBack(2);
+    EXPECT_TRUE(l.contains(2));
+    EXPECT_EQ(l.popFront(), 2u);
+}
+
+TEST(LruList, SingleElementLifecycle)
+{
+    LruList l(2);
+    l.pushBack(1);
+    l.touch(1);
+    EXPECT_EQ(l.front(), 1u);
+    EXPECT_EQ(l.popFront(), 1u);
+    EXPECT_TRUE(l.empty());
+}
+
+TEST(LruList, StressAgainstReferenceModel)
+{
+    LruList l(64);
+    std::vector<Pfn> model;
+    std::uint64_t state = 12345;
+    auto next = [&] {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return state >> 33;
+    };
+    for (int step = 0; step < 20000; ++step) {
+        const Pfn pfn = next() % 64;
+        const auto it = std::find(model.begin(), model.end(), pfn);
+        switch (next() % 3) {
+          case 0: // push or touch
+            if (it == model.end()) {
+                l.pushBack(pfn);
+                model.push_back(pfn);
+            } else {
+                l.touch(pfn);
+                model.erase(it);
+                model.push_back(pfn);
+            }
+            break;
+          case 1: // remove if present
+            if (it != model.end()) {
+                l.remove(pfn);
+                model.erase(it);
+            }
+            break;
+          case 2: // pop front
+            if (!model.empty()) {
+                ASSERT_EQ(l.popFront(), model.front());
+                model.erase(model.begin());
+            }
+            break;
+        }
+        ASSERT_EQ(l.size(), model.size());
+        if (!model.empty()) {
+            ASSERT_EQ(l.front(), model.front());
+        }
+    }
+}
+
+using LruListDeathTest = ::testing::Test;
+
+TEST(LruListDeathTest, DoublePushPanics)
+{
+    LruList l(4);
+    l.pushBack(1);
+    EXPECT_DEATH(l.pushBack(1), "already linked");
+}
+
+TEST(LruListDeathTest, RemoveUnlinkedPanics)
+{
+    LruList l(4);
+    EXPECT_DEATH(l.remove(1), "unlinked");
+}
+
+TEST(LruListDeathTest, FrontOfEmptyPanics)
+{
+    LruList l(4);
+    EXPECT_DEATH((void)l.front(), "empty");
+}
+
+} // namespace
+} // namespace mosaic

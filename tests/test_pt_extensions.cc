@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the page-table extensions: the MMU walk cache (§5.4)
+ * and the hashed mosaic page table (§5.5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "pt/hashed_page_table.hh"
+#include "pt/walk_cache.hh"
+
+namespace mosaic
+{
+namespace
+{
+
+TEST(WalkCache, ColdLookupSkipsNothing)
+{
+    WalkCache cache(16);
+    EXPECT_EQ(cache.skippableLevels(1, 0x12345, 4), 0u);
+    EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(WalkCache, FilledPrefixSkipsUpperLevels)
+{
+    WalkCache cache(16);
+    cache.fill(1, 0x12345, 4);
+    // A repeat walk of the same key skips to the deepest cached
+    // prefix: levels 1..3 cached, leaf remains.
+    EXPECT_EQ(cache.skippableLevels(1, 0x12345, 4), 3u);
+}
+
+TEST(WalkCache, NearbyKeysShareUpperPrefixes)
+{
+    WalkCache cache(16);
+    cache.fill(1, 0x12345, 4);
+    // A key in the same leaf node (same top 3 levels) also skips 3.
+    EXPECT_EQ(cache.skippableLevels(1, 0x12346, 4), 3u);
+    // A key sharing only the top level skips less.
+    const std::uint64_t far_key = 0x12345 ^ (0x1ull << 18);
+    const unsigned skipped = cache.skippableLevels(1, far_key, 4);
+    EXPECT_LT(skipped, 3u);
+}
+
+TEST(WalkCache, AsidsAreIsolated)
+{
+    WalkCache cache(16);
+    cache.fill(1, 0x777, 4);
+    EXPECT_EQ(cache.skippableLevels(2, 0x777, 4), 0u);
+}
+
+TEST(WalkCache, LruEvictionUnderPressure)
+{
+    WalkCache cache(4);
+    // Fill many distinct upper prefixes: old ones fall out.
+    for (std::uint64_t key = 0; key < 64; ++key)
+        cache.fill(1, key << 27, 4);
+    EXPECT_EQ(cache.skippableLevels(1, 0, 4), 0u);
+    EXPECT_GT(cache.skippableLevels(1, 63ull << 27, 4), 0u);
+}
+
+TEST(WalkCache, SingleLevelWalkNeverSkips)
+{
+    WalkCache cache(16);
+    cache.fill(1, 5, 1);
+    EXPECT_EQ(cache.skippableLevels(1, 5, 1), 0u);
+}
+
+TEST(HashedPt, SetWalkClear)
+{
+    HashedMosaicPageTable pt(4, 0x7F, 64);
+    EXPECT_FALSE(pt.walk(1, 10).present);
+    pt.setCpfn(1, 10, 33);
+    const MosaicWalkResult walk = pt.walk(1, 10);
+    EXPECT_TRUE(walk.present);
+    EXPECT_EQ(walk.cpfn, 33);
+    EXPECT_EQ(pt.mappedPages(), 1u);
+    pt.clearCpfn(1, 10);
+    EXPECT_FALSE(pt.walk(1, 10).present);
+    EXPECT_EQ(pt.mappedPages(), 0u);
+}
+
+TEST(HashedPt, WalkReturnsWholeToc)
+{
+    HashedMosaicPageTable pt(4, 0x7F, 64);
+    pt.setCpfn(1, 8, 1);
+    pt.setCpfn(1, 11, 4);
+    const MosaicWalkResult walk = pt.walk(1, 9);
+    EXPECT_FALSE(walk.present);
+    ASSERT_EQ(walk.toc.size(), 4u);
+    EXPECT_EQ(walk.toc[0], 1);
+    EXPECT_EQ(walk.toc[3], 4);
+}
+
+TEST(HashedPt, SingleReferenceWalkAtLowLoad)
+{
+    HashedMosaicPageTable pt(4, 0x7F, 4096);
+    for (Vpn vpn = 0; vpn < 400; vpn += 4)
+        pt.setCpfn(1, vpn, 7);
+    // Well below bucketEntries per bucket: one node per walk.
+    for (Vpn vpn = 0; vpn < 400; vpn += 4)
+        EXPECT_EQ(pt.walk(1, vpn).memRefs, 1u) << vpn;
+    EXPECT_EQ(pt.maxChainLength(), 1u);
+}
+
+TEST(HashedPt, ChainsGrowUnderOverload)
+{
+    // 8 buckets x 4 entries = 32 inline slots; store 200 ToCs.
+    HashedMosaicPageTable pt(4, 0x7F, 8);
+    for (Vpn vpn = 0; vpn < 800; vpn += 4)
+        pt.setCpfn(1, vpn, 7);
+    EXPECT_EQ(pt.storedTocs(), 200u);
+    EXPECT_GT(pt.maxChainLength(), 2u);
+    // Everything still findable, at a chain-walk cost.
+    unsigned long long total_refs = 0;
+    for (Vpn vpn = 0; vpn < 800; vpn += 4) {
+        const MosaicWalkResult walk = pt.walk(1, vpn);
+        EXPECT_TRUE(walk.present);
+        total_refs += walk.memRefs;
+    }
+    EXPECT_GT(total_refs, 200u); // some walks cost > 1 node
+}
+
+TEST(HashedPt, AsidsAreIsolated)
+{
+    HashedMosaicPageTable pt(4, 0x7F, 64);
+    pt.setCpfn(1, 0, 5);
+    EXPECT_FALSE(pt.walk(2, 0).present);
+    pt.setCpfn(2, 0, 9);
+    EXPECT_EQ(pt.walk(1, 0).cpfn, 5);
+    EXPECT_EQ(pt.walk(2, 0).cpfn, 9);
+}
+
+TEST(HashedPt, AgreesWithRadixPageTable)
+{
+    // Differential test: the hashed and radix page tables must
+    // expose identical mappings under a random op sequence.
+    HashedMosaicPageTable hashed(8, 0x7F, 128);
+    MosaicPageTable radix(8, 0x7F);
+    std::uint64_t state = 99;
+    auto next = [&] {
+        state = state * 6364136223846793005ull + 1;
+        return state >> 33;
+    };
+    for (int i = 0; i < 20000; ++i) {
+        const Vpn vpn = next() % 4096;
+        if (next() % 3 != 0) {
+            const Cpfn cpfn = static_cast<Cpfn>(next() % 104);
+            hashed.setCpfn(1, vpn, cpfn);
+            radix.setCpfn(vpn, cpfn);
+        } else {
+            hashed.clearCpfn(1, vpn);
+            radix.clearCpfn(vpn);
+        }
+    }
+    EXPECT_EQ(hashed.mappedPages(), radix.mappedPages());
+    for (Vpn vpn = 0; vpn < 4096; ++vpn) {
+        const MosaicWalkResult hw = hashed.walk(1, vpn);
+        const MosaicWalkResult rw = radix.walk(vpn);
+        ASSERT_EQ(hw.present, rw.present) << vpn;
+        if (hw.present) {
+            EXPECT_EQ(hw.cpfn, rw.cpfn) << vpn;
+        }
+    }
+}
+
+using HashedPtDeathTest = ::testing::Test;
+
+TEST(HashedPtDeathTest, BadArityPanics)
+{
+    EXPECT_DEATH(HashedMosaicPageTable(3, 0x7F), "power of two");
+}
+
+} // namespace
+} // namespace mosaic

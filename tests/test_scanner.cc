@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the access-bit scanning daemon (§3.2): classification,
+ * timestamp estimation, invalidation accounting, and the sampling
+ * policy's cost/accuracy trade-off.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/access_bit_scanner.hh"
+
+namespace mosaic
+{
+namespace
+{
+
+ScannerConfig
+config(std::size_t pages, ScanPolicy policy)
+{
+    ScannerConfig c;
+    c.numPages = pages;
+    c.policy = policy;
+    return c;
+}
+
+TEST(Scanner, ClearAllObservesExactly)
+{
+    AccessBitScanner s(config(4, ScanPolicy::ClearAll));
+    s.recordAccess(1);
+    s.recordAccess(3);
+    EXPECT_EQ(s.scan(100), 2u);
+    EXPECT_EQ(s.estimatedLastAccess(1), 100u);
+    EXPECT_EQ(s.estimatedLastAccess(3), 100u);
+    EXPECT_EQ(s.estimatedLastAccess(0), 0u);
+    // Bits were cleared: a scan with no new accesses clears nothing.
+    EXPECT_EQ(s.scan(200), 0u);
+    EXPECT_EQ(s.estimatedLastAccess(1), 100u);
+}
+
+TEST(Scanner, HistoryClassifiesHotPages)
+{
+    AccessBitScanner s(config(2, ScanPolicy::ClearAll));
+    // Page 0 accessed every interval; page 1 never.
+    for (Tick t = 1; t <= 8; ++t) {
+        s.recordAccess(0);
+        s.scan(t);
+    }
+    EXPECT_TRUE(s.isHot(0));
+    EXPECT_FALSE(s.isHot(1));
+    EXPECT_EQ(s.hotPages(), 1u);
+}
+
+TEST(Scanner, ColdAfterInactivity)
+{
+    AccessBitScanner s(config(1, ScanPolicy::ClearAll));
+    for (Tick t = 1; t <= 8; ++t) {
+        s.recordAccess(0);
+        s.scan(t);
+    }
+    ASSERT_TRUE(s.isHot(0));
+    // Go idle: history drains below the threshold.
+    for (Tick t = 9; t <= 16; ++t)
+        s.scan(t);
+    EXPECT_FALSE(s.isHot(0));
+}
+
+TEST(Scanner, SampledPolicyClearsFewerHotBits)
+{
+    constexpr std::size_t pages = 4096;
+    AccessBitScanner naive(config(pages, ScanPolicy::ClearAll));
+    AccessBitScanner sampled(config(pages, ScanPolicy::SampledHotCold));
+
+    // Make every page hot, then measure steady-state clears.
+    for (Tick t = 1; t <= 8; ++t) {
+        for (std::size_t p = 0; p < pages; ++p) {
+            naive.recordAccess(p);
+            sampled.recordAccess(p);
+        }
+        naive.scan(t);
+        sampled.scan(t);
+    }
+    std::uint64_t naive_clears = 0, sampled_clears = 0;
+    for (Tick t = 9; t <= 16; ++t) {
+        for (std::size_t p = 0; p < pages; ++p) {
+            naive.recordAccess(p);
+            sampled.recordAccess(p);
+        }
+        naive_clears += naive.scan(t);
+        sampled_clears += sampled.scan(t);
+    }
+    // The naive policy invalidates every hot page every scan; the
+    // sampled policy ~20 % of them.
+    EXPECT_EQ(naive_clears, 8u * pages);
+    EXPECT_LT(sampled_clears, naive_clears * 30 / 100);
+    EXPECT_GT(sampled_clears, naive_clears * 10 / 100);
+}
+
+TEST(Scanner, SampledHotPagesKeepFreshTimestamps)
+{
+    // The accuracy side of the trade-off: unsampled hot pages are
+    // *assumed* accessed, so their estimates stay current as long as
+    // they really are hot.
+    AccessBitScanner s(config(64, ScanPolicy::SampledHotCold));
+    for (Tick t = 1; t <= 20; ++t) {
+        for (std::size_t p = 0; p < 64; ++p)
+            s.recordAccess(p);
+        s.scan(t);
+    }
+    for (std::size_t p = 0; p < 64; ++p)
+        EXPECT_EQ(s.estimatedLastAccess(p), 20u);
+}
+
+TEST(Scanner, SampledPolicyOverestimatesBrieflyAfterCooling)
+{
+    // The cost of sampling: a page that *stops* being accessed keeps
+    // an inflated estimate until sampling or history catches it.
+    AccessBitScanner s(config(1, ScanPolicy::SampledHotCold));
+    for (Tick t = 1; t <= 8; ++t) {
+        s.recordAccess(0);
+        s.scan(t);
+    }
+    ASSERT_TRUE(s.isHot(0));
+    // Cooling is slow by design: unsampled scans assume the page
+    // was accessed, so only the ~20 % sampled scans record real
+    // zeros. Scan until it cools (bounded).
+    Tick t = 9;
+    while (s.isHot(0) && t < 2000)
+        s.scan(t++);
+    EXPECT_FALSE(s.isHot(0));
+    const Tick frozen = s.estimatedLastAccess(0);
+    EXPECT_GT(frozen, 8u); // overestimated during the hot window
+    // Once cold, scans observe the (clear) bit exactly: frozen.
+    s.scan(t + 1);
+    s.scan(t + 2);
+    EXPECT_EQ(s.estimatedLastAccess(0), frozen);
+}
+
+TEST(Scanner, ColdPagesAlwaysObservedExactly)
+{
+    AccessBitScanner s(config(2, ScanPolicy::SampledHotCold));
+    // Cold page accessed once: must be seen on the next scan.
+    s.recordAccess(0);
+    EXPECT_EQ(s.scan(50), 1u);
+    EXPECT_EQ(s.estimatedLastAccess(0), 50u);
+}
+
+using ScannerDeathTest = ::testing::Test;
+
+TEST(ScannerDeathTest, RejectsBadHistoryConfig)
+{
+    ScannerConfig c;
+    c.numPages = 1;
+    c.historyBits = 9;
+    EXPECT_DEATH(AccessBitScanner{c}, "history");
+    ScannerConfig c2;
+    c2.numPages = 1;
+    c2.hotThreshold = 9;
+    EXPECT_DEATH(AccessBitScanner{c2}, "threshold");
+}
+
+} // namespace
+} // namespace mosaic

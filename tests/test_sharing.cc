@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the location-ID sharing extension (paper §2.5): shared
+ * ToCs resolve to the same physical frames across address spaces,
+ * adoption avoids double allocation, and eviction clears every
+ * sharer's mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/mosaic_vm.hh"
+
+namespace mosaic
+{
+namespace
+{
+
+MosaicVmConfig
+sharingConfig(std::size_t frames = 64 * 16)
+{
+    MosaicVmConfig c;
+    c.geometry.numFrames = frames;
+    c.sharing = SharingMode::LocationId;
+    return c;
+}
+
+TEST(Sharing, LocationIdModeStillPagesNormally)
+{
+    MosaicVm vm(sharingConfig());
+    for (Vpn vpn = 0; vpn < 200; ++vpn)
+        vm.touch(1, vpn, true);
+    EXPECT_EQ(vm.residentPages(), 200u);
+    EXPECT_EQ(vm.stats().minorFaults, 200u);
+}
+
+TEST(Sharing, UnsharedAsidsGetDistinctFrames)
+{
+    MosaicVm vm(sharingConfig());
+    const Pfn a = vm.touch(1, 0, true);
+    const Pfn b = vm.touch(2, 0, true);
+    EXPECT_NE(a, b);
+}
+
+TEST(Sharing, SharedRangeResolvesToSameFrames)
+{
+    MosaicVm vm(sharingConfig());
+    // ASID 1 touches 8 pages (two arity-4 mosaic pages).
+    for (Vpn vpn = 0; vpn < 8; ++vpn)
+        vm.touch(1, vpn, true);
+
+    vm.shareRange(1, 0, 2, 64, 8);
+
+    for (Vpn i = 0; i < 8; ++i) {
+        const Pfn theirs = vm.touch(2, 64 + i, false);
+        const Pfn mine = vm.touch(1, i, false);
+        EXPECT_EQ(theirs, mine) << "page " << i;
+    }
+    // No extra frames were allocated for the second mapping.
+    EXPECT_EQ(vm.residentPages(), 8u);
+}
+
+TEST(Sharing, ShareBeforeTouchAdoptsOnFault)
+{
+    MosaicVm vm(sharingConfig());
+    vm.shareRange(1, 0, 2, 0, 4);
+    // ASID 1 faults the page in; ASID 2's later fault adopts it.
+    const Pfn a = vm.touch(1, 2, true);
+    const Pfn b = vm.touch(2, 2, false);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(vm.residentPages(), 1u);
+    EXPECT_EQ(vm.stats().minorFaults, 2u);
+}
+
+TEST(Sharing, ReverseDirectionAdoptionWorks)
+{
+    MosaicVm vm(sharingConfig());
+    vm.shareRange(1, 0, 2, 128, 4);
+    // Destination touches first; source adopts.
+    const Pfn b = vm.touch(2, 129, true);
+    const Pfn a = vm.touch(1, 1, false);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(vm.residentPages(), 1u);
+}
+
+TEST(Sharing, EvictionClearsAllSharers)
+{
+    MosaicVm vm(sharingConfig(64 * 16));
+    vm.shareRange(1, 0, 2, 0, 4);
+    vm.touch(1, 0, true);
+    vm.touch(2, 0, false);
+
+    // Overfill memory from a third address space until the shared
+    // frame gets evicted.
+    const Pfn shared_pfn = vm.touch(1, 0, false);
+    Vpn filler = 1000;
+    while (vm.frameTable().frame(shared_pfn).used &&
+           vm.frameTable().frame(shared_pfn).owner.vpn == 0) {
+        vm.touch(3, filler++, true);
+        if (filler > 1000 + vm.numFrames() * 4)
+            break;
+    }
+    // Whether or not the exact frame was reused, both page tables
+    // must agree (both mapped to the same place, or both unmapped).
+    const bool p1 = vm.pageTable(1).walk(0).present;
+    const bool p2 = vm.pageTable(2).walk(0).present;
+    EXPECT_EQ(p1, p2);
+}
+
+TEST(Sharing, SharedPageSwapsOnceAndReturnsShared)
+{
+    MosaicVm vm(sharingConfig(64 * 16));
+    vm.shareRange(1, 0, 2, 0, 4);
+    vm.touch(1, 1, true);
+    vm.touch(2, 1, false);
+
+    // Evict everything via pressure.
+    for (Vpn filler = 5000; filler < 5000 + vm.numFrames() * 2;
+         ++filler) {
+        vm.touch(3, filler, true);
+    }
+    if (!vm.pageTable(1).walk(1).present) {
+        // Fault it back in through ASID 2, then read through ASID 1:
+        // both resolve to one frame again.
+        const Pfn b = vm.touch(2, 1, false);
+        const Pfn a = vm.touch(1, 1, false);
+        EXPECT_EQ(a, b);
+    }
+}
+
+using SharingDeathTest = ::testing::Test;
+
+TEST(SharingDeathTest, ShareRequiresLocationIdMode)
+{
+    MosaicVmConfig c;
+    c.geometry.numFrames = 64 * 16;
+    MosaicVm vm(c);
+    EXPECT_DEATH(vm.shareRange(1, 0, 2, 0, 4), "LocationId");
+}
+
+TEST(SharingDeathTest, ShareRequiresAlignment)
+{
+    MosaicVm vm(sharingConfig());
+    EXPECT_DEATH(vm.shareRange(1, 1, 2, 0, 4), "aligned");
+    EXPECT_DEATH(vm.shareRange(1, 0, 2, 0, 3), "whole mosaic");
+}
+
+TEST(SharingDeathTest, DoubleBindRejected)
+{
+    MosaicVm vm(sharingConfig());
+    vm.shareRange(1, 0, 2, 0, 4);
+    EXPECT_DEATH(vm.shareRange(1, 64, 2, 0, 4), "already bound");
+}
+
+} // namespace
+} // namespace mosaic

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Unit tests for src/util: PRNG, statistics, tables, address helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/random.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "util/types.hh"
+
+namespace mosaic
+{
+namespace
+{
+
+TEST(Types, PageArithmetic)
+{
+    EXPECT_EQ(vpnOf(0), 0u);
+    EXPECT_EQ(vpnOf(4095), 0u);
+    EXPECT_EQ(vpnOf(4096), 1u);
+    EXPECT_EQ(pageOffsetOf(0x12345), 0x345u);
+    EXPECT_EQ(addrOf(2, 7), 2 * 4096u + 7);
+    EXPECT_EQ(vpnOf(addrOf(123456, 99)), 123456u);
+}
+
+TEST(Types, PackPageIdSeparatesAsidAndVpn)
+{
+    const PageId a{1, 42};
+    const PageId b{2, 42};
+    const PageId c{1, 43};
+    EXPECT_NE(packPageId(a), packPageId(b));
+    EXPECT_NE(packPageId(a), packPageId(c));
+    EXPECT_EQ(packPageId(a), packPageId(PageId{1, 42}));
+}
+
+TEST(Types, PackPageIdUsesFullVpnWidth)
+{
+    const Vpn top = (Vpn{1} << vpnBits) - 1;
+    EXPECT_NE(packPageId(PageId{0, top}), packPageId(PageId{0, 0}));
+    // ASID bits must not collide with VPN bits.
+    EXPECT_NE(packPageId(PageId{1, 0}), packPageId(PageId{0, top}));
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(7), b(8);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a() == b()) ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(3);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(3);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 400; ++i)
+        seen.insert(rng.below(10));
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng rng(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.between(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIsInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng parent(17);
+    Rng child = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (parent() == child()) ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(RunningStat, MeanAndStddev)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Population stddev is 2; sample stddev = sqrt(32/7).
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyAndSingle)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+    s.add(3.5);
+    EXPECT_EQ(s.mean(), 3.5);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, Reset)
+{
+    RunningStat s;
+    s.add(1);
+    s.add(2);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, BucketsAndClamping)
+{
+    Histogram h(4, 10.0);
+    h.add(0.0);
+    h.add(9.9);
+    h.add(10.0);
+    h.add(35.0);
+    h.add(1000.0); // clamps into last bucket
+    EXPECT_EQ(h.at(0), 2u);
+    EXPECT_EQ(h.at(1), 1u);
+    EXPECT_EQ(h.at(3), 2u);
+    EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, Cdf)
+{
+    Histogram h(4, 1.0);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(2.5);
+    h.add(3.5);
+    EXPECT_DOUBLE_EQ(h.cdf(0), 0.25);
+    EXPECT_DOUBLE_EQ(h.cdf(1), 0.5);
+    EXPECT_DOUBLE_EQ(h.cdf(3), 1.0);
+}
+
+TEST(Stats, PercentReduction)
+{
+    EXPECT_DOUBLE_EQ(percentReduction(100, 80), 20.0);
+    EXPECT_DOUBLE_EQ(percentReduction(100, 120), -20.0);
+    EXPECT_DOUBLE_EQ(percentReduction(0, 5), 0.0);
+}
+
+TEST(Table, WithCommas)
+{
+    EXPECT_EQ(withCommas(0), "0");
+    EXPECT_EQ(withCommas(999), "999");
+    EXPECT_EQ(withCommas(1000), "1,000");
+    EXPECT_EQ(withCommas(1234567), "1,234,567");
+    EXPECT_EQ(withCommas(12345678), "12,345,678");
+}
+
+TEST(Table, HumanCount)
+{
+    EXPECT_EQ(humanCount(999), "999");
+    EXPECT_EQ(humanCount(12'345), "12K");
+    EXPECT_EQ(humanCount(12'345'678), "12M");
+}
+
+TEST(Table, PrintAlignsColumns)
+{
+    TextTable t({"name", "value"});
+    t.beginRow().cell("x").cell(std::uint64_t{1234});
+    t.beginRow().cell("longer").cell(3.14159, 2);
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("1,234"), std::string::npos);
+    EXPECT_NE(out.find("3.14"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, Csv)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, CsvQuotesCellsWithCommas)
+{
+    TextTable t({"n", "note"});
+    t.beginRow().cell(std::uint64_t{1234567}).cell("plain");
+    t.beginRow().cell("x").cell("say \"hi\", ok");
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(),
+              "n,note\n\"1,234,567\",plain\nx,\"say \"\"hi\"\", ok\"\n");
+}
+
+TEST(Table, RowWidthMismatchThrows)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, TooManyCellsThrows)
+{
+    TextTable t({"a"});
+    t.beginRow().cell("1");
+    EXPECT_THROW(t.cell("2"), std::logic_error);
+}
+
+} // namespace
+} // namespace mosaic

@@ -1,0 +1,427 @@
+/**
+ * @file
+ * Tests for the workload engines: footprint accounting, address
+ * range containment, determinism, and algorithmic sanity (BFS
+ * reachability, B+-tree lookup correctness, access mix).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "workloads/access_sink.hh"
+#include "workloads/btree.hh"
+#include "workloads/factory.hh"
+#include "workloads/graph500.hh"
+#include "workloads/gups.hh"
+#include "workloads/virtual_arena.hh"
+#include "workloads/xsbench.hh"
+
+namespace mosaic
+{
+namespace
+{
+
+/** Verifies that every access falls inside an arena-like range. */
+class RangeSink : public AccessSink
+{
+  public:
+    void
+    access(Addr vaddr, bool write) override
+    {
+        ++count_;
+        writes_ += write ? 1 : 0;
+        min_ = std::min(min_, vaddr);
+        max_ = std::max(max_, vaddr);
+    }
+
+    std::uint64_t count_ = 0;
+    std::uint64_t writes_ = 0;
+    Addr min_ = ~Addr{0};
+    Addr max_ = 0;
+};
+
+TEST(VirtualArena, RegionsAreAlignedAndDisjoint)
+{
+    VirtualArena arena;
+    const ArenaRegion a = arena.allocate("a", 1000);
+    const ArenaRegion b = arena.allocate("b", 5000);
+    EXPECT_EQ(a.base % VirtualArena::regionAlign, 0u);
+    EXPECT_EQ(b.base % VirtualArena::regionAlign, 0u);
+    EXPECT_GE(b.base, a.base + a.bytes);
+    EXPECT_EQ(arena.regions().size(), 2u);
+    EXPECT_EQ(arena.footprintBytes(), 6000u);
+}
+
+TEST(VirtualArena, ElementAddressing)
+{
+    VirtualArena arena;
+    const ArenaRegion r = arena.allocate("r", 4096);
+    EXPECT_EQ(r.element(3, 8), r.base + 24);
+    EXPECT_EQ(r.at(100), r.base + 100);
+}
+
+TEST(VirtualArena, FootprintPagesRoundsPerRegion)
+{
+    VirtualArena arena;
+    arena.allocate("a", 1);
+    arena.allocate("b", 4097);
+    EXPECT_EQ(arena.footprintPages(), 3u);
+}
+
+Graph500Config
+tinyGraph()
+{
+    Graph500Config c;
+    c.numVertices = 4096;
+    c.edgeFactor = 8;
+    c.numBfsRoots = 2;
+    return c;
+}
+
+TEST(Graph500, FootprintMatchesArrays)
+{
+    Graph500 g(tinyGraph());
+    // xadj + adj + parent + queue, with region alignment padding.
+    const std::uint64_t raw = (4096 + 1) * 8 + 4096ull * 8 * 2 * 4 +
+                              4096 * 4 + 4096 * 4;
+    EXPECT_GE(g.info().footprintBytes, raw);
+    EXPECT_LT(g.info().footprintBytes, raw + 8 * 256 * 1024);
+    EXPECT_EQ(g.info().name, "graph500");
+}
+
+TEST(Graph500, BfsReachesMostVertices)
+{
+    Graph500 g(tinyGraph());
+    CountingSink sink;
+    g.run(sink);
+    // R-MAT with edge factor 8 has a giant connected component.
+    EXPECT_GT(g.lastBfsReached(), 4096u / 2);
+}
+
+TEST(Graph500, EmitsAccessesWithinFootprint)
+{
+    Graph500 g(tinyGraph());
+    RangeSink sink;
+    g.run(sink);
+    EXPECT_GT(sink.count_, 4096u);
+    EXPECT_GT(sink.writes_, 0u);
+    // All below the arena's high mark (base 1 GiB + footprint).
+    EXPECT_GE(sink.min_, Addr{1} << 30);
+    EXPECT_LT(sink.max_, (Addr{1} << 30) + (Addr{1} << 30));
+}
+
+TEST(Graph500, DeterministicTrace)
+{
+    Graph500 a(tinyGraph()), b(tinyGraph());
+    VectorSink sa, sb;
+    a.run(sa);
+    b.run(sb);
+    ASSERT_EQ(sa.trace().size(), sb.trace().size());
+    for (std::size_t i = 0; i < sa.trace().size(); i += 997) {
+        EXPECT_EQ(sa.trace()[i].vaddr, sb.trace()[i].vaddr);
+        EXPECT_EQ(sa.trace()[i].write, sb.trace()[i].write);
+    }
+}
+
+TEST(Graph500, ConstructionTracingAddsKernel1)
+{
+    Graph500Config with = tinyGraph();
+    with.traceConstruction = true;
+    Graph500 a(with), b(tinyGraph());
+    CountingSink sa, sb;
+    a.run(sa);
+    b.run(sb);
+    // Kernel 1 roughly adds >= 6 accesses per generated edge.
+    EXPECT_GT(sa.accesses(), sb.accesses() + 6 * 4096ull * 8);
+    // And an extra region for the edge list.
+    EXPECT_GT(a.info().footprintBytes, b.info().footprintBytes);
+}
+
+TEST(Graph500, ConstructionWritesPrefixSumSequentially)
+{
+    Graph500Config c = tinyGraph();
+    c.traceConstruction = true;
+    Graph500 g(c);
+    VectorSink sink;
+    g.run(sink);
+    // The trace must contain writes (degree counting/scatter).
+    std::uint64_t writes = 0;
+    for (const MemRef &ref : sink.trace())
+        writes += ref.write ? 1 : 0;
+    EXPECT_GT(writes, 4096u * 8 * 2); // >= 2 per generated edge
+}
+
+TEST(Graph500, SeedChangesGraph)
+{
+    Graph500Config c1 = tinyGraph();
+    Graph500Config c2 = tinyGraph();
+    c2.seed = 99;
+    Graph500 a(c1), b(c2);
+    CountingSink sa, sb;
+    a.run(sa);
+    b.run(sb);
+    EXPECT_NE(sa.accesses(), sb.accesses());
+}
+
+BTreeConfig
+tinyTree()
+{
+    BTreeConfig c;
+    c.numKeys = 100'000;
+    c.numLookups = 2'000;
+    return c;
+}
+
+TEST(BTree, HeightIsLogarithmic)
+{
+    BTreeIndex t(tinyTree());
+    // 100k keys / 256 per leaf = 391 leaves; +2 inner levels.
+    EXPECT_EQ(t.height(), 3u);
+}
+
+TEST(BTree, LookupFindsPresentKeysOnly)
+{
+    BTreeIndex t(tinyTree());
+    CountingSink sink;
+    // Keys are 2*i: evens present, odds absent.
+    EXPECT_TRUE(t.lookup(0, sink));
+    EXPECT_TRUE(t.lookup(2 * 77, sink));
+    EXPECT_TRUE(t.lookup(2 * 99'999, sink));
+    EXPECT_FALSE(t.lookup(1, sink));
+    EXPECT_FALSE(t.lookup(2 * 77 + 1, sink));
+    EXPECT_FALSE(t.lookup(2 * 100'000, sink));
+}
+
+TEST(BTree, RandomLookupsHitAboutHalf)
+{
+    BTreeIndex t(tinyTree());
+    CountingSink sink;
+    t.run(sink);
+    const double hit_rate =
+        static_cast<double>(t.lastRunHits()) / 2000.0;
+    EXPECT_GT(hit_rate, 0.40);
+    EXPECT_LT(hit_rate, 0.60);
+}
+
+TEST(BTree, AccessesStayInNodeRegion)
+{
+    BTreeIndex t(tinyTree());
+    RangeSink sink;
+    t.run(sink);
+    EXPECT_GT(sink.count_, 2000u * t.height());
+    EXPECT_LT(sink.max_ - sink.min_, t.info().footprintBytes);
+}
+
+TEST(BTree, InsertAddsFindableKeys)
+{
+    BTreeIndex t(tinyTree());
+    CountingSink sink;
+    // Odd keys are absent in the bulk-loaded tree.
+    EXPECT_FALSE(t.lookup(101, sink));
+    EXPECT_TRUE(t.insert(101, sink));
+    EXPECT_TRUE(t.lookup(101, sink));
+    // Duplicate insert is rejected.
+    EXPECT_FALSE(t.insert(101, sink));
+    // Existing even keys unaffected.
+    EXPECT_TRUE(t.lookup(100, sink));
+}
+
+TEST(BTree, InsertsSplitNodes)
+{
+    BTreeConfig c;
+    c.numKeys = 10'000;
+    c.numLookups = 0;
+    BTreeIndex t(c);
+    const std::size_t nodes_before = t.nodeCount();
+    CountingSink sink;
+    // Hammer one leaf's key range: it must split.
+    for (std::uint64_t k = 1; k < 600; k += 2)
+        ASSERT_TRUE(t.insert(k, sink));
+    EXPECT_GT(t.splits(), 0u);
+    EXPECT_GT(t.nodeCount(), nodes_before);
+    // All inserted and original keys remain findable.
+    for (std::uint64_t k = 1; k < 600; k += 2)
+        EXPECT_TRUE(t.lookup(k, sink)) << k;
+    for (std::uint64_t k = 0; k < 600; k += 2)
+        EXPECT_TRUE(t.lookup(k, sink)) << k;
+}
+
+TEST(BTree, RootSplitGrowsHeight)
+{
+    BTreeConfig c;
+    c.numKeys = 2; // a single tiny leaf root
+    c.numLookups = 0;
+    c.numInserts = 2000;
+    BTreeIndex t(c);
+    EXPECT_EQ(t.height(), 1u);
+    CountingSink sink;
+    for (std::uint64_t k = 1; k < 2 * 256 + 10; k += 1)
+        t.insert(k * 2 + 1, sink);
+    EXPECT_GE(t.height(), 2u);
+    // Spot-check integrity after the root split.
+    EXPECT_TRUE(t.lookup(3, sink));
+    EXPECT_TRUE(t.lookup(2 * 256 * 2 + 1, sink));
+}
+
+TEST(BTree, MixedRunWithInserts)
+{
+    BTreeConfig c;
+    c.numKeys = 50'000;
+    c.numLookups = 5'000;
+    c.numInserts = 2'000;
+    BTreeIndex t(c);
+    CountingSink sink;
+    t.run(sink);
+    EXPECT_GT(sink.writes(), 0u);
+    EXPECT_GT(sink.accesses(), 5'000u * t.height());
+}
+
+TEST(BTree, FootprintTracksNodeCount)
+{
+    BTreeIndex t(tinyTree());
+    // >= keys * 16 bytes, < keys * 18 (inner overhead ~0.4 %).
+    EXPECT_GE(t.info().footprintBytes, 100'000u * 16);
+    EXPECT_LT(t.info().footprintBytes, 100'000u * 18 + 256 * 1024);
+}
+
+TEST(Gups, EmitsReadWritePairs)
+{
+    GupsConfig c;
+    c.tableEntries = 1 << 16;
+    c.numUpdates = 1000;
+    Gups g(c);
+    VectorSink sink;
+    g.run(sink);
+    ASSERT_EQ(sink.trace().size(), 2000u);
+    for (std::size_t i = 0; i < sink.trace().size(); i += 2) {
+        EXPECT_FALSE(sink.trace()[i].write);
+        EXPECT_TRUE(sink.trace()[i + 1].write);
+        EXPECT_EQ(sink.trace()[i].vaddr, sink.trace()[i + 1].vaddr);
+    }
+}
+
+TEST(Gups, AddressesSpreadOverTable)
+{
+    GupsConfig c;
+    c.tableEntries = 1 << 16; // 512 KiB
+    c.numUpdates = 20'000;
+    Gups g(c);
+    RangeSink sink;
+    g.run(sink);
+    // Uniform random updates must span most of the table.
+    EXPECT_GT(sink.max_ - sink.min_,
+              (c.tableEntries * 8) * 9 / 10);
+}
+
+XsBenchConfig
+tinyXs()
+{
+    XsBenchConfig c;
+    c.numNuclides = 16;
+    c.gridpointsPerNuclide = 512;
+    c.numLookups = 500;
+    return c;
+}
+
+TEST(XsBench, MaterialCompositionShape)
+{
+    XsBench x(tinyXs());
+    // Fuel holds at least half the nuclides; others are small.
+    EXPECT_GE(x.material(0).size(), 8u);
+    for (unsigned m = 1; m < 12; ++m) {
+        EXPECT_GE(x.material(m).size(), 3u);
+        EXPECT_LE(x.material(m).size(), 15u);
+    }
+}
+
+TEST(XsBench, UnionizedGridSize)
+{
+    XsBench x(tinyXs());
+    EXPECT_EQ(x.unionizedPoints(), 16u * 512);
+}
+
+TEST(XsBench, LookupsEmitSearchPlusGather)
+{
+    XsBench x(tinyXs());
+    CountingSink sink;
+    x.run(sink);
+    // Each lookup: ~log2(8192)=13 search probes + >= 3*3 gathers.
+    EXPECT_GT(sink.accesses(), 500u * 13);
+}
+
+TEST(XsBench, Deterministic)
+{
+    XsBench a(tinyXs()), b(tinyXs());
+    VectorSink sa, sb;
+    a.run(sa);
+    b.run(sb);
+    ASSERT_EQ(sa.trace().size(), sb.trace().size());
+    EXPECT_EQ(sa.trace().back().vaddr, sb.trace().back().vaddr);
+}
+
+TEST(Factory, NamesMatchPaper)
+{
+    EXPECT_EQ(workloadName(WorkloadKind::Graph500), "Graph500");
+    EXPECT_EQ(workloadName(WorkloadKind::BTree), "BTree");
+    EXPECT_EQ(workloadName(WorkloadKind::Gups), "GUPS");
+    EXPECT_EQ(workloadName(WorkloadKind::XsBench), "XSBench");
+}
+
+TEST(Factory, Fig6ScaleShrinksFootprint)
+{
+    const auto small =
+        makeFig6Workload(WorkloadKind::Gups, 1.0 / 64);
+    const auto smaller =
+        makeFig6Workload(WorkloadKind::Gups, 1.0 / 128);
+    EXPECT_GT(small->info().footprintBytes,
+              smaller->info().footprintBytes);
+}
+
+class FactoryFootprintTest
+    : public ::testing::TestWithParam<WorkloadKind>
+{
+};
+
+TEST_P(FactoryFootprintTest, FootprintWithinFivePercentOfTarget)
+{
+    const std::uint64_t target = std::uint64_t{48} << 20; // 48 MiB
+    const auto w = makeFootprintWorkload(GetParam(), target);
+    const double ratio =
+        static_cast<double>(w->info().footprintBytes) /
+        static_cast<double>(target);
+    EXPECT_GT(ratio, 0.93) << workloadName(GetParam());
+    EXPECT_LT(ratio, 1.07) << workloadName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, FactoryFootprintTest,
+                         ::testing::Values(WorkloadKind::Graph500,
+                                           WorkloadKind::BTree,
+                                           WorkloadKind::Gups,
+                                           WorkloadKind::XsBench));
+
+TEST_P(FactoryFootprintTest, TouchesNearlyWholeFootprint)
+{
+    const std::uint64_t target = std::uint64_t{16} << 20; // 16 MiB
+    const auto w = makeFootprintWorkload(GetParam(), target);
+    // Count distinct pages touched.
+    class PageSink : public AccessSink
+    {
+      public:
+        void
+        access(Addr vaddr, bool) override
+        {
+            pages.insert(vpnOf(vaddr));
+        }
+        std::set<Vpn> pages;
+    } sink;
+    w->run(sink);
+    const double touched =
+        static_cast<double>(sink.pages.size()) * pageSize /
+        static_cast<double>(w->info().footprintBytes);
+    EXPECT_GT(touched, 0.90) << workloadName(GetParam());
+}
+
+} // namespace
+} // namespace mosaic
