@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_geometry.cc" "bench/CMakeFiles/ablation_geometry.dir/ablation_geometry.cc.o" "gcc" "bench/CMakeFiles/ablation_geometry.dir/ablation_geometry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mosaic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/mosaic_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mosaic_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/mosaic_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/mosaic_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/mosaic_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mosaic_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/mosaic_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mosaic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

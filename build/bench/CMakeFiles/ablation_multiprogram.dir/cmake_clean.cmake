@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multiprogram.dir/ablation_multiprogram.cc.o"
+  "CMakeFiles/ablation_multiprogram.dir/ablation_multiprogram.cc.o.d"
+  "ablation_multiprogram"
+  "ablation_multiprogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multiprogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

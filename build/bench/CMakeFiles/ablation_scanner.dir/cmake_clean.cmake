@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scanner.dir/ablation_scanner.cc.o"
+  "CMakeFiles/ablation_scanner.dir/ablation_scanner.cc.o.d"
+  "ablation_scanner"
+  "ablation_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

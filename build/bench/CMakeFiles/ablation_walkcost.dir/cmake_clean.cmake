@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_walkcost.dir/ablation_walkcost.cc.o"
+  "CMakeFiles/ablation_walkcost.dir/ablation_walkcost.cc.o.d"
+  "ablation_walkcost"
+  "ablation_walkcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_walkcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

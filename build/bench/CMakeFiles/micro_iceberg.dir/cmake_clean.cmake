@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_iceberg.dir/micro_iceberg.cc.o"
+  "CMakeFiles/micro_iceberg.dir/micro_iceberg.cc.o.d"
+  "micro_iceberg"
+  "micro_iceberg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_iceberg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

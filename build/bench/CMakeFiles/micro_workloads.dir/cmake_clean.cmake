@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_workloads.dir/micro_workloads.cc.o"
+  "CMakeFiles/micro_workloads.dir/micro_workloads.cc.o.d"
+  "micro_workloads"
+  "micro_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

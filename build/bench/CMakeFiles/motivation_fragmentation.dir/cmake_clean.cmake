@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_fragmentation.dir/motivation_fragmentation.cc.o"
+  "CMakeFiles/motivation_fragmentation.dir/motivation_fragmentation.cc.o.d"
+  "motivation_fragmentation"
+  "motivation_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_table.dir/reach_table.cc.o"
+  "CMakeFiles/reach_table.dir/reach_table.cc.o.d"
+  "reach_table"
+  "reach_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

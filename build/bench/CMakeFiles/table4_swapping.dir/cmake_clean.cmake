@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_swapping.dir/table4_swapping.cc.o"
+  "CMakeFiles/table4_swapping.dir/table4_swapping.cc.o.d"
+  "table4_swapping"
+  "table4_swapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_swapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

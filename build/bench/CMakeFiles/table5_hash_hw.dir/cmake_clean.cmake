@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_hash_hw.dir/table5_hash_hw.cc.o"
+  "CMakeFiles/table5_hash_hw.dir/table5_hash_hw.cc.o.d"
+  "table5_hash_hw"
+  "table5_hash_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_hash_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_verilog.dir/generate_verilog.cpp.o"
+  "CMakeFiles/generate_verilog.dir/generate_verilog.cpp.o.d"
+  "generate_verilog"
+  "generate_verilog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_verilog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_pressure.dir/memory_pressure.cpp.o"
+  "CMakeFiles/memory_pressure.dir/memory_pressure.cpp.o.d"
+  "memory_pressure"
+  "memory_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_core.dir/experiments.cc.o"
+  "CMakeFiles/mosaic_core.dir/experiments.cc.o.d"
+  "CMakeFiles/mosaic_core.dir/fragmentation_sim.cc.o"
+  "CMakeFiles/mosaic_core.dir/fragmentation_sim.cc.o.d"
+  "CMakeFiles/mosaic_core.dir/translation_sim.cc.o"
+  "CMakeFiles/mosaic_core.dir/translation_sim.cc.o.d"
+  "libmosaic_core.a"
+  "libmosaic_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

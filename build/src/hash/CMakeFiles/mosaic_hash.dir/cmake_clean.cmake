@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_hash.dir/tabulation.cc.o"
+  "CMakeFiles/mosaic_hash.dir/tabulation.cc.o.d"
+  "CMakeFiles/mosaic_hash.dir/xxhash64.cc.o"
+  "CMakeFiles/mosaic_hash.dir/xxhash64.cc.o.d"
+  "libmosaic_hash.a"
+  "libmosaic_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwmodel/circuit_model.cc" "src/hwmodel/CMakeFiles/mosaic_hwmodel.dir/circuit_model.cc.o" "gcc" "src/hwmodel/CMakeFiles/mosaic_hwmodel.dir/circuit_model.cc.o.d"
+  "/root/repo/src/hwmodel/verilog_gen.cc" "src/hwmodel/CMakeFiles/mosaic_hwmodel.dir/verilog_gen.cc.o" "gcc" "src/hwmodel/CMakeFiles/mosaic_hwmodel.dir/verilog_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hash/CMakeFiles/mosaic_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mosaic_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mosaic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

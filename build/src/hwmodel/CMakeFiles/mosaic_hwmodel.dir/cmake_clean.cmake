@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_hwmodel.dir/circuit_model.cc.o"
+  "CMakeFiles/mosaic_hwmodel.dir/circuit_model.cc.o.d"
+  "CMakeFiles/mosaic_hwmodel.dir/verilog_gen.cc.o"
+  "CMakeFiles/mosaic_hwmodel.dir/verilog_gen.cc.o.d"
+  "libmosaic_hwmodel.a"
+  "libmosaic_hwmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_hwmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

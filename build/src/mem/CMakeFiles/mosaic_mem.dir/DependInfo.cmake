@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/buddy_allocator.cc" "src/mem/CMakeFiles/mosaic_mem.dir/buddy_allocator.cc.o" "gcc" "src/mem/CMakeFiles/mosaic_mem.dir/buddy_allocator.cc.o.d"
+  "/root/repo/src/mem/compaction.cc" "src/mem/CMakeFiles/mosaic_mem.dir/compaction.cc.o" "gcc" "src/mem/CMakeFiles/mosaic_mem.dir/compaction.cc.o.d"
+  "/root/repo/src/mem/cpfn.cc" "src/mem/CMakeFiles/mosaic_mem.dir/cpfn.cc.o" "gcc" "src/mem/CMakeFiles/mosaic_mem.dir/cpfn.cc.o.d"
+  "/root/repo/src/mem/fragmenter.cc" "src/mem/CMakeFiles/mosaic_mem.dir/fragmenter.cc.o" "gcc" "src/mem/CMakeFiles/mosaic_mem.dir/fragmenter.cc.o.d"
+  "/root/repo/src/mem/mosaic_mapper.cc" "src/mem/CMakeFiles/mosaic_mem.dir/mosaic_mapper.cc.o" "gcc" "src/mem/CMakeFiles/mosaic_mem.dir/mosaic_mapper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hash/CMakeFiles/mosaic_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mosaic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_mem.dir/buddy_allocator.cc.o"
+  "CMakeFiles/mosaic_mem.dir/buddy_allocator.cc.o.d"
+  "CMakeFiles/mosaic_mem.dir/compaction.cc.o"
+  "CMakeFiles/mosaic_mem.dir/compaction.cc.o.d"
+  "CMakeFiles/mosaic_mem.dir/cpfn.cc.o"
+  "CMakeFiles/mosaic_mem.dir/cpfn.cc.o.d"
+  "CMakeFiles/mosaic_mem.dir/fragmenter.cc.o"
+  "CMakeFiles/mosaic_mem.dir/fragmenter.cc.o.d"
+  "CMakeFiles/mosaic_mem.dir/mosaic_mapper.cc.o"
+  "CMakeFiles/mosaic_mem.dir/mosaic_mapper.cc.o.d"
+  "libmosaic_mem.a"
+  "libmosaic_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_os.dir/access_bit_scanner.cc.o"
+  "CMakeFiles/mosaic_os.dir/access_bit_scanner.cc.o.d"
+  "CMakeFiles/mosaic_os.dir/linux_vm.cc.o"
+  "CMakeFiles/mosaic_os.dir/linux_vm.cc.o.d"
+  "CMakeFiles/mosaic_os.dir/mosaic_vm.cc.o"
+  "CMakeFiles/mosaic_os.dir/mosaic_vm.cc.o.d"
+  "libmosaic_os.a"
+  "libmosaic_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pt/hashed_page_table.cc" "src/pt/CMakeFiles/mosaic_pt.dir/hashed_page_table.cc.o" "gcc" "src/pt/CMakeFiles/mosaic_pt.dir/hashed_page_table.cc.o.d"
+  "/root/repo/src/pt/mosaic_page_table.cc" "src/pt/CMakeFiles/mosaic_pt.dir/mosaic_page_table.cc.o" "gcc" "src/pt/CMakeFiles/mosaic_pt.dir/mosaic_page_table.cc.o.d"
+  "/root/repo/src/pt/vanilla_page_table.cc" "src/pt/CMakeFiles/mosaic_pt.dir/vanilla_page_table.cc.o" "gcc" "src/pt/CMakeFiles/mosaic_pt.dir/vanilla_page_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tlb/CMakeFiles/mosaic_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mosaic_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mosaic_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/mosaic_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

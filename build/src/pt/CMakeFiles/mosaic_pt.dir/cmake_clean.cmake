@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_pt.dir/hashed_page_table.cc.o"
+  "CMakeFiles/mosaic_pt.dir/hashed_page_table.cc.o.d"
+  "CMakeFiles/mosaic_pt.dir/mosaic_page_table.cc.o"
+  "CMakeFiles/mosaic_pt.dir/mosaic_page_table.cc.o.d"
+  "CMakeFiles/mosaic_pt.dir/vanilla_page_table.cc.o"
+  "CMakeFiles/mosaic_pt.dir/vanilla_page_table.cc.o.d"
+  "libmosaic_pt.a"
+  "libmosaic_pt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_pt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

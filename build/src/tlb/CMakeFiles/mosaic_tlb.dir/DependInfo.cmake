@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tlb/coalesced_tlb.cc" "src/tlb/CMakeFiles/mosaic_tlb.dir/coalesced_tlb.cc.o" "gcc" "src/tlb/CMakeFiles/mosaic_tlb.dir/coalesced_tlb.cc.o.d"
+  "/root/repo/src/tlb/mosaic_tlb.cc" "src/tlb/CMakeFiles/mosaic_tlb.dir/mosaic_tlb.cc.o" "gcc" "src/tlb/CMakeFiles/mosaic_tlb.dir/mosaic_tlb.cc.o.d"
+  "/root/repo/src/tlb/perforated_tlb.cc" "src/tlb/CMakeFiles/mosaic_tlb.dir/perforated_tlb.cc.o" "gcc" "src/tlb/CMakeFiles/mosaic_tlb.dir/perforated_tlb.cc.o.d"
+  "/root/repo/src/tlb/vanilla_tlb.cc" "src/tlb/CMakeFiles/mosaic_tlb.dir/vanilla_tlb.cc.o" "gcc" "src/tlb/CMakeFiles/mosaic_tlb.dir/vanilla_tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/mosaic_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mosaic_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/mosaic_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

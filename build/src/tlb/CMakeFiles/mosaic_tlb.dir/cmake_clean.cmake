@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_tlb.dir/coalesced_tlb.cc.o"
+  "CMakeFiles/mosaic_tlb.dir/coalesced_tlb.cc.o.d"
+  "CMakeFiles/mosaic_tlb.dir/mosaic_tlb.cc.o"
+  "CMakeFiles/mosaic_tlb.dir/mosaic_tlb.cc.o.d"
+  "CMakeFiles/mosaic_tlb.dir/perforated_tlb.cc.o"
+  "CMakeFiles/mosaic_tlb.dir/perforated_tlb.cc.o.d"
+  "CMakeFiles/mosaic_tlb.dir/vanilla_tlb.cc.o"
+  "CMakeFiles/mosaic_tlb.dir/vanilla_tlb.cc.o.d"
+  "libmosaic_tlb.a"
+  "libmosaic_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_util.dir/random.cc.o"
+  "CMakeFiles/mosaic_util.dir/random.cc.o.d"
+  "CMakeFiles/mosaic_util.dir/stats.cc.o"
+  "CMakeFiles/mosaic_util.dir/stats.cc.o.d"
+  "CMakeFiles/mosaic_util.dir/table.cc.o"
+  "CMakeFiles/mosaic_util.dir/table.cc.o.d"
+  "CMakeFiles/mosaic_util.dir/zipf.cc.o"
+  "CMakeFiles/mosaic_util.dir/zipf.cc.o.d"
+  "libmosaic_util.a"
+  "libmosaic_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

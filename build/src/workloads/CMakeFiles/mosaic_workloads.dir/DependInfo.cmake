@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/btree.cc" "src/workloads/CMakeFiles/mosaic_workloads.dir/btree.cc.o" "gcc" "src/workloads/CMakeFiles/mosaic_workloads.dir/btree.cc.o.d"
+  "/root/repo/src/workloads/factory.cc" "src/workloads/CMakeFiles/mosaic_workloads.dir/factory.cc.o" "gcc" "src/workloads/CMakeFiles/mosaic_workloads.dir/factory.cc.o.d"
+  "/root/repo/src/workloads/graph500.cc" "src/workloads/CMakeFiles/mosaic_workloads.dir/graph500.cc.o" "gcc" "src/workloads/CMakeFiles/mosaic_workloads.dir/graph500.cc.o.d"
+  "/root/repo/src/workloads/gups.cc" "src/workloads/CMakeFiles/mosaic_workloads.dir/gups.cc.o" "gcc" "src/workloads/CMakeFiles/mosaic_workloads.dir/gups.cc.o.d"
+  "/root/repo/src/workloads/kvstore.cc" "src/workloads/CMakeFiles/mosaic_workloads.dir/kvstore.cc.o" "gcc" "src/workloads/CMakeFiles/mosaic_workloads.dir/kvstore.cc.o.d"
+  "/root/repo/src/workloads/trace_file.cc" "src/workloads/CMakeFiles/mosaic_workloads.dir/trace_file.cc.o" "gcc" "src/workloads/CMakeFiles/mosaic_workloads.dir/trace_file.cc.o.d"
+  "/root/repo/src/workloads/xsbench.cc" "src/workloads/CMakeFiles/mosaic_workloads.dir/xsbench.cc.o" "gcc" "src/workloads/CMakeFiles/mosaic_workloads.dir/xsbench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mosaic_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mosaic_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/mosaic_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_workloads.dir/btree.cc.o"
+  "CMakeFiles/mosaic_workloads.dir/btree.cc.o.d"
+  "CMakeFiles/mosaic_workloads.dir/factory.cc.o"
+  "CMakeFiles/mosaic_workloads.dir/factory.cc.o.d"
+  "CMakeFiles/mosaic_workloads.dir/graph500.cc.o"
+  "CMakeFiles/mosaic_workloads.dir/graph500.cc.o.d"
+  "CMakeFiles/mosaic_workloads.dir/gups.cc.o"
+  "CMakeFiles/mosaic_workloads.dir/gups.cc.o.d"
+  "CMakeFiles/mosaic_workloads.dir/kvstore.cc.o"
+  "CMakeFiles/mosaic_workloads.dir/kvstore.cc.o.d"
+  "CMakeFiles/mosaic_workloads.dir/trace_file.cc.o"
+  "CMakeFiles/mosaic_workloads.dir/trace_file.cc.o.d"
+  "CMakeFiles/mosaic_workloads.dir/xsbench.cc.o"
+  "CMakeFiles/mosaic_workloads.dir/xsbench.cc.o.d"
+  "libmosaic_workloads.a"
+  "libmosaic_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

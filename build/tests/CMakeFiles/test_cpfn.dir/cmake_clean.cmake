@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpfn.dir/test_cpfn.cc.o"
+  "CMakeFiles/test_cpfn.dir/test_cpfn.cc.o.d"
+  "test_cpfn"
+  "test_cpfn.pdb"
+  "test_cpfn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpfn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iceberg.dir/test_iceberg.cc.o"
+  "CMakeFiles/test_iceberg.dir/test_iceberg.cc.o.d"
+  "test_iceberg"
+  "test_iceberg.pdb"
+  "test_iceberg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iceberg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

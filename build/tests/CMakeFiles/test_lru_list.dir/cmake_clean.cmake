@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lru_list.dir/test_lru_list.cc.o"
+  "CMakeFiles/test_lru_list.dir/test_lru_list.cc.o.d"
+  "test_lru_list"
+  "test_lru_list.pdb"
+  "test_lru_list[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lru_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_os_linux.dir/test_os_linux.cc.o"
+  "CMakeFiles/test_os_linux.dir/test_os_linux.cc.o.d"
+  "test_os_linux"
+  "test_os_linux.pdb"
+  "test_os_linux[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_os_linux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

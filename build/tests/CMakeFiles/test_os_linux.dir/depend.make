@@ -1,0 +1,2 @@
+# Empty dependencies file for test_os_linux.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_os_mosaic.dir/test_os_mosaic.cc.o"
+  "CMakeFiles/test_os_mosaic.dir/test_os_mosaic.cc.o.d"
+  "test_os_mosaic"
+  "test_os_mosaic.pdb"
+  "test_os_mosaic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_os_mosaic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

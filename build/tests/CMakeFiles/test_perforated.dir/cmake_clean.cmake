@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perforated.dir/test_perforated.cc.o"
+  "CMakeFiles/test_perforated.dir/test_perforated.cc.o.d"
+  "test_perforated"
+  "test_perforated.pdb"
+  "test_perforated[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perforated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

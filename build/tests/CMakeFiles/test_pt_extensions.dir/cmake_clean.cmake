@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pt_extensions.dir/test_pt_extensions.cc.o"
+  "CMakeFiles/test_pt_extensions.dir/test_pt_extensions.cc.o.d"
+  "test_pt_extensions"
+  "test_pt_extensions.pdb"
+  "test_pt_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pt_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

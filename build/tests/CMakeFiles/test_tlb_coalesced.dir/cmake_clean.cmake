@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tlb_coalesced.dir/test_tlb_coalesced.cc.o"
+  "CMakeFiles/test_tlb_coalesced.dir/test_tlb_coalesced.cc.o.d"
+  "test_tlb_coalesced"
+  "test_tlb_coalesced.pdb"
+  "test_tlb_coalesced[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tlb_coalesced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tlb_mosaic.dir/test_tlb_mosaic.cc.o"
+  "CMakeFiles/test_tlb_mosaic.dir/test_tlb_mosaic.cc.o.d"
+  "test_tlb_mosaic"
+  "test_tlb_mosaic.pdb"
+  "test_tlb_mosaic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tlb_mosaic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tlb_vanilla.dir/test_tlb_vanilla.cc.o"
+  "CMakeFiles/test_tlb_vanilla.dir/test_tlb_vanilla.cc.o.d"
+  "test_tlb_vanilla"
+  "test_tlb_vanilla.pdb"
+  "test_tlb_vanilla[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tlb_vanilla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
