@@ -19,12 +19,15 @@
  */
 
 #include <iostream>
+#include <iterator>
+#include <vector>
 
 #include "bench_common.hh"
 #include "core/vm_touch_sink.hh"
 #include "os/mosaic_vm.hh"
 #include "util/random.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 #include "workloads/factory.hh"
 
 using namespace mosaic;
@@ -99,53 +102,67 @@ main()
               << "memory=" << frames
               << " frames (MOSAIC_ABL_FRAMES)\n\n";
 
-    for (const WorkloadKind kind :
-         {WorkloadKind::Graph500, WorkloadKind::BTree}) {
+    // Every (workload-or-synthetic, factor, policy) run is an
+    // independent VM: flatten the whole grid onto the pool.
+    const EvictionPolicy policies[] = {EvictionPolicy::HorizonLru,
+                                       EvictionPolicy::LocalLru,
+                                       EvictionPolicy::ShrunkenCache};
+    constexpr std::size_t num_policies = std::size(policies);
+    const WorkloadKind kinds[] = {WorkloadKind::Graph500,
+                                  WorkloadKind::BTree};
+    constexpr std::size_t num_kinds = std::size(kinds);
+
+    ThreadPool &pool = ThreadPool::shared();
+    bench::WallTimer timer;
+
+    const std::size_t workload_cells = num_kinds * steps * num_policies;
+    std::vector<PolicyResult> results(workload_cells +
+                                      steps * num_policies);
+    const double cell_seconds = bench::timedParallelFor(
+        pool, results.size(), [&](std::size_t i) {
+            const EvictionPolicy policy = policies[i % num_policies];
+            if (i < workload_cells) {
+                const WorkloadKind kind =
+                    kinds[i / (steps * num_policies)];
+                const unsigned k = (i / num_policies) % steps;
+                results[i] = runPolicy(policy, kind, frames,
+                                       1.02 + 0.15 * k);
+            } else {
+                const unsigned k = static_cast<unsigned>(
+                    (i - workload_cells) / num_policies);
+                results[i] =
+                    runHotCold(policy, frames, 1.05 + 0.15 * k);
+            }
+        });
+
+    const auto print_block = [&](const std::string &title,
+                                 std::size_t base, double factor0) {
         TextTable table({"Footprint factor", "HorizonLRU",
                          "(rescues)", "LocalLRU",
                          "ShrunkenCache(2%)"});
         for (unsigned k = 0; k < steps; ++k) {
-            const double factor = 1.02 + 0.15 * k;
-            const PolicyResult horizon = runPolicy(
-                EvictionPolicy::HorizonLru, kind, frames, factor);
-            const PolicyResult local = runPolicy(
-                EvictionPolicy::LocalLru, kind, frames, factor);
-            const PolicyResult shrunk = runPolicy(
-                EvictionPolicy::ShrunkenCache, kind, frames, factor);
+            const PolicyResult *row = &results[base + k * num_policies];
             table.beginRow()
-                .cell(factor, 3)
-                .cell(horizon.swapIo)
-                .cell(horizon.rescues)
-                .cell(local.swapIo)
-                .cell(shrunk.swapIo);
+                .cell(factor0 + 0.15 * k, 3)
+                .cell(row[0].swapIo)
+                .cell(row[0].rescues)
+                .cell(row[1].swapIo)
+                .cell(row[2].swapIo);
         }
-        std::cout << "--- " << workloadName(kind) << " ---\n";
+        std::cout << "--- " << title << " ---\n";
         bench::printTable(table, std::cout);
         std::cout << "\n";
-    }
+    };
 
-    {
-        TextTable table({"Footprint factor", "HorizonLRU",
-                         "(rescues)", "LocalLRU",
-                         "ShrunkenCache(2%)"});
-        for (unsigned k = 0; k < steps; ++k) {
-            const double factor = 1.05 + 0.15 * k;
-            const PolicyResult horizon =
-                runHotCold(EvictionPolicy::HorizonLru, frames, factor);
-            const PolicyResult local =
-                runHotCold(EvictionPolicy::LocalLru, frames, factor);
-            const PolicyResult shrunk = runHotCold(
-                EvictionPolicy::ShrunkenCache, frames, factor);
-            table.beginRow()
-                .cell(factor, 3)
-                .cell(horizon.swapIo)
-                .cell(horizon.rescues)
-                .cell(local.swapIo)
-                .cell(shrunk.swapIo);
-        }
-        std::cout << "--- hot/cold synthetic (70 % hot reuse) ---\n";
-        bench::printTable(table, std::cout);
+    for (std::size_t p = 0; p < num_kinds; ++p) {
+        print_block(workloadName(kinds[p]),
+                    p * steps * num_policies, 1.02);
     }
+    print_block("hot/cold synthetic (70 % hot reuse)", workload_cells,
+                1.05);
+
+    bench::reportParallelism(std::cout, pool, timer.seconds(),
+                             cell_seconds);
 
     std::cout << "\nDesign takeaway: the shrunken-cache baseline "
                  "pays for its reserved delta of memory on every "

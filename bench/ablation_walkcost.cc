@@ -19,6 +19,9 @@
  */
 
 #include <iostream>
+#include <iterator>
+#include <memory>
+#include <vector>
 
 #include "bench_common.hh"
 #include "core/experiments.hh"
@@ -29,6 +32,7 @@
 #include "tlb/mosaic_tlb.hh"
 #include "tlb/vanilla_tlb.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 #include "workloads/access_sink.hh"
 #include "workloads/factory.hh"
 
@@ -188,18 +192,32 @@ main()
     std::cout << "Ablation: page-walk cost per design (1024-entry "
                  "8-way TLBs, workload scale " << scale << ")\n";
 
-    for (const WorkloadKind kind :
-         {WorkloadKind::Graph500, WorkloadKind::Gups}) {
-        const auto workload = makeFig6Workload(kind, scale);
-        WalkCostSim sim(workload->info().footprintBytes / pageSize);
-        workload->run(sim);
+    // The per-workload sims are independent: run both on the pool.
+    const WorkloadKind kinds[] = {WorkloadKind::Graph500,
+                                  WorkloadKind::Gups};
+    ThreadPool &pool = ThreadPool::shared();
+    bench::WallTimer timer;
 
+    std::vector<std::unique_ptr<WalkCostSim>> sims(std::size(kinds));
+    const double cell_seconds = bench::timedParallelFor(
+        pool, sims.size(), [&](std::size_t i) {
+            const auto workload = makeFig6Workload(kinds[i], scale);
+            sims[i] = std::make_unique<WalkCostSim>(
+                workload->info().footprintBytes / pageSize);
+            workload->run(*sims[i]);
+        });
+
+    for (std::size_t i = 0; i < sims.size(); ++i) {
         TextTable table({"Design", "TLB misses", "refs/walk",
                          "total walk refs"});
-        sim.report(table);
-        std::cout << "\n--- " << workloadName(kind) << " ---\n";
+        sims[i]->report(table);
+        std::cout << "\n--- " << workloadName(kinds[i]) << " ---\n";
         table.print(std::cout);
     }
+
+    std::cout << "\n";
+    bench::reportParallelism(std::cout, pool, timer.seconds(),
+                             cell_seconds);
 
     std::cout << "\nDesign takeaway: mosaic composes with both "
                  "miss-cost techniques — walk caches skip the upper "

@@ -8,14 +8,62 @@
 #ifndef MOSAIC_BENCH_BENCH_COMMON_HH_
 #define MOSAIC_BENCH_BENCH_COMMON_HH_
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 namespace mosaic::bench
 {
+
+/** Wall-clock stopwatch for speedup reporting. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * Report how a parallel sweep went: worker count, wall-clock time,
+ * and — when the sum of per-cell times is known — the achieved
+ * speedup over running the same cells serially.
+ */
+inline void
+reportParallelism(std::ostream &os, const ThreadPool &pool,
+                  double wall_seconds, double cell_seconds = 0.0)
+{
+    char line[160];
+    if (cell_seconds > 0.0 && wall_seconds > 0.0) {
+        std::snprintf(line, sizeof line,
+                      "threads=%u (MOSAIC_THREADS overrides)  "
+                      "wall=%.2fs  serial-equivalent=%.2fs  "
+                      "speedup=%.2fx",
+                      pool.threadCount(), wall_seconds, cell_seconds,
+                      cell_seconds / wall_seconds);
+    } else {
+        std::snprintf(line, sizeof line,
+                      "threads=%u (MOSAIC_THREADS overrides)  "
+                      "wall=%.2fs",
+                      pool.threadCount(), wall_seconds);
+    }
+    os << line << "\n";
+}
 
 /** Render a result table: aligned text by default, CSV when the
  *  MOSAIC_CSV environment variable is set (machine-readable runs). */
@@ -27,6 +75,27 @@ printTable(const TextTable &table, std::ostream &os)
         table.printCsv(os);
     else
         table.print(os);
+}
+
+/**
+ * parallelFor wrapper that times every task and returns the summed
+ * per-cell wall-clock seconds (the serial-equivalent cost), for
+ * reportParallelism's speedup line.
+ */
+template <typename Fn>
+inline double
+timedParallelFor(ThreadPool &pool, std::size_t n, Fn &&fn)
+{
+    std::vector<double> seconds(n, 0.0);
+    parallelFor(pool, n, [&](std::size_t i) {
+        const WallTimer timer;
+        fn(i);
+        seconds[i] = timer.seconds();
+    });
+    double total = 0.0;
+    for (const double s : seconds)
+        total += s;
+    return total;
 }
 
 /** Read a double knob from the environment. */

@@ -18,14 +18,15 @@
  */
 
 #include <cstdio>
-#include <future>
 #include <iostream>
+#include <iterator>
 #include <vector>
 
 #include "bench_common.hh"
 #include "core/experiments.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 using namespace mosaic;
 
@@ -92,20 +93,43 @@ main()
               << (options.kernelHugePages ? "on" : "off")
               << " (MOSAIC_FIG6_KERNEL)\n";
 
-    // The four panels are independent simulations: run them on
-    // worker threads and print in the paper's order.
+    // Every (workload × ways) cell is an independent simulation:
+    // flatten the whole grid onto the pool and print panels in the
+    // paper's order once all cells are in.
     const WorkloadKind kinds[] = {WorkloadKind::Graph500,
                                   WorkloadKind::BTree,
                                   WorkloadKind::Gups,
                                   WorkloadKind::XsBench};
-    std::vector<std::future<Fig6Result>> panels;
-    for (const WorkloadKind kind : kinds) {
-        panels.push_back(std::async(std::launch::async, [=] {
-            return runFig6(kind, options);
-        }));
+    constexpr std::size_t num_panels = std::size(kinds);
+    const std::size_t ways_count = options.waysList.size();
+
+    ThreadPool &pool = ThreadPool::shared();
+    bench::WallTimer timer;
+
+    std::vector<Fig6Cell> cells(num_panels * ways_count);
+    parallelFor(pool, cells.size(), [&](std::size_t i) {
+        cells[i] = runFig6Cell(kinds[i / ways_count], options,
+                               i % ways_count);
+    });
+
+    double cell_seconds = 0.0;
+    for (std::size_t p = 0; p < num_panels; ++p) {
+        Fig6Result result;
+        result.kind = kinds[p];
+        result.arities = options.arities;
+        for (std::size_t w = 0; w < ways_count; ++w) {
+            Fig6Cell &cell = cells[p * ways_count + w];
+            result.footprintBytes = cell.footprintBytes;
+            result.accesses = cell.accesses;
+            cell_seconds += cell.seconds;
+            result.rows.push_back(std::move(cell.row));
+        }
+        printPanel(result);
     }
-    for (auto &panel : panels)
-        printPanel(panel.get());
+
+    std::cout << "\n";
+    bench::reportParallelism(std::cout, pool, timer.seconds(),
+                             cell_seconds);
 
     std::cout << "\nPaper reference (gigabyte footprints): Mosaic-4 "
                  "reduces misses 6-81 % on Graph500/BTree/XSBench, "

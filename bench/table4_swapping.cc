@@ -16,10 +16,13 @@
  */
 
 #include <iostream>
+#include <iterator>
+#include <vector>
 
 #include "bench_common.hh"
 #include "core/experiments.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 using namespace mosaic;
 
@@ -41,21 +44,37 @@ main()
               << " (MOSAIC_T4_STEPS), runs=" << runs
               << " (MOSAIC_T4_RUNS)\n\n";
 
-    for (const WorkloadKind kind :
-         {WorkloadKind::Graph500, WorkloadKind::XsBench,
-          WorkloadKind::BTree}) {
+    // One task per (workload, footprint-step) row; repetitions nest
+    // through the same pool.
+    const WorkloadKind kinds[] = {WorkloadKind::Graph500,
+                                  WorkloadKind::XsBench,
+                                  WorkloadKind::BTree};
+    constexpr std::size_t num_kinds = std::size(kinds);
+
+    ThreadPool &pool = ThreadPool::shared();
+    bench::WallTimer timer;
+
+    std::vector<Table4Row> rows(num_kinds * steps);
+    parallelFor(pool, rows.size(), [&](std::size_t i) {
+        const unsigned k = static_cast<unsigned>(i % steps);
+        // Paper's ladder: 1.0151 + k * 0.0625 (up to 1.577 at
+        // ten steps).
+        Table4Options options;
+        options.memFrames = frames;
+        options.footprintFactor =
+            1.0151 + 0.0625 * (k * (steps > 1 ? 9.0 / (steps - 1)
+                                              : 0.0));
+        options.runs = runs;
+        rows[i] = runTable4(kinds[i / steps], options, pool);
+    });
+
+    double cell_seconds = 0.0;
+    for (std::size_t p = 0; p < num_kinds; ++p) {
         TextTable table({"Footprint(MiB)", "Linux (pages)",
                          "Mosaic (pages)", "Difference (%)"});
         for (unsigned k = 0; k < steps; ++k) {
-            // Paper's ladder: 1.0151 + k * 0.0625 (up to 1.577 at
-            // ten steps).
-            Table4Options options;
-            options.memFrames = frames;
-            options.footprintFactor =
-                1.0151 + 0.0625 * (k * (steps > 1 ? 9.0 / (steps - 1)
-                                                  : 0.0));
-            options.runs = runs;
-            const Table4Row row = runTable4(kind, options);
+            const Table4Row &row = rows[p * steps + k];
+            cell_seconds += row.cellSeconds;
             table.beginRow()
                 .cell(static_cast<double>(row.footprintBytes) /
                           (1024.0 * 1024.0),
@@ -64,12 +83,16 @@ main()
                 .cell(row.mosaicSwapIo.mean(), 0)
                 .cell(row.differencePct(), 2);
         }
-        std::cout << "--- " << workloadName(kind)
+        std::cout << "--- " << workloadName(kinds[p])
                   << " (positive difference = Mosaic swaps less) "
                      "---\n";
         bench::printTable(table, std::cout);
         std::cout << "\n";
     }
+
+    bench::reportParallelism(std::cout, pool, timer.seconds(),
+                             cell_seconds);
+    std::cout << "\n";
 
     std::cout << "Paper reference: Mosaic is slightly worse only at "
                  "the smallest footprint (about -98 % Graph500, "

@@ -12,6 +12,16 @@
  *               steady state under the mosaic allocator (Table 3).
  *  - runTable4: swap I/O, Linux baseline vs Mosaic/Horizon LRU,
  *               across over-commit factors (Table 4).
+ *
+ * Parallelism and determinism (see DESIGN.md §8): every sweep is
+ * decomposed into independent *cells* — one ways value for Figure 6,
+ * one repetition for Tables 3/4 — each of which builds its own
+ * TLB/page-table/allocator stack and owns its RNG streams outright.
+ * A cell's streams are a pure function of (options.seed, cell
+ * identity) via experimentCellSeed(), never a shared generator, so
+ * results are bit-identical at any thread count. Cells run on a
+ * ThreadPool; pass one explicitly to pin the worker count (tests),
+ * or use the overloads without one for ThreadPool::shared().
  */
 
 #ifndef MOSAIC_CORE_EXPERIMENTS_HH_
@@ -20,11 +30,26 @@
 #include <cstdint>
 #include <vector>
 
+#include "hash/mix.hh"
 #include "util/stats.hh"
+#include "util/thread_pool.hh"
 #include "workloads/factory.hh"
 
 namespace mosaic
 {
+
+/**
+ * The RNG seed of experiment cell @p cell of an experiment seeded
+ * with @p seed: both words pass through the mix64 finalizer, so
+ * consecutive cell indices yield statistically independent streams
+ * (unlike the additive seed+k*1000 scheme this replaces, whose
+ * xoshiro states differed in two bits).
+ */
+constexpr std::uint64_t
+experimentCellSeed(std::uint64_t seed, std::uint64_t cell)
+{
+    return mix64(seed ^ mix64(cell + 0x9E3779B97F4A7C15ull));
+}
 
 // ---------------------------------------------------------------- Fig 6
 
@@ -61,8 +86,40 @@ struct Fig6Result
     std::uint64_t accesses = 0;
     std::vector<unsigned> arities;
     std::vector<Fig6Row> rows;
+
+    /** Sum of per-cell wall-clock seconds (the serial-equivalent
+     *  cost). Timing only — not deterministic, never compared. */
+    double cellSeconds = 0.0;
 };
 
+/**
+ * One (workload × ways) cell of the Figure 6 sweep: a full
+ * simulation of options.waysList[ways_index] against every arity.
+ *
+ * Figure 6 cells deliberately share one reference stream: the figure
+ * compares TLB geometries *on the same trace*, so the workload and
+ * kernel streams are derived from options.seed alone (not the cell
+ * index) and each cell re-derives identical private copies.
+ */
+struct Fig6Cell
+{
+    Fig6Row row;
+    std::uint64_t footprintBytes = 0;
+    std::uint64_t accesses = 0;
+
+    /** Wall-clock seconds this cell took (timing only). */
+    double seconds = 0.0;
+};
+
+Fig6Cell runFig6Cell(WorkloadKind kind, const Fig6Options &options,
+                     std::size_t ways_index);
+
+/** Run all cells of one panel on @p pool and assemble the result in
+ *  waysList order. */
+Fig6Result runFig6(WorkloadKind kind, const Fig6Options &options,
+                   ThreadPool &pool);
+
+/** runFig6 on ThreadPool::shared(). */
 Fig6Result runFig6(WorkloadKind kind, const Fig6Options &options);
 
 // -------------------------------------------------------------- Table 3
@@ -93,8 +150,18 @@ struct Table3Row
 
     /** Steady-state utilization (%). */
     RunningStat steadyPct;
+
+    /** Sum of per-run wall-clock seconds (timing only). */
+    double cellSeconds = 0.0;
 };
 
+/** Cells are the repetitions; run r is seeded with
+ *  experimentCellSeed(options.seed, r). Samples fold into the
+ *  RunningStats in run order regardless of completion order. */
+Table3Row runTable3(WorkloadKind kind, const Table3Options &options,
+                    ThreadPool &pool);
+
+/** runTable3 on ThreadPool::shared(). */
 Table3Row runTable3(WorkloadKind kind, const Table3Options &options);
 
 // -------------------------------------------------------------- Table 4
@@ -118,10 +185,19 @@ struct Table4Row
     RunningStat linuxSwapIo;
     RunningStat mosaicSwapIo;
 
+    /** Sum of per-run wall-clock seconds (timing only). */
+    double cellSeconds = 0.0;
+
     /** Percent reduction by Mosaic (positive = Mosaic swaps less). */
     double differencePct() const;
 };
 
+/** Cells are the repetitions (both VMs of a run form one cell);
+ *  seeding and fold order as in runTable3. */
+Table4Row runTable4(WorkloadKind kind, const Table4Options &options,
+                    ThreadPool &pool);
+
+/** runTable4 on ThreadPool::shared(). */
 Table4Row runTable4(WorkloadKind kind, const Table4Options &options);
 
 } // namespace mosaic

@@ -1,0 +1,178 @@
+#include "util/thread_pool.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+#include "util/log.hh"
+
+namespace mosaic
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultThreadCount();
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    available_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ensure(!stopping_, "thread_pool: submit after shutdown");
+        tasks_.push_back(std::move(task));
+    }
+    available_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            available_.wait(lock, [this] {
+                return stopping_ || !tasks_.empty();
+            });
+            if (tasks_.empty())
+                return; // stopping, queue drained
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        task();
+    }
+}
+
+unsigned
+ThreadPool::defaultThreadCount()
+{
+    if (const char *env = std::getenv("MOSAIC_THREADS")) {
+        const long parsed = std::atol(env);
+        if (parsed > 0)
+            return static_cast<unsigned>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool &
+ThreadPool::shared()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+namespace
+{
+
+/** State shared by the drainers of one parallelFor call. */
+struct LoopState
+{
+    explicit LoopState(std::size_t n,
+                       const std::function<void(std::size_t)> &f)
+        : total(n), fn(f), errors(n)
+    {
+    }
+
+    const std::size_t total;
+    const std::function<void(std::size_t)> &fn;
+
+    /** Next unclaimed index. */
+    std::atomic<std::size_t> next{0};
+
+    /** Indices finished (successfully or not). */
+    std::atomic<std::size_t> done{0};
+
+    /** Slot i is written only by the claimant of index i. */
+    std::vector<std::exception_ptr> errors;
+
+    std::mutex mutex;
+    std::condition_variable finished;
+
+    /** Claim and run indices until none remain. */
+    void
+    drain()
+    {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= total)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+            if (done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+                    total) {
+                const std::lock_guard<std::mutex> lock(mutex);
+                finished.notify_all();
+            }
+        }
+    }
+};
+
+} // namespace
+
+void
+parallelFor(ThreadPool &pool, std::size_t n,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (n == 1 || pool.threadCount() <= 1) {
+        // Run inline; still wrap for uniform exception behavior.
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    // The state must outlive the last helper to *touch* it, which can
+    // be after the caller returns (a helper that wakes late and finds
+    // no index left), hence shared ownership.
+    auto state = std::make_shared<LoopState>(n, fn);
+    const std::size_t helpers =
+        std::min<std::size_t>(pool.threadCount(), n - 1);
+    for (std::size_t h = 0; h < helpers; ++h)
+        pool.submit([state] { state->drain(); });
+
+    state->drain(); // the caller works too — no idle blocking
+
+    {
+        std::unique_lock<std::mutex> lock(state->mutex);
+        state->finished.wait(lock, [&] {
+            return state->done.load(std::memory_order_acquire) ==
+                   state->total;
+        });
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (state->errors[i])
+            std::rethrow_exception(state->errors[i]);
+    }
+}
+
+void
+parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
+{
+    parallelFor(ThreadPool::shared(), n, fn);
+}
+
+} // namespace mosaic

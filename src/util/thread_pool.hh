@@ -1,0 +1,101 @@
+/**
+ * @file
+ * A fixed-size worker pool and a blocking parallel-for built on it,
+ * used to run independent experiment cells (one TLB/page-table/
+ * allocator stack each) concurrently.
+ *
+ * Design constraints, in order:
+ *  - determinism is the caller's job made easy: parallelFor hands out
+ *    indices, the caller writes into pre-sized slots, and exceptions
+ *    are rethrown by the lowest failing index, so nothing observable
+ *    depends on thread scheduling;
+ *  - no deadlocks under nesting: the thread calling parallelFor also
+ *    drains loop items itself, so a parallelFor issued from inside a
+ *    pool task completes even if every worker is busy;
+ *  - the worker count is overridable with the MOSAIC_THREADS
+ *    environment variable (benches and CI pin it to compare runs).
+ */
+
+#ifndef MOSAIC_UTIL_THREAD_POOL_HH_
+#define MOSAIC_UTIL_THREAD_POOL_HH_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mosaic
+{
+
+/** Fixed-size pool of worker threads consuming a FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p threads workers; 0 means defaultThreadCount().
+     * The pool never grows or shrinks afterwards.
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains nothing: queued tasks still run, then workers join. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Enqueue a task; it runs on some worker, eventually. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Worker count used by default-constructed pools: the
+     * MOSAIC_THREADS environment variable when set to a positive
+     * integer, otherwise std::thread::hardware_concurrency()
+     * (minimum 1).
+     */
+    static unsigned defaultThreadCount();
+
+    /** A process-wide pool of defaultThreadCount() workers. */
+    static ThreadPool &shared();
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable available_;
+    std::deque<std::function<void()>> tasks_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+/**
+ * Run fn(0) .. fn(n-1) across the pool and the calling thread; the
+ * call returns when every index has completed. Indices are claimed
+ * in order but may finish in any order, so callers that need
+ * deterministic output should write fn(i)'s result into slot i of a
+ * pre-sized container and fold sequentially afterwards.
+ *
+ * If any invocation throws, the exception thrown by the *lowest*
+ * index is rethrown here (the rest are discarded), after all indices
+ * have finished — deterministic regardless of scheduling.
+ *
+ * Safe to call from inside a pool task: the caller participates in
+ * the loop, so progress never depends on a free worker.
+ */
+void parallelFor(ThreadPool &pool, std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+/** parallelFor on the shared() pool. */
+void parallelFor(std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace mosaic
+
+#endif // MOSAIC_UTIL_THREAD_POOL_HH_

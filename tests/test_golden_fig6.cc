@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Golden-result regression for the Fig 6 pipeline: a small
+ * fixed-seed GUPS run must reproduce this checked-in table exactly,
+ * on any thread count. Guards the whole stack — workload generation,
+ * iceberg placement, TLB simulation, and the parallel experiment
+ * engine — against silent behavior drift. If a deliberate change
+ * (new RNG stream, different placement order, ...) moves these
+ * numbers, regenerate the table and explain why in the commit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/experiments.hh"
+#include "util/thread_pool.hh"
+
+namespace mosaic
+{
+namespace
+{
+
+struct GoldenRow
+{
+    unsigned ways;
+    std::uint64_t vanillaMisses;
+    std::vector<std::uint64_t> mosaicMisses; // per arity {4, 16}
+};
+
+// Generated with the options below at seed 1. Bit-exact on every
+// platform: the simulation is pure integer math over xoshiro256**
+// streams.
+const std::uint64_t goldenFootprintBytes = 2097152;
+const std::uint64_t goldenAccesses = 126953;
+const std::vector<GoldenRow> goldenRows = {
+    {1, 31877, {2773, 1507}},
+    {8, 31626, {1717, 1279}},
+    {256, 31555, {1729, 1270}},
+};
+
+Fig6Options
+goldenOptions()
+{
+    Fig6Options o;
+    o.scale = 1.0 / 64;
+    o.waysList = {1, 8, 256};
+    o.arities = {4, 16};
+    o.tlbEntries = 256;
+    o.seed = 1;
+    return o;
+}
+
+void
+expectGolden(const Fig6Result &r)
+{
+    EXPECT_EQ(r.footprintBytes, goldenFootprintBytes);
+    EXPECT_EQ(r.accesses, goldenAccesses);
+    ASSERT_EQ(r.arities, (std::vector<unsigned>{4, 16}));
+    ASSERT_EQ(r.rows.size(), goldenRows.size());
+    for (std::size_t w = 0; w < goldenRows.size(); ++w) {
+        EXPECT_EQ(r.rows[w].ways, goldenRows[w].ways);
+        EXPECT_EQ(r.rows[w].vanillaMisses, goldenRows[w].vanillaMisses)
+            << "ways " << goldenRows[w].ways;
+        ASSERT_EQ(r.rows[w].mosaicMisses.size(),
+                  goldenRows[w].mosaicMisses.size());
+        for (std::size_t a = 0; a < goldenRows[w].mosaicMisses.size();
+                 ++a) {
+            EXPECT_EQ(r.rows[w].mosaicMisses[a],
+                      goldenRows[w].mosaicMisses[a])
+                << "ways " << goldenRows[w].ways << " arity index "
+                << a;
+        }
+    }
+}
+
+TEST(GoldenFig6, SerialRunMatchesCheckedInTable)
+{
+    ThreadPool one(1);
+    expectGolden(runFig6(WorkloadKind::Gups, goldenOptions(), one));
+}
+
+TEST(GoldenFig6, ParallelRunMatchesCheckedInTable)
+{
+    ThreadPool many(
+        std::max(4u, std::thread::hardware_concurrency()));
+    expectGolden(runFig6(WorkloadKind::Gups, goldenOptions(), many));
+}
+
+} // namespace
+} // namespace mosaic

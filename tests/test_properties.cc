@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Randomized property tests of the iceberg allocation invariants
+ * (paper §2.3), run across many random seeds:
+ *
+ *  - every placed page lands in one of its h = f + d*b hash-chosen
+ *    candidate slots (h = 104 with the paper's geometry), and the
+ *    CPFN encoding round-trips to the same frame;
+ *  - no frame is ever double-mapped;
+ *  - utilization never exceeds capacity;
+ *  - freeing pages and re-allocating the same pages restores the
+ *    frame-table counts exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/experiments.hh"
+#include "mem/frame_table.hh"
+#include "mem/mosaic_allocator.hh"
+#include "util/random.hh"
+
+namespace mosaic
+{
+namespace
+{
+
+constexpr unsigned numSeeds = 24; // >= 20 random seeds
+
+/** Small paper-geometry memory: 64 buckets = 4096 frames. */
+MemoryGeometry
+smallGeometry(std::uint64_t seed)
+{
+    MemoryGeometry g;
+    g.numFrames = 64 * g.slotsPerBucket();
+    g.hashSeed = experimentCellSeed(0xF00D, seed);
+    return g;
+}
+
+/** All candidate slots of a page, in (pfn, cpfn) pairs. Slots may
+ *  repeat a PFN when two hash choices pick the same bucket. */
+std::vector<std::pair<Pfn, Cpfn>>
+candidateSlots(const MosaicAllocator &alloc, const CandidateSet &cand)
+{
+    std::vector<std::pair<Pfn, Cpfn>> slots;
+    alloc.forEachCandidate(cand, [&](Pfn pfn, Cpfn cpfn) {
+        slots.emplace_back(pfn, cpfn);
+    });
+    return slots;
+}
+
+TEST(IcebergProperties, PlacementsStayInsideCandidateSets)
+{
+    for (std::uint64_t seed = 0; seed < numSeeds; ++seed) {
+        const MemoryGeometry g = smallGeometry(seed);
+        MosaicAllocator alloc(g);
+        FrameTable frames(g.numFrames);
+        const auto no_ghosts = [](const Frame &) { return false; };
+
+        ASSERT_EQ(g.associativity(), 104u); // the paper's h
+
+        Rng rng(experimentCellSeed(seed, 1));
+        std::set<Pfn> mapped;
+        Tick t = 0;
+        for (;;) {
+            // Sparse random pages across three address spaces.
+            const PageId page{static_cast<Asid>(1 + rng.below(3)),
+                              rng()};
+            const CandidateSet cand =
+                alloc.mapper().candidates(page);
+            const auto slots = candidateSlots(alloc, cand);
+            ASSERT_EQ(slots.size(), 104u);
+
+            const auto placement =
+                alloc.place(cand, frames, no_ghosts);
+            if (!placement)
+                break; // first associativity conflict: stop
+
+            // The chosen frame is one of the page's hash choices...
+            bool in_candidates = false;
+            for (const auto &[pfn, cpfn] : slots)
+                in_candidates = in_candidates || pfn == placement->pfn;
+            ASSERT_TRUE(in_candidates)
+                << "seed " << seed << ": frame " << placement->pfn
+                << " outside the candidate set";
+
+            // ...the CPFN encoding round-trips to the same frame...
+            ASSERT_EQ(alloc.mapper().toPfn(cand, placement->cpfn),
+                      placement->pfn);
+            ASSERT_EQ(alloc.mapper().toCpfn(cand, placement->pfn),
+                      placement->cpfn);
+
+            // ...and the frame was genuinely free (no double-map).
+            ASSERT_FALSE(frames.frame(placement->pfn).used);
+            ASSERT_TRUE(mapped.insert(placement->pfn).second)
+                << "seed " << seed << ": frame " << placement->pfn
+                << " double-mapped";
+
+            frames.map(placement->pfn, page, ++t);
+            ASSERT_LE(frames.usedFrames(), frames.numFrames());
+            ASSERT_LE(frames.utilization(), 1.0);
+        }
+
+        // The iceberg fill must get close to full before the first
+        // conflict (the paper's ~98 %) — far above what an
+        // unbalanced placement would reach.
+        EXPECT_GT(frames.utilization(), 0.9) << "seed " << seed;
+        EXPECT_EQ(frames.usedFrames(), mapped.size());
+    }
+}
+
+TEST(IcebergProperties, FreeAndReallocRoundTripRestoresCounts)
+{
+    for (std::uint64_t seed = 0; seed < numSeeds; ++seed) {
+        const MemoryGeometry g = smallGeometry(seed);
+        MosaicAllocator alloc(g);
+        FrameTable frames(g.numFrames);
+        const auto no_ghosts = [](const Frame &) { return false; };
+
+        // Fill to the first conflict, remembering every page.
+        Rng rng(experimentCellSeed(seed, 2));
+        std::vector<PageId> pages;
+        Tick t = 0;
+        for (;;) {
+            const PageId page{1, rng()};
+            const auto placement = alloc.place(
+                alloc.mapper().candidates(page), frames, no_ghosts);
+            if (!placement)
+                break;
+            frames.map(placement->pfn, page, ++t);
+            pages.push_back(page);
+        }
+        const std::size_t full = frames.usedFrames();
+        ASSERT_EQ(full, pages.size());
+
+        // Free every third page and immediately re-allocate it.
+        // Placement is a greedy d-choice policy, so the page may
+        // land in a *different* candidate slot than before — but it
+        // must always find one (its own vacated slot is free), and
+        // each round trip must restore the counts exactly.
+        for (std::size_t i = 0; i < pages.size(); i += 3) {
+            const CandidateSet cand =
+                alloc.mapper().candidates(pages[i]);
+            // Find the frame owning this page among its candidates.
+            Pfn owner = invalidPfn;
+            alloc.forEachCandidate(cand, [&](Pfn pfn, Cpfn) {
+                const Frame &f = frames.frame(pfn);
+                if (f.used && f.owner == pages[i])
+                    owner = pfn;
+            });
+            ASSERT_NE(owner, invalidPfn) << "seed " << seed;
+            frames.unmap(owner);
+            ASSERT_EQ(frames.usedFrames(), full - 1);
+
+            const auto placement =
+                alloc.place(cand, frames, no_ghosts);
+            ASSERT_TRUE(placement.has_value()) << "seed " << seed;
+            ASSERT_FALSE(frames.frame(placement->pfn).used);
+            frames.map(placement->pfn, pages[i], ++t);
+            ASSERT_EQ(frames.usedFrames(), full);
+        }
+        EXPECT_EQ(frames.usedFrames(), full) << "seed " << seed;
+    }
+}
+
+TEST(IcebergProperties, OccupiedSlotsAlwaysOwnedByAHashChoice)
+{
+    // After heavy churn (map/unmap interleaved), every used frame's
+    // owner must still list that frame among its candidates.
+    for (std::uint64_t seed = 0; seed < numSeeds; ++seed) {
+        const MemoryGeometry g = smallGeometry(seed);
+        MosaicAllocator alloc(g);
+        FrameTable frames(g.numFrames);
+        const auto no_ghosts = [](const Frame &) { return false; };
+
+        Rng rng(experimentCellSeed(seed, 3));
+        std::vector<std::pair<PageId, Pfn>> live;
+        Tick t = 0;
+        for (int step = 0; step < 4000; ++step) {
+            if (!live.empty() && rng.chance(0.4)) {
+                const std::size_t victim = rng.below(live.size());
+                frames.unmap(live[victim].second);
+                live[victim] = live.back();
+                live.pop_back();
+                continue;
+            }
+            const PageId page{1, rng()};
+            const auto placement = alloc.place(
+                alloc.mapper().candidates(page), frames, no_ghosts);
+            if (!placement)
+                continue; // conflict under churn: just skip
+            frames.map(placement->pfn, page, ++t);
+            live.emplace_back(page, placement->pfn);
+        }
+
+        for (const auto &[page, pfn] : live) {
+            const Frame &f = frames.frame(pfn);
+            ASSERT_TRUE(f.used);
+            ASSERT_EQ(f.owner.asid, page.asid);
+            ASSERT_EQ(f.owner.vpn, page.vpn);
+            bool in_candidates = false;
+            alloc.forEachCandidate(
+                alloc.mapper().candidates(page), [&](Pfn p, Cpfn) {
+                    in_candidates = in_candidates || p == pfn;
+                });
+            ASSERT_TRUE(in_candidates) << "seed " << seed;
+        }
+        ASSERT_EQ(frames.usedFrames(), live.size());
+    }
+}
+
+} // namespace
+} // namespace mosaic
