@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "core/experiment_export.hh"
 #include "core/vm_touch_sink.hh"
 #include "os/mosaic_vm.hh"
 #include "util/random.hh"
@@ -37,8 +38,18 @@ namespace
 
 struct PolicyResult
 {
-    std::uint64_t swapIo = 0;
-    std::uint64_t rescues = 0;
+    VmStats vm;
+
+    std::uint64_t
+    swapIo() const
+    {
+        return vm.swapIns + vm.swapOuts;
+    }
+    std::uint64_t
+    rescues() const
+    {
+        return vm.ghostRescues;
+    }
 };
 
 PolicyResult
@@ -55,8 +66,7 @@ runPolicy(EvictionPolicy policy, WorkloadKind kind,
     const auto workload = makeFootprintWorkload(kind, footprint, 7);
     VmTouchSink sink(vm, 1);
     workload->run(sink);
-    return {vm.stats().swapIns + vm.stats().swapOuts,
-            vm.stats().ghostRescues};
+    return {vm.stats()};
 }
 
 /** Hot/cold synthetic: 70 % of touches hit a hot half of memory,
@@ -83,8 +93,7 @@ runHotCold(EvictionPolicy policy, std::size_t frames, double factor)
             cold_cursor = cold_cursor + 1 >= total ? hot : cold_cursor + 1;
         }
     }
-    return {vm.stats().swapIns + vm.stats().swapOuts,
-            vm.stats().ghostRescues};
+    return {vm.stats()};
 }
 
 } // namespace
@@ -135,19 +144,35 @@ main()
             }
         });
 
+    auto report = bench::makeReport("ablation_eviction", 7,
+                                    pool.threadCount());
+    report.config("memFrames", static_cast<std::uint64_t>(frames));
+    report.config("steps", static_cast<std::uint64_t>(steps));
+
     const auto print_block = [&](const std::string &title,
+                                 const std::string &metric_key,
                                  std::size_t base, double factor0) {
         TextTable table({"Footprint factor", "HorizonLRU",
                          "(rescues)", "LocalLRU",
                          "ShrunkenCache(2%)"});
+        // The VM's stats struct registers itself (forEachMetric);
+        // nothing is hand-copied here.
+        const char *policy_keys[] = {"horizonLru", "localLru",
+                                     "shrunkenCache"};
         for (unsigned k = 0; k < steps; ++k) {
             const PolicyResult *row = &results[base + k * num_policies];
+            const std::string prefix = "abl.eviction." + metric_key +
+                                       ".step" + std::to_string(k);
+            auto &m = report.metrics();
+            m.gauge(prefix + ".footprintFactor", factor0 + 0.15 * k);
+            for (std::size_t p = 0; p < num_policies; ++p)
+                m.addStats(prefix + "." + policy_keys[p], row[p].vm);
             table.beginRow()
                 .cell(factor0 + 0.15 * k, 3)
-                .cell(row[0].swapIo)
-                .cell(row[0].rescues)
-                .cell(row[1].swapIo)
-                .cell(row[2].swapIo);
+                .cell(row[0].swapIo())
+                .cell(row[0].rescues())
+                .cell(row[1].swapIo())
+                .cell(row[2].swapIo());
         }
         std::cout << "--- " << title << " ---\n";
         bench::printTable(table, std::cout);
@@ -156,13 +181,16 @@ main()
 
     for (std::size_t p = 0; p < num_kinds; ++p) {
         print_block(workloadName(kinds[p]),
+                    metricWorkloadKey(kinds[p]),
                     p * steps * num_policies, 1.02);
     }
-    print_block("hot/cold synthetic (70 % hot reuse)", workload_cells,
-                1.05);
+    print_block("hot/cold synthetic (70 % hot reuse)", "hotcold",
+                workload_cells, 1.05);
 
     bench::reportParallelism(std::cout, pool, timer.seconds(),
                              cell_seconds);
+    bench::finishReport(report, std::cout, timer.seconds(),
+                        cell_seconds);
 
     std::cout << "\nDesign takeaway: the shrunken-cache baseline "
                  "pays for its reserved delta of memory on every "

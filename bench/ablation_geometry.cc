@@ -102,6 +102,11 @@ main()
             loads[i] = 100.0 * firstConflictLoad(g, r + 1);
         });
 
+    auto report = bench::makeReport("ablation_geometry", 1,
+                                    pool.threadCount());
+    report.config("buckets", static_cast<std::uint64_t>(buckets));
+    report.config("runs", static_cast<std::uint64_t>(runs));
+
     TextTable table({"front", "back", "d", "assoc h", "CPFN bits",
                      "1-delta % (mean)", "+/-", "note"});
     for (std::size_t ci = 0; ci < num_cases; ++ci) {
@@ -110,6 +115,16 @@ main()
         RunningStat load;
         for (unsigned r = 0; r < runs; ++r)
             load.add(loads[ci * runs + r]);
+        {
+            const std::string base =
+                "abl.geometry.f" + std::to_string(c.front) + "b" +
+                std::to_string(c.back) + "d" +
+                std::to_string(c.choices);
+            auto &m = report.metrics();
+            m.counter(base + ".associativity", g.associativity());
+            m.counter(base + ".cpfnBits", CpfnCodec(g).bits());
+            m.stat(base + ".utilizationPct", load);
+        }
         table.beginRow()
             .cell(std::to_string(c.front))
             .cell(std::to_string(c.back))
@@ -125,6 +140,8 @@ main()
     std::cout << "\n";
     bench::reportParallelism(std::cout, pool, timer.seconds(),
                              cell_seconds);
+    bench::finishReport(report, std::cout, timer.seconds(),
+                        cell_seconds);
 
     std::cout << "\nDesign takeaway: (56, 8, 6) hits ~98 % "
                  "utilization at exactly 7 CPFN bits, the paper's "

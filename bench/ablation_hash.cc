@@ -159,12 +159,28 @@ main()
                                    pattern, r);
         });
 
+    auto report = bench::makeReport("ablation_hash", 1,
+                                    pool.threadCount());
+    report.config("buckets", static_cast<std::uint64_t>(buckets));
+    report.config("runs", static_cast<std::uint64_t>(runs));
+    // Metric keys per hash family, aligned with `families` below.
+    const char *family_keys[] = {"tabulation", "xxhash64", "fmix64",
+                                 "weakMultiplicative"};
+    static_assert(std::size(family_keys) == num_families);
+
     for (std::size_t f = 0; f < num_families; ++f) {
         const Family &family = families[f];
         RunningStat seq, random;
         for (unsigned r = 0; r < runs; ++r) {
             seq.add(loads[f * runs * 2 + r * 2]);
             random.add(loads[f * runs * 2 + r * 2 + 1]);
+        }
+        {
+            const std::string base =
+                std::string("abl.hash.") + family_keys[f];
+            report.metrics().stat(base + ".seqUtilizationPct", seq);
+            report.metrics().stat(base + ".randomUtilizationPct",
+                                  random);
         }
         table.beginRow()
             .cell(family.name)
@@ -179,6 +195,8 @@ main()
     std::cout << "\n";
     bench::reportParallelism(std::cout, pool, timer.seconds(),
                              cell_seconds);
+    bench::finishReport(report, std::cout, timer.seconds(),
+                        cell_seconds);
 
     std::cout << "\nDesign takeaway: a regular multiplicative hash "
                  "can look perfect on a dense sequential fill (it "

@@ -109,11 +109,24 @@ main()
             results[i] = run(process_counts[i], scale, quantum);
         });
 
+    auto report = bench::makeReport("ablation_multiprogram", 100,
+                                    pool.threadCount());
+    report.config("scale", scale);
+    report.config("quantum", static_cast<std::uint64_t>(quantum));
+
     TextTable table({"Processes", "accesses", "Vanilla misses",
                      "Mosaic-8 misses", "Mosaic reduction %"});
     for (std::size_t i = 0; i < results.size(); ++i) {
         const unsigned processes = process_counts[i];
         const MultiprogramResult &r = results[i];
+        {
+            const std::string base = "abl.multiprogram.p" +
+                                     std::to_string(processes);
+            auto &m = report.metrics();
+            m.counter(base + ".accesses", r.accesses);
+            m.counter(base + ".vanillaMisses", r.vanillaMisses);
+            m.counter(base + ".mosaicMisses", r.mosaicMisses);
+        }
         table.beginRow()
             .cell(std::to_string(processes))
             .cell(r.accesses)
@@ -130,6 +143,8 @@ main()
     std::cout << "\n";
     bench::reportParallelism(std::cout, pool, timer.seconds(),
                              cell_seconds);
+    bench::finishReport(report, std::cout, timer.seconds(),
+                        cell_seconds);
 
     std::cout << "\nDesign takeaway: ASID-tagged entries avoid "
                  "flushes, but the shared TLB still thrashes as "

@@ -111,8 +111,22 @@ main()
         pool, outcomes.size(), [&](std::size_t i) {
             outcomes[i] = runPolicy(policies[i], pages, scans);
         });
+    auto report = bench::makeReport("ablation_scanner", 17,
+                                    pool.threadCount());
+    report.config("pages", static_cast<std::uint64_t>(pages));
+    report.config("scans", static_cast<std::uint64_t>(scans));
+
     const ScanOutcome &naive = outcomes[0];
     const ScanOutcome &sampled = outcomes[1];
+    const auto record = [&](const char *key, const ScanOutcome &o) {
+        const std::string base = std::string("abl.scanner.") + key;
+        auto &m = report.metrics();
+        m.gauge(base + ".clearsPerScan", o.clearsPerScan);
+        m.gauge(base + ".meanErrorHot", o.meanErrorHot);
+        m.gauge(base + ".meanErrorCold", o.meanErrorCold);
+    };
+    record("clearAll", naive);
+    record("sampledHotCold", sampled);
     table.beginRow()
         .cell("clear-all (naive)")
         .cell(naive.clearsPerScan, 0)
@@ -128,6 +142,8 @@ main()
     std::cout << "\n";
     bench::reportParallelism(std::cout, pool, timer.seconds(),
                              cell_seconds);
+    bench::finishReport(report, std::cout, timer.seconds(),
+                        cell_seconds);
 
     std::cout << "\nDesign takeaway: sampling removes most of the "
                  "scan-induced TLB invalidations; the timestamp "

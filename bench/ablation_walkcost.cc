@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "core/experiment_export.hh"
 #include "core/experiments.hh"
 #include "mem/mosaic_allocator.hh"
 #include "pt/hashed_page_table.hh"
@@ -130,6 +131,26 @@ class WalkCostSim : public AccessSink
         row("mosaic-4 hashed PT", tlbHashed_.stats(), hashedRefs_);
     }
 
+    void
+    exportMetrics(telemetry::Registry &m,
+                  const std::string &prefix) const
+    {
+        const auto design = [&](const char *key,
+                                const TlbStats &stats,
+                                std::uint64_t refs) {
+            const std::string base = prefix + "." + key;
+            m.counter(base + ".misses", stats.misses);
+            m.counter(base + ".walkRefs", refs);
+        };
+        design("vanillaRadix", tlbVanilla_.stats(), vanillaRefs_);
+        design("vanillaRadixPwc", tlbVanillaPwc_.stats(),
+               vanillaPwcRefs_);
+        design("mosaicRadix", tlbMosaic_.stats(), mosaicRefs_);
+        design("mosaicRadixPwc", tlbMosaicPwc_.stats(),
+               mosaicPwcRefs_);
+        design("mosaicHashedPt", tlbHashed_.stats(), hashedRefs_);
+    }
+
   private:
     static MemoryGeometry
     makeGeometry(std::uint64_t footprint_pages)
@@ -207,10 +228,17 @@ main()
             workload->run(*sims[i]);
         });
 
+    auto report = bench::makeReport("ablation_walkcost", 0,
+                                    pool.threadCount());
+    report.config("scale", scale);
+
     for (std::size_t i = 0; i < sims.size(); ++i) {
         TextTable table({"Design", "TLB misses", "refs/walk",
                          "total walk refs"});
         sims[i]->report(table);
+        sims[i]->exportMetrics(report.metrics(),
+                               "abl.walkcost." +
+                                   metricWorkloadKey(kinds[i]));
         std::cout << "\n--- " << workloadName(kinds[i]) << " ---\n";
         table.print(std::cout);
     }
@@ -218,6 +246,8 @@ main()
     std::cout << "\n";
     bench::reportParallelism(std::cout, pool, timer.seconds(),
                              cell_seconds);
+    bench::finishReport(report, std::cout, timer.seconds(),
+                        cell_seconds);
 
     std::cout << "\nDesign takeaway: mosaic composes with both "
                  "miss-cost techniques — walk caches skip the upper "

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/report.hh"
 #include "util/table.hh"
 #include "util/thread_pool.hh"
 
@@ -96,6 +97,37 @@ timedParallelFor(ThreadPool &pool, std::size_t n, Fn &&fn)
     for (const double s : seconds)
         total += s;
     return total;
+}
+
+/**
+ * Start the machine-readable report of a bench run: every bench
+ * creates one, registers its config knobs and metrics, and calls
+ * finishReport() last, so a BENCH_<name>.json artifact appears next
+ * to the stdout tables (opt-out: MOSAIC_NO_JSON; target directory:
+ * MOSAIC_JSON_DIR). See DESIGN.md §9 for the schema.
+ */
+inline telemetry::BenchReport
+makeReport(const std::string &bench, std::uint64_t seed,
+           unsigned threads = 1)
+{
+    telemetry::BenchReport report(bench);
+    report.manifest().seed = seed;
+    report.manifest().threads = threads;
+    return report;
+}
+
+/**
+ * Stamp timings into @p report and write it out, echoing the
+ * artifact path to @p os so runs show where their JSON landed.
+ */
+inline void
+finishReport(telemetry::BenchReport &report, std::ostream &os,
+             double wall_seconds, double cell_seconds = 0.0)
+{
+    report.timing().wallSeconds = wall_seconds;
+    report.timing().serialSeconds = cell_seconds;
+    if (const auto path = report.write())
+        os << "telemetry: " << *path << "\n";
 }
 
 /** Read a double knob from the environment. */

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Telemetry glue for the google-benchmark microbenches: a console
+ * reporter that mirrors every run into a telemetry registry, and a
+ * MOSAIC_GBENCH_MAIN macro replacing BENCHMARK_MAIN so each micro
+ * bench also writes BENCH_<name>.json (DESIGN.md §9).
+ *
+ * Metric names: micro.<BenchmarkName>.{iterations,realTimeNs,
+ * cpuTimeNs}, plus one gauge per user counter (itemsPerSecond,
+ * bytesPerSecond, ...). Benchmark-name separators ('/', ':') become
+ * dots, so BM_XxHash64Buffer/256 is micro.BM_XxHash64Buffer.256.
+ * Microbench values are timings and therefore machine-dependent —
+ * unlike the experiment benches there is no cross-run byte equality
+ * to expect.
+ */
+
+#ifndef MOSAIC_BENCH_BENCH_GBENCH_HH_
+#define MOSAIC_BENCH_BENCH_GBENCH_HH_
+
+#include <benchmark/benchmark.h>
+
+#include <cctype>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+
+namespace mosaic::bench
+{
+
+/** ConsoleReporter that also records runs into a BenchReport. */
+class TelemetryReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit TelemetryReporter(telemetry::BenchReport &report)
+        : report_(report)
+    {
+    }
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (!run.error_occurred)
+                record(run);
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+  private:
+    /** micro.<name> with path separators flattened to dots. */
+    static std::string
+    metricKey(const Run &run)
+    {
+        std::string key = "micro." + run.benchmark_name();
+        for (char &c : key) {
+            if (c == '/' || c == ':' || c == ' ')
+                c = '.';
+        }
+        return key;
+    }
+
+    /** user counter names are snake_case; metric leaves camelCase. */
+    static std::string
+    counterLeaf(const std::string &name)
+    {
+        std::string leaf;
+        bool upper = false;
+        for (const char c : name) {
+            if (c == '_') {
+                upper = true;
+            } else {
+                leaf += upper ? static_cast<char>(
+                                    std::toupper(
+                                        static_cast<unsigned char>(c)))
+                              : c;
+                upper = false;
+            }
+        }
+        return leaf;
+    }
+
+    void
+    record(const Run &run)
+    {
+        const std::string key = metricKey(run);
+        auto &m = report_.metrics();
+        // Aggregate runs (mean/stddev) re-report the family; their
+        // names carry a suffix, but guard against repetition runs
+        // sharing one name.
+        if (m.contains(key + ".iterations"))
+            return;
+        const auto iterations =
+            static_cast<std::uint64_t>(run.iterations);
+        const double denom =
+            iterations == 0 ? 1.0 : static_cast<double>(iterations);
+        m.counter(key + ".iterations", iterations);
+        m.gauge(key + ".realTimeNs",
+                run.real_accumulated_time / denom * 1e9);
+        m.gauge(key + ".cpuTimeNs",
+                run.cpu_accumulated_time / denom * 1e9);
+        for (const auto &[name, counter] : run.counters)
+            m.gauge(key + "." + counterLeaf(name), counter.value);
+    }
+
+    telemetry::BenchReport &report_;
+};
+
+/** Body of a micro bench's main(): BENCHMARK_MAIN plus telemetry. */
+inline int
+gbenchMain(const char *bench_name, int argc, char **argv)
+{
+    char arg0_default[] = "benchmark";
+    char *args_default = arg0_default;
+    if (argv == nullptr) {
+        argc = 1;
+        argv = &args_default;
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+
+    WallTimer timer;
+    // Microbenches draw no workload randomness: seed 0.
+    auto report = makeReport(bench_name, 0);
+    TelemetryReporter reporter(report);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    finishReport(report, std::cout, timer.seconds());
+    return 0;
+}
+
+} // namespace mosaic::bench
+
+/** Drop-in replacement for BENCHMARK_MAIN(). */
+#define MOSAIC_GBENCH_MAIN(bench_name)                                 \
+    int main(int argc, char **argv)                                    \
+    {                                                                  \
+        return mosaic::bench::gbenchMain(bench_name, argc, argv);      \
+    }
+
+#endif // MOSAIC_BENCH_BENCH_GBENCH_HH_

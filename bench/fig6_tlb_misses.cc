@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "core/experiment_export.hh"
 #include "core/experiments.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -106,6 +107,13 @@ main()
     ThreadPool &pool = ThreadPool::shared();
     bench::WallTimer timer;
 
+    auto report = bench::makeReport("fig6_tlb_misses", options.seed,
+                                    pool.threadCount());
+    report.config("scale", options.scale);
+    report.config("kernelHugePages", options.kernelHugePages);
+    report.config("tlbEntries",
+                  static_cast<std::uint64_t>(options.tlbEntries));
+
     std::vector<Fig6Cell> cells(num_panels * ways_count);
     parallelFor(pool, cells.size(), [&](std::size_t i) {
         cells[i] = runFig6Cell(kinds[i / ways_count], options,
@@ -124,12 +132,15 @@ main()
             cell_seconds += cell.seconds;
             result.rows.push_back(std::move(cell.row));
         }
+        recordFig6(report.metrics(), result);
         printPanel(result);
     }
 
     std::cout << "\n";
     bench::reportParallelism(std::cout, pool, timer.seconds(),
                              cell_seconds);
+    bench::finishReport(report, std::cout, timer.seconds(),
+                        cell_seconds);
 
     std::cout << "\nPaper reference (gigabyte footprints): Mosaic-4 "
                  "reduces misses 6-81 % on Graph500/BTree/XSBench, "

@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench.hh"
+
 #include <array>
 
 #include "hash/mix.hh"
@@ -85,4 +87,4 @@ BENCHMARK(BM_Mix64);
 
 } // namespace
 
-BENCHMARK_MAIN();
+MOSAIC_GBENCH_MAIN("micro_hash");

@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench.hh"
+
 #include <vector>
 
 #include "iceberg/iceberg_table.hh"
@@ -108,4 +110,4 @@ BENCHMARK(BM_IcebergChurnAtHighLoad);
 
 } // namespace
 
-BENCHMARK_MAIN();
+MOSAIC_GBENCH_MAIN("micro_iceberg");

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench.hh"
+
 #include "pt/hashed_page_table.hh"
 #include "pt/mosaic_page_table.hh"
 #include "pt/vanilla_page_table.hh"
@@ -93,4 +95,4 @@ BENCHMARK(BM_WalkCacheLookup);
 
 } // namespace
 
-BENCHMARK_MAIN();
+MOSAIC_GBENCH_MAIN("micro_pt");

@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench.hh"
+
 #include <vector>
 
 #include "tlb/mosaic_tlb.hh"
@@ -100,4 +102,4 @@ BENCHMARK(BM_MosaicConventionalLookup);
 
 } // namespace
 
-BENCHMARK_MAIN();
+MOSAIC_GBENCH_MAIN("micro_tlb");

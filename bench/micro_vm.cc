@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench.hh"
+
 #include "os/linux_vm.hh"
 #include "os/mosaic_vm.hh"
 
@@ -116,4 +118,4 @@ BENCHMARK(BM_LinuxVmEvictionPath);
 
 } // namespace
 
-BENCHMARK_MAIN();
+MOSAIC_GBENCH_MAIN("micro_vm");

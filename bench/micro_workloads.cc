@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench.hh"
+
 #include "workloads/factory.hh"
 #include "workloads/trace_file.hh"
 
@@ -107,4 +109,4 @@ BENCHMARK(BM_TraceRecordReplay)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+MOSAIC_GBENCH_MAIN("micro_workloads");

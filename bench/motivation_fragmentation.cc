@@ -47,6 +47,12 @@ main()
               << frames * pageSize / (1024 * 1024)
               << " MiB memory, 1024-entry 8-way TLB)\n\n";
 
+    bench::WallTimer timer;
+    auto report = bench::makeReport("motivation_fragmentation",
+                                    FragmentationOptions{}.seed);
+    report.config("numFrames", static_cast<std::uint64_t>(frames));
+    report.config("workload", workloadName(kind));
+
     // Two fragmentation regimes: pinning in 256 KiB chunks breaks
     // only 2 MiB contiguity (THP dies, CoLT's 8-page runs survive);
     // pinning single frames breaks everything contiguity-based.
@@ -71,6 +77,31 @@ main()
             options.pinGranularityOrder = regime.granularity;
             options.kind = kind;
             const FragmentationResult r = runFragmentation(options);
+            {
+                const std::string base =
+                    std::string("frag.") +
+                    (regime.granularity == 0 ? "fine" : "coarse") +
+                    ".pinned" +
+                    std::to_string(
+                        static_cast<unsigned>(pinned * 100.0));
+                auto &m = report.metrics();
+                m.gauge(base + ".fragmentationIndex",
+                        r.fragmentationIndex);
+                m.counter(base + ".misses4k", r.misses4k);
+                m.counter(base + ".missesThp", r.missesThp);
+                m.counter(base + ".hugeMappings", r.hugeMappings);
+                m.counter(base + ".hugeFallbacks", r.hugeFallbacks);
+                m.counter(base + ".missesColt", r.missesColt);
+                m.gauge(base + ".coltCoverage", r.coltCoverage);
+                m.counter(base + ".missesPerforated",
+                          r.missesPerforated);
+                m.counter(base + ".perforatedRegions",
+                          r.perforatedRegions);
+                m.counter(base + ".perforatedFallbacks",
+                          r.perforatedFallbacks);
+                m.gauge(base + ".meanHoles", r.meanHoles);
+                m.counter(base + ".missesMosaic", r.missesMosaic);
+            }
             char perf_note[48];
             std::snprintf(perf_note, sizeof(perf_note),
                           "%llu/%llu/%.0f",
@@ -130,6 +161,23 @@ main()
                     movable[free_frames[i]] = true;
                 const CompactionPlan plan = planCompaction(
                     frames, pinned, movable, wanted);
+                {
+                    const std::string base =
+                        std::string("frag.compaction.") +
+                        (granularity == 0 ? "fine" : "coarse") +
+                        ".pinned" +
+                        std::to_string(static_cast<unsigned>(
+                            pinned_frac * 100.0));
+                    auto &m = report.metrics();
+                    m.counter(base + ".regionsWanted", wanted);
+                    m.counter(base + ".regionsAchievable",
+                              plan.regionsAchievable);
+                    m.counter(base + ".pageCopies", plan.pageCopies);
+                    m.counter(base + ".bytesMoved",
+                              plan.bytesMoved());
+                    m.counter(base + ".windowsBlockedByPins",
+                              plan.windowsBlockedByPins);
+                }
                 table.beginRow()
                     .cell(pinned_frac * 100.0, 0)
                     .cell(granularity == 0 ? "fine" : "coarse")
@@ -147,6 +195,9 @@ main()
         bench::printTable(table, std::cout);
         std::cout << "\n";
     }
+
+    bench::finishReport(report, std::cout, timer.seconds());
+    std::cout << "\n";
 
     std::cout << "Paper context: every prior reach technique in "
                  "section 5.1-5.2 rides physical contiguity, and "

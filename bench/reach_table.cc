@@ -25,6 +25,17 @@ main()
     geometry.numFrames = 64 * 1024;
     const CpfnCodec codec(geometry);
 
+    bench::WallTimer timer;
+    // Pure arithmetic from the codec: no RNG, seed 0.
+    auto report = bench::makeReport("reach_table", 0);
+    report.config("numFrames",
+                  static_cast<std::uint64_t>(geometry.numFrames));
+    report.metrics().counter("reach.cpfnBits", codec.bits());
+    report.metrics().counter("reach.vanilla.payloadBits", pfnBits);
+    report.metrics().counter("reach.vanilla.reachBytes", pageSize);
+    report.metrics().counter("reach.vanilla.reach1024Bytes",
+                             1024 * pageSize);
+
     std::cout << "TLB entry arithmetic (from the CPFN codec: "
               << geometry.associativity() << "-way placement, "
               << unsigned{codec.bits()} << "-bit CPFNs; conventional "
@@ -50,6 +61,12 @@ main()
     for (const unsigned arity : {4u, 8u, 16u, 32u, 64u}) {
         const unsigned payload = arity * codec.bits();
         const std::uint64_t reach = std::uint64_t{arity} * pageSize;
+        const std::string base =
+            "reach.mosaic" + std::to_string(arity);
+        report.metrics().counter(base + ".payloadBits", payload);
+        report.metrics().counter(base + ".reachBytes", reach);
+        report.metrics().counter(base + ".reach1024Bytes",
+                                 1024 * reach);
         table.beginRow()
             .cell("Mosaic-" + std::to_string(arity))
             .cell(std::to_string(payload))
@@ -58,6 +75,7 @@ main()
             .cell(std::to_string(arity) + "x");
     }
     bench::printTable(table, std::cout);
+    bench::finishReport(report, std::cout, timer.seconds());
 
     std::cout << "\nPaper checkpoints: a 7-bit CPFN encodes one of "
                  "104 candidate frames; Mosaic-4's 4 x 7 = 28-bit "

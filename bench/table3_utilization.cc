@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "core/experiment_export.hh"
 #include "core/experiments.hh"
 #include "util/table.hh"
 #include "util/thread_pool.hh"
@@ -60,6 +61,12 @@ main()
     ThreadPool &pool = ThreadPool::shared();
     bench::WallTimer timer;
 
+    auto report = bench::makeReport("table3_utilization",
+                                    Table3Options{}.seed,
+                                    pool.threadCount());
+    report.config("memFrames", static_cast<std::uint64_t>(frames));
+    report.config("runs", static_cast<std::uint64_t>(runs));
+
     std::vector<Table3Row> rows(num_factors * num_kinds);
     parallelFor(pool, rows.size(), [&](std::size_t i) {
         Table3Options options;
@@ -72,6 +79,7 @@ main()
     double cell_seconds = 0.0;
     for (const Table3Row &row : rows) {
         cell_seconds += row.cellSeconds;
+        recordTable3(report.metrics(), row);
         table.beginRow()
             .cell(workloadName(row.kind))
             .cell(static_cast<double>(row.footprintBytes) /
@@ -87,6 +95,8 @@ main()
     std::cout << "\n";
     bench::reportParallelism(std::cout, pool, timer.seconds(),
                              cell_seconds);
+    bench::finishReport(report, std::cout, timer.seconds(),
+                        cell_seconds);
 
     std::cout << "\nPaper reference: first conflict at ~98.0 % "
                  "(+/- 0.1) for every row; steady state 99.21 % "

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "core/experiment_export.hh"
 #include "core/experiments.hh"
 #include "util/table.hh"
 #include "util/thread_pool.hh"
@@ -54,6 +55,13 @@ main()
     ThreadPool &pool = ThreadPool::shared();
     bench::WallTimer timer;
 
+    auto report = bench::makeReport("table4_swapping",
+                                    Table4Options{}.seed,
+                                    pool.threadCount());
+    report.config("memFrames", static_cast<std::uint64_t>(frames));
+    report.config("steps", static_cast<std::uint64_t>(steps));
+    report.config("runs", static_cast<std::uint64_t>(runs));
+
     std::vector<Table4Row> rows(num_kinds * steps);
     parallelFor(pool, rows.size(), [&](std::size_t i) {
         const unsigned k = static_cast<unsigned>(i % steps);
@@ -75,6 +83,7 @@ main()
         for (unsigned k = 0; k < steps; ++k) {
             const Table4Row &row = rows[p * steps + k];
             cell_seconds += row.cellSeconds;
+            recordTable4(report.metrics(), row);
             table.beginRow()
                 .cell(static_cast<double>(row.footprintBytes) /
                           (1024.0 * 1024.0),
@@ -92,6 +101,8 @@ main()
 
     bench::reportParallelism(std::cout, pool, timer.seconds(),
                              cell_seconds);
+    bench::finishReport(report, std::cout, timer.seconds(),
+                        cell_seconds);
     std::cout << "\n";
 
     std::cout << "Paper reference: Mosaic is slightly worse only at "

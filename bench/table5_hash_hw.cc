@@ -12,6 +12,7 @@
 
 #include <iostream>
 
+#include "bench_common.hh"
 #include "hash/tabulation.hh"
 #include "hwmodel/circuit_model.hh"
 #include "hwmodel/verilog_gen.hh"
@@ -26,12 +27,25 @@ main()
                  "an FPGA (structural model calibrated to the "
                  "paper's Artix-7 synthesis)\n\n";
 
+    bench::WallTimer timer;
+    // The hardware model is closed-form: no RNG, seed 0.
+    auto report = bench::makeReport("table5_hash_hw", 0);
+
     TextTable fpga({"H", "LUTs", "Registers", "F7 Mux", "F8 Mux",
                     "Latency (ns)", "Fmax (MHz)"});
     for (const unsigned h : {1u, 2u, 4u, 8u}) {
         CircuitParams p;
         p.numHashes = h;
         const FpgaCost c = TabulationCircuitModel(p).fpga();
+        const std::string base =
+            "table5.fpga.h" + std::to_string(h);
+        report.metrics().counter(base + ".luts", c.luts);
+        report.metrics().counter(base + ".registers", c.registers);
+        report.metrics().counter(base + ".f7Muxes", c.f7Muxes);
+        report.metrics().counter(base + ".f8Muxes", c.f8Muxes);
+        report.metrics().gauge(base + ".latencyNs", c.latencyNs);
+        report.metrics().gauge(base + ".fmaxMhz",
+                               c.maxFrequencyMhz());
         fpga.beginRow()
             .cell(std::to_string(h))
             .cell(c.luts)
@@ -49,6 +63,12 @@ main()
         CircuitParams p;
         p.numHashes = h;
         const AsicCost c = TabulationCircuitModel(p).asic();
+        const std::string base =
+            "table5.asic.h" + std::to_string(h);
+        report.metrics().gauge(base + ".latencyPs", c.latencyPs);
+        report.metrics().gauge(base + ".fmaxGhz",
+                               c.maxFrequencyGhz());
+        report.metrics().gauge(base + ".areaKge", c.areaKge);
         asic.beginRow()
             .cell(std::to_string(h))
             .cell(c.latencyPs, 0)
@@ -65,6 +85,9 @@ main()
               << m.luts << " LUTs (structural estimate), latency "
               << m.latencyNs << " ns\n";
 
+    report.metrics().counter("table5.mosaic.luts", m.luts);
+    report.metrics().gauge("table5.mosaic.latencyNs", m.latencyNs);
+
     const TabulationHash hash(1);
     VerilogOptions vopt;
     vopt.numHashes = 7;
@@ -72,6 +95,9 @@ main()
     std::cout << "\nGenerated Verilog artifact: " << verilog.size()
               << " bytes; first lines:\n";
     std::cout << verilog.substr(0, verilog.find('\n', 200)) << "\n...\n";
+
+    report.metrics().counter("table5.verilogBytes", verilog.size());
+    bench::finishReport(report, std::cout, timer.seconds());
 
     std::cout << "\nPaper reference: H=1..8 -> 858/1696/3392/6208 "
                  "LUTs, 32 registers, 2.155 ns (464 MHz) on "

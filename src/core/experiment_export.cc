@@ -1,0 +1,61 @@
+#include "core/experiment_export.hh"
+
+#include <algorithm>
+#include <cctype>
+
+namespace mosaic
+{
+
+std::string
+metricWorkloadKey(WorkloadKind kind)
+{
+    std::string key = workloadName(kind);
+    std::transform(key.begin(), key.end(), key.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return key;
+}
+
+void
+recordFig6(telemetry::Registry &r, const Fig6Result &result)
+{
+    const std::string base = "fig6." + metricWorkloadKey(result.kind);
+    r.counter(base + ".footprintBytes", result.footprintBytes);
+    r.counter(base + ".accesses", result.accesses);
+    for (const Fig6Row &row : result.rows) {
+        const std::string ways =
+            base + ".ways" + std::to_string(row.ways);
+        r.counter(ways + ".vanilla.misses", row.vanillaMisses);
+        for (std::size_t a = 0; a < result.arities.size(); ++a) {
+            r.counter(ways + ".mosaic" +
+                          std::to_string(result.arities[a]) + ".misses",
+                      row.mosaicMisses.at(a));
+        }
+    }
+}
+
+void
+recordTable3(telemetry::Registry &r, const Table3Row &row)
+{
+    // Several rows share a workload (one per footprint), so the
+    // footprint is part of the name to keep names unique.
+    const std::string base = "table3." + metricWorkloadKey(row.kind) +
+                             ".footprint" +
+                             std::to_string(row.footprintBytes);
+    r.counter(base + ".footprintBytes", row.footprintBytes);
+    r.stat(base + ".firstConflictPct", row.firstConflictPct);
+    r.stat(base + ".steadyPct", row.steadyPct);
+}
+
+void
+recordTable4(telemetry::Registry &r, const Table4Row &row)
+{
+    const std::string base = "table4." + metricWorkloadKey(row.kind) +
+                             ".footprint" +
+                             std::to_string(row.footprintBytes);
+    r.counter(base + ".footprintBytes", row.footprintBytes);
+    r.stat(base + ".linuxSwapIo", row.linuxSwapIo);
+    r.stat(base + ".mosaicSwapIo", row.mosaicSwapIo);
+    r.gauge(base + ".differencePct", row.differencePct());
+}
+
+} // namespace mosaic

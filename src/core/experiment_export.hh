@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Telemetry exporters for the experiment runners: map the structured
+ * results of runFig6/runTable3/runTable4 onto stable hierarchical
+ * metric names (DESIGN.md §9), so every bench that runs an experiment
+ * registers the same names and the BENCH_*.json trajectory stays
+ * comparable across PRs.
+ *
+ * Name scheme (all lowercase workload keys):
+ *   fig6.<workload>.footprintBytes
+ *   fig6.<workload>.accesses
+ *   fig6.<workload>.ways<W>.vanilla.misses
+ *   fig6.<workload>.ways<W>.mosaic<A>.misses
+ *   table3.<workload>.footprint<B>.footprintBytes
+ *   table3.<workload>.footprint<B>.firstConflictPct
+ *       .{count,mean,stddev,min,max,sum}
+ *   table3.<workload>.footprint<B>.steadyPct.{...}
+ *   table4.<workload>.footprint<B>.footprintBytes
+ *   table4.<workload>.footprint<B>.{linuxSwapIo,mosaicSwapIo}.{...}
+ *   table4.<workload>.footprint<B>.differencePct
+ *
+ * (<B> is the footprint in bytes: tables 3 and 4 run each workload at
+ * several footprints, so the footprint disambiguates the names.)
+ */
+
+#ifndef MOSAIC_CORE_EXPERIMENT_EXPORT_HH_
+#define MOSAIC_CORE_EXPERIMENT_EXPORT_HH_
+
+#include <string>
+
+#include "core/experiments.hh"
+#include "telemetry/registry.hh"
+
+namespace mosaic
+{
+
+/** Lowercase workload key used in metric names ("graph500", ...). */
+std::string metricWorkloadKey(WorkloadKind kind);
+
+/** Register one Figure 6 panel's results. */
+void recordFig6(telemetry::Registry &r, const Fig6Result &result);
+
+/** Register one Table 3 row's results. */
+void recordTable3(telemetry::Registry &r, const Table3Row &row);
+
+/** Register one Table 4 row's results. */
+void recordTable4(telemetry::Registry &r, const Table4Row &row);
+
+} // namespace mosaic
+
+#endif // MOSAIC_CORE_EXPERIMENT_EXPORT_HH_

@@ -62,6 +62,12 @@ class LruList
     void
     touch(Pfn pfn)
     {
+        // Check linkage before the tail_ early exit: with an empty
+        // list tail_ is npos, and touching an unlinked or invalid
+        // frame used to silently no-op when the two compared equal —
+        // corrupting the caller's eviction order. Fail loudly instead.
+        ensure(pfn < nodes_.size() && nodes_[pfn].linked,
+               "lru_list: touching unlinked frame");
         if (tail_ == pfn)
             return;
         remove(pfn);

@@ -1,6 +1,7 @@
 #include "os/mosaic_vm.hh"
 
 #include <algorithm>
+#include <set>
 
 namespace mosaic
 {
@@ -10,7 +11,8 @@ MosaicVm::MosaicVm(const MosaicVmConfig &config)
       allocator_(config.geometry),
       frames_(config.geometry.numFrames),
       rng_(config.seed),
-      globalLru_(config.geometry.numFrames)
+      globalLru_(config.geometry.numFrames),
+      liveOrder_(config.geometry.numFrames)
 {
     liveCap_ = config_.policy == EvictionPolicy::ShrunkenCache
         ? static_cast<std::size_t>(
@@ -52,13 +54,26 @@ MosaicVm::isGhostFrame(Pfn pfn) const
     return f.used && f.lastAccess < horizon_;
 }
 
-std::size_t
-MosaicVm::ghostPages() const
+void
+MosaicVm::reapGhosts()
 {
-    std::size_t n = 0;
-    for (Pfn pfn = 0; pfn < frames_.numFrames(); ++pfn)
-        n += isGhostFrame(pfn) ? 1 : 0;
-    return n;
+    // liveOrder_ is in ascending lastAccess order, so every frame the
+    // new horizon ghosted sits at the front. Each frame is reaped at
+    // most once per residency: amortized O(1).
+    while (!liveOrder_.empty() &&
+               frames_.frame(liveOrder_.front()).lastAccess < horizon_) {
+        liveOrder_.popFront();
+        ++ghostCount_;
+    }
+}
+
+void
+MosaicVm::noteFrameFreed(Pfn pfn)
+{
+    if (isGhostFrame(pfn))
+        --ghostCount_;
+    else
+        liveOrder_.remove(pfn);
 }
 
 std::uint64_t
@@ -84,6 +99,45 @@ MosaicVm::hashInputFor(Asid asid, Vpn vpn)
         return packPageId(PageId{asid, vpn});
     const std::uint64_t loc_id = locationIdFor(asid, vpn);
     return (loc_id << 6) | pageTable(asid).offsetOf(vpn);
+}
+
+std::optional<std::uint64_t>
+MosaicVm::hashInputIfBound(Asid asid, Vpn vpn)
+{
+    if (config_.sharing == SharingMode::PageIdHash)
+        return packPageId(PageId{asid, vpn});
+    MosaicPageTable &pt = pageTable(asid);
+    const auto it = locationIds_.find(TocKey{asid, pt.mvpnOf(vpn)});
+    if (it == locationIds_.end())
+        return std::nullopt;
+    return (it->second << 6) | pt.offsetOf(vpn);
+}
+
+void
+MosaicVm::releaseBindingIfDead(const TocKey &key)
+{
+    const auto it = locationIds_.find(key);
+    if (it == locationIds_.end())
+        return;
+    const std::uint64_t loc_id = it->second;
+    MosaicPageTable &pt = pageTable(key.asid);
+    const Vpn base = key.mvpn << ceilLog2(config_.arity);
+    for (unsigned sub = 0; sub < config_.arity; ++sub) {
+        if (pt.walk(base + sub).present ||
+                swap_.contains((loc_id << 6) | sub))
+            return;
+    }
+    // No sub-page of the ToC is resident or swapped out: the binding
+    // can never be referenced again, so drop it. Without this,
+    // locationIds_/locUsers_ grow without bound across map/unmap
+    // cycles and the sharer-adoption scan in touch() slows down.
+    if (const auto users = locUsers_.find(loc_id);
+            users != locUsers_.end()) {
+        std::erase(users->second, key);
+        if (users->second.empty())
+            locUsers_.erase(users);
+    }
+    locationIds_.erase(it);
 }
 
 std::vector<std::pair<Asid, Vpn>>
@@ -117,22 +171,46 @@ MosaicVm::evictFrame(Pfn pfn)
     sharers_.erase(pfn);
     if (config_.policy == EvictionPolicy::ShrunkenCache)
         globalLru_.remove(pfn);
+    noteFrameFreed(pfn);
     frames_.unmap(pfn);
+    // No binding release here: an evicted page always leaves a swap
+    // copy behind (fresh pages are born dirty, and swap copies
+    // persist after swap-in), so its ToC's binding is still live.
 }
 
 void
 MosaicVm::unmapRange(Asid asid, Vpn vpn, std::size_t npages)
 {
     MosaicPageTable &pt = pageTable(asid);
+    const bool loc_mode = config_.sharing == SharingMode::LocationId;
+
+    // Every ToC whose binding may die with this unmap: the caller's
+    // own ToCs in range, plus every sharer of their location IDs
+    // (their mappings are torn down too, whether resident or not).
+    std::set<TocKey> affected;
+
     for (std::size_t i = 0; i < npages; ++i) {
         const Vpn v = vpn + i;
-        const std::uint64_t key = hashInputFor(asid, v);
-        swap_.invalidate(key);
+        const std::optional<std::uint64_t> key = hashInputIfBound(asid, v);
+        if (!key) {
+            // LocationId mode, ToC never bound: nothing was ever
+            // mapped or swapped under it. Looking it up with
+            // hashInputFor here would *create* the binding we are
+            // trying not to leak.
+            continue;
+        }
+        if (loc_mode) {
+            if (const auto users = locUsers_.find(*key >> 6);
+                    users != locUsers_.end())
+                affected.insert(users->second.begin(),
+                                users->second.end());
+        }
+        swap_.invalidate(*key);
         const MosaicWalkResult walk = pt.walk(v);
         if (!walk.present)
             continue;
         const CandidateSet cand =
-            allocator_.mapper().candidates(key);
+            allocator_.mapper().candidates(*key);
         const Pfn pfn = allocator_.mapper().toPfn(cand, walk.cpfn);
         // Unlike eviction, releasing a range writes nothing back:
         // the contents are dead. Clear every mapping of the frame
@@ -142,8 +220,12 @@ MosaicVm::unmapRange(Asid asid, Vpn vpn, std::size_t npages)
         sharers_.erase(pfn);
         if (config_.policy == EvictionPolicy::ShrunkenCache)
             globalLru_.remove(pfn);
+        noteFrameFreed(pfn);
         frames_.unmap(pfn);
     }
+
+    for (const TocKey &key : affected)
+        releaseBindingIfDead(key);
 }
 
 void
@@ -197,8 +279,13 @@ MosaicVm::touch(Asid asid, Vpn vpn, bool write)
         const Pfn pfn = allocator_.mapper().toPfn(cand, walk.cpfn);
         if (frames_.frame(pfn).lastAccess < horizon_) {
             // A resident ghost was referenced again: a strict global
-            // LRU would have evicted it; Horizon LRU rescues it.
+            // LRU would have evicted it; Horizon LRU rescues it. It
+            // rejoins the live order as most recently used.
             ++stats_.ghostRescues;
+            --ghostCount_;
+            liveOrder_.pushBack(pfn);
+        } else {
+            liveOrder_.touch(pfn);
         }
         frames_.touch(pfn, clock_, write);
         if (config_.policy == EvictionPolicy::ShrunkenCache)
@@ -225,6 +312,12 @@ MosaicVm::touch(Asid asid, Vpn vpn, bool write)
                 const Pfn pfn = allocator_.mapper().toPfn(cand, peer.cpfn);
                 pt.setCpfn(vpn, peer.cpfn);
                 sharers_[pfn].emplace_back(asid, vpn);
+                if (frames_.frame(pfn).lastAccess < horizon_) {
+                    --ghostCount_;
+                    liveOrder_.pushBack(pfn);
+                } else {
+                    liveOrder_.touch(pfn);
+                }
                 frames_.touch(pfn, clock_, write);
                 if (config_.policy == EvictionPolicy::ShrunkenCache)
                     globalLru_.touch(pfn);
@@ -259,6 +352,7 @@ MosaicVm::touch(Asid asid, Vpn vpn, bool write)
         if (config_.policy == EvictionPolicy::HorizonLru) {
             horizon_ = std::max(horizon_,
                                 frames_.frame(victim.pfn).lastAccess);
+            reapGhosts();
         }
         evictFrame(victim.pfn);
         placement = Placement{victim.pfn, victim.cpfn, false};
@@ -271,6 +365,7 @@ MosaicVm::touch(Asid asid, Vpn vpn, bool write)
     // fresh zero-filled page) must be written out if ever evicted.
     const bool dirty = !major || write;
     frames_.map(placement->pfn, PageId{asid, vpn}, clock_, dirty);
+    liveOrder_.pushBack(placement->pfn);
     if (config_.policy == EvictionPolicy::ShrunkenCache)
         globalLru_.pushBack(placement->pfn);
     pt.setCpfn(vpn, placement->cpfn);

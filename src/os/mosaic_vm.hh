@@ -15,6 +15,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -106,8 +107,26 @@ class MosaicVm : public VirtualMemory
      *  evicted: last accessed before the horizon). */
     bool isGhostFrame(Pfn pfn) const;
 
-    /** Resident pages that are ghosts. */
-    std::size_t ghostPages() const;
+    /** Resident pages that are ghosts. O(1): the count is maintained
+     *  incrementally as the horizon moves and frames churn. */
+    std::size_t ghostPages() const { return ghostCount_; }
+
+    /** Swap-device counters (for telemetry and tests). */
+    const SwapDevice &swapDevice() const { return swap_; }
+
+    /** Live ToC -> location-ID bindings (LocationId mode; tests). */
+    std::size_t locationBindings() const { return locationIds_.size(); }
+
+    /** Total ToC entries across all location-ID user lists (tests).
+     *  Equals locationBindings() when no ToCs are shared. */
+    std::size_t
+    locationUsers() const
+    {
+        std::size_t n = 0;
+        for (const auto &[id, users] : locUsers_)
+            n += users.size();
+        return n;
+    }
 
     /**
      * Release a range of pages (munmap): resident frames are freed
@@ -135,10 +154,30 @@ class MosaicVm : public VirtualMemory
         {
             return asid != o.asid ? asid < o.asid : mvpn < o.mvpn;
         }
+        bool operator==(const TocKey &o) const
+        {
+            return asid == o.asid && mvpn == o.mvpn;
+        }
     };
 
     /** Placement-hash input for one base page. */
     std::uint64_t hashInputFor(Asid asid, Vpn vpn);
+
+    /** Like hashInputFor, but never creates a location-ID binding:
+     *  nullopt when the ToC has no binding (LocationId mode only —
+     *  such a ToC was never touched, so nothing can reference it). */
+    std::optional<std::uint64_t> hashInputIfBound(Asid asid, Vpn vpn);
+
+    /** Drop the ToC's location-ID binding when no sub-page of it is
+     *  resident or swapped out; no-op while any is still live. */
+    void releaseBindingIfDead(const TocKey &key);
+
+    /** Ghost/live bookkeeping for a frame about to be unmapped. */
+    void noteFrameFreed(Pfn pfn);
+
+    /** Move frames that fell below the horizon out of liveOrder_
+     *  and into the ghost count. Amortized O(1) per ghosting. */
+    void reapGhosts();
 
     /** Location ID of the ToC containing (asid, vpn), creating one
      *  if needed (LocationId mode only). */
@@ -163,6 +202,14 @@ class MosaicVm : public VirtualMemory
     /** ShrunkenCache: global LRU order and the live-page cap. */
     LruList globalLru_;
     std::size_t liveCap_;
+
+    /** Used frames at or above the horizon, in ascending lastAccess
+     *  order. Together with ghostCount_ this makes ghostPages() O(1):
+     *  raising the horizon pops newly ghosted frames off the front. */
+    LruList liveOrder_;
+
+    /** Used frames strictly below the horizon (== ghostPages()). */
+    std::size_t ghostCount_ = 0;
 
     std::map<Asid, std::unique_ptr<MosaicPageTable>> tables_;
 

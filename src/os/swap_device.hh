@@ -62,6 +62,17 @@ class SwapDevice
     /** Pages currently holding swap copies. */
     std::size_t pagesStored() const { return slots_.size(); }
 
+    /** Visit every counter as (name, value) pairs for telemetry. */
+    template <typename Fn>
+    void
+    forEachMetric(Fn &&fn) const
+    {
+        fn("reads", reads_);
+        fn("writes", writes_);
+        fn("totalIo", totalIo());
+        fn("pagesStored", static_cast<std::uint64_t>(pagesStored()));
+    }
+
   private:
     std::unordered_set<std::uint64_t> slots_;
     std::uint64_t reads_ = 0;

@@ -57,6 +57,28 @@ struct VmStats
     std::uint64_t swapIo() const { return swapIns + swapOuts; }
 
     std::uint64_t faults() const { return minorFaults + majorFaults; }
+
+    /**
+     * Visit every counter as (name, value) pairs; the telemetry
+     * registry consumes this without the header depending on it. Leaf
+     * names mirror the field names verbatim; the utilization gauges
+     * keep their -1 "never happened" sentinel.
+     */
+    template <typename Fn>
+    void
+    forEachMetric(Fn &&fn) const
+    {
+        fn("minorFaults", minorFaults);
+        fn("majorFaults", majorFaults);
+        fn("swapIns", swapIns);
+        fn("swapOuts", swapOuts);
+        fn("conflicts", conflicts);
+        fn("firstConflictUtilization", firstConflictUtilization);
+        fn("firstSwapOutUtilization", firstSwapOutUtilization);
+        fn("ghostEvictions", ghostEvictions);
+        fn("ghostRescues", ghostRescues);
+        fn("steadyUtilization", steadyUtilization);
+    }
 };
 
 } // namespace mosaic

@@ -1,0 +1,169 @@
+#include "telemetry/json_writer.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/log.hh"
+
+namespace mosaic::telemetry
+{
+
+std::string
+jsonQuote(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
+jsonDouble(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+void
+JsonWriter::indent()
+{
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::prepare()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return;
+    }
+    if (stack_.empty())
+        return;
+    if (stack_.back().hasMembers)
+        os_ << ',';
+    stack_.back().hasMembers = true;
+    indent();
+}
+
+void
+JsonWriter::beginObject()
+{
+    prepare();
+    os_ << '{';
+    stack_.push_back({false, false});
+}
+
+void
+JsonWriter::endObject()
+{
+    ensure(!stack_.empty() && !stack_.back().array,
+           "json_writer: endObject outside an object");
+    const bool had = stack_.back().hasMembers;
+    stack_.pop_back();
+    if (had)
+        indent();
+    os_ << '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    prepare();
+    os_ << '[';
+    stack_.push_back({true, false});
+}
+
+void
+JsonWriter::endArray()
+{
+    ensure(!stack_.empty() && stack_.back().array,
+           "json_writer: endArray outside an array");
+    const bool had = stack_.back().hasMembers;
+    stack_.pop_back();
+    if (had)
+        indent();
+    os_ << ']';
+}
+
+void
+JsonWriter::key(std::string_view name)
+{
+    ensure(!stack_.empty() && !stack_.back().array,
+           "json_writer: key outside an object");
+    ensure(!pendingKey_, "json_writer: key after key");
+    prepare();
+    os_ << jsonQuote(name) << ": ";
+    pendingKey_ = true;
+}
+
+void
+JsonWriter::value(std::string_view v)
+{
+    prepare();
+    os_ << jsonQuote(v);
+}
+
+void
+JsonWriter::value(bool v)
+{
+    prepare();
+    os_ << (v ? "true" : "false");
+}
+
+void
+JsonWriter::value(double v)
+{
+    prepare();
+    os_ << jsonDouble(v);
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    prepare();
+    os_ << v;
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    prepare();
+    os_ << v;
+}
+
+} // namespace mosaic::telemetry

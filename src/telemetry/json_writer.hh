@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A minimal dependency-free JSON writer for telemetry output.
+ *
+ * Produces pretty-printed, deterministically formatted JSON: keys are
+ * emitted in the order the caller provides them (the registry sorts
+ * its names), and doubles always use the shortest round-trippable
+ * %.17g form, so the same metric values serialize to the same bytes
+ * on every platform and thread count — the property the golden
+ * serial-vs-parallel telemetry tests rely on.
+ */
+
+#ifndef MOSAIC_TELEMETRY_JSON_WRITER_HH_
+#define MOSAIC_TELEMETRY_JSON_WRITER_HH_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mosaic::telemetry
+{
+
+/** Escape and double-quote a string for JSON. */
+std::string jsonQuote(std::string_view s);
+
+/** Deterministic JSON representation of a double (%.17g; non-finite
+ *  values, which JSON cannot express, become null). */
+std::string jsonDouble(double v);
+
+/** Streaming JSON writer with 2-space indentation. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit the key of the next member (inside an object). */
+    void key(std::string_view name);
+
+    void value(std::string_view v);
+    void value(const char *v) { value(std::string_view{v}); }
+    void value(bool v);
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+    void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    field(std::string_view name, const T &v)
+    {
+        key(name);
+        value(v);
+    }
+
+  private:
+    /** Separator/indent before a new value or key. */
+    void prepare();
+    void indent();
+
+    struct Level
+    {
+        bool array = false;
+        bool hasMembers = false;
+    };
+
+    std::ostream &os_;
+    std::vector<Level> stack_;
+    bool pendingKey_ = false;
+};
+
+} // namespace mosaic::telemetry
+
+#endif // MOSAIC_TELEMETRY_JSON_WRITER_HH_

@@ -23,10 +23,10 @@ MosaicTlb::lookup(Asid asid, Vpn vpn)
             ++stats_.hits;
             return cpfn;
         }
-        // Entry present, sub-page absent: a miss that will be
-        // satisfied by a sub-entry fill instead of an eviction.
+        // Entry present, sub-page absent: a miss that a sub-entry
+        // fill can satisfy without an eviction. The fill itself is
+        // counted in fill(), when (and if) it actually happens.
         ++stats_.misses;
-        ++stats_.subEntryFills;
         return std::nullopt;
     }
     ++stats_.misses;
@@ -47,6 +47,11 @@ MosaicTlb::fill(Asid asid, Vpn vpn, std::span<const Cpfn> toc,
         e = &array_.allocate(mvpn, tag, &evicted);
         if (evicted)
             ++stats_.evictions;
+    } else {
+        // Refilling an entry that is already present: a sub-entry
+        // fill (§3.1) — the ToC was cached but the accessed sub-page's
+        // CPFN was not yet valid.
+        ++stats_.subEntryFills;
     }
     for (unsigned i = 0; i < arity_; ++i) {
         e->payload.cpfns[i] =

@@ -55,15 +55,16 @@ class MosaicTlb
 
     /**
      * Translate a (ASID, VPN). Returns the CPFN on a hit, nullopt on
-     * a miss (including the sub-entry-absent case, which is counted
-     * separately in stats().subEntryFills).
+     * a miss (including the sub-entry-absent case).
      */
     std::optional<Cpfn> lookup(Asid asid, Vpn vpn);
 
     /**
      * Install the ToC of the mosaic page containing @p vpn after a
      * walk. @p toc holds `arity` codes; entries equal to
-     * @p unmapped_code are stored as absent.
+     * @p unmapped_code are stored as absent. A fill that finds the
+     * entry already present is a sub-entry refill and is counted in
+     * stats().subEntryFills (§3.1).
      */
     void fill(Asid asid, Vpn vpn, std::span<const Cpfn> toc,
               Cpfn unmapped_code);

@@ -24,8 +24,10 @@ struct TlbStats
     /** Requests that required a page-table walk. */
     std::uint64_t misses = 0;
 
-    /** Misses where the mosaic entry was present but the accessed
-     *  sub-page's CPFN was not yet valid (sub-entry fill, §3.1). */
+    /** Fills that found the mosaic entry already present and merely
+     *  refreshed its ToC (sub-entry fill, §3.1): the accessed
+     *  sub-page's CPFN was not yet valid, so no entry was evicted.
+     *  Counted when the fill happens, not when the miss is seen. */
     std::uint64_t subEntryFills = 0;
 
     /** Valid entries displaced by capacity/conflict replacement. */
@@ -46,6 +48,25 @@ struct TlbStats
     reset()
     {
         *this = TlbStats{};
+    }
+
+    /**
+     * Visit every counter as (name, value) pairs. This is how the
+     * struct registers itself with a telemetry::Registry (or any
+     * other sink) without this header depending on telemetry. Leaf
+     * names mirror the field names verbatim.
+     */
+    template <typename Fn>
+    void
+    forEachMetric(Fn &&fn) const
+    {
+        fn("accesses", accesses);
+        fn("hits", hits);
+        fn("misses", misses);
+        fn("subEntryFills", subEntryFills);
+        fn("evictions", evictions);
+        fn("invalidations", invalidations);
+        fn("missRate", missRate());
     }
 };
 

@@ -68,7 +68,9 @@ TEST(TranslationSim, ColdScanMissesPerPageButFillsSubEntries)
 {
     // Demand paging maps one base page at a time, so a cold scan
     // misses on every page in both designs; in mosaic mode most of
-    // those misses are sub-entry fills within an existing entry.
+    // those misses are followed by sub-entry fills within an existing
+    // entry. Hand-computed: of 4096 fills, all but the first per
+    // mosaic page refill a present entry — 4096 * (arity-1)/arity.
     TranslationSim sim(smallConfig());
     for (Vpn vpn = 0; vpn < 4096; ++vpn)
         sim.access(addrOf(vpn), false);

@@ -162,6 +162,25 @@ TEST(LruListDeathTest, RemoveUnlinkedPanics)
     EXPECT_DEATH(l.remove(1), "unlinked");
 }
 
+TEST(LruListDeathTest, TouchUnlinkedPanics)
+{
+    LruList l(4);
+    l.pushBack(1);
+    l.remove(1);
+    EXPECT_DEATH(l.touch(1), "unlinked");
+}
+
+TEST(LruListDeathTest, TouchOnEmptyListNeverSilentlyNoops)
+{
+    // Regression: touch() compared against tail_ before checking
+    // linkage, so on an empty list (tail_ == npos == invalidPfn) a
+    // touch of an invalid frame number silently did nothing —
+    // corrupting the caller's idea of the eviction order. Any misuse
+    // must now fail loudly instead.
+    LruList l(4);
+    EXPECT_DEATH(l.touch(invalidPfn), "unlinked");
+}
+
 TEST(LruListDeathTest, FrontOfEmptyPanics)
 {
     LruList l(4);

@@ -58,13 +58,36 @@ TEST(MosaicTlb, UnmappedSubPageIsMissWithSubEntryFill)
     tlb.fill(1, 8, toc4(10, unmapped, 12, 13), unmapped);
     EXPECT_TRUE(tlb.lookup(1, 8).has_value());
     EXPECT_FALSE(tlb.lookup(1, 9).has_value());
-    EXPECT_EQ(tlb.stats().subEntryFills, 1u);
+
+    // The miss alone fills nothing: the counter moves only when the
+    // refill actually happens.
+    EXPECT_EQ(tlb.stats().subEntryFills, 0u);
 
     // After the OS maps the page, refilling the ToC makes it hit
     // without evicting anything.
     tlb.fill(1, 9, toc4(10, 55, 12, 13), unmapped);
+    EXPECT_EQ(tlb.stats().subEntryFills, 1u);
     EXPECT_EQ(*tlb.lookup(1, 9), 55);
     EXPECT_EQ(tlb.stats().evictions, 0u);
+}
+
+TEST(MosaicTlb, SubEntryFillsCountFillsNotMisses)
+{
+    // Regression: lookup used to count a *prospective* sub-entry fill
+    // at miss time, so repeated misses on an unmapped sub-page
+    // inflated the counter with fills that never happened.
+    MosaicTlb tlb({16, 4}, 4);
+    tlb.fill(1, 8, toc4(10, unmapped, 12, 13), unmapped);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_FALSE(tlb.lookup(1, 9).has_value());
+    EXPECT_EQ(tlb.stats().misses, 5u);
+    EXPECT_EQ(tlb.stats().subEntryFills, 0u);
+
+    // One refill of the present entry = one sub-entry fill; a fill
+    // that allocates a fresh entry is not a sub-entry fill.
+    tlb.fill(1, 9, toc4(10, 55, 12, 13), unmapped);
+    tlb.fill(1, 16, toc4(20, 21, 22, 23), unmapped);
+    EXPECT_EQ(tlb.stats().subEntryFills, 1u);
 }
 
 TEST(MosaicTlb, InvalidateSubDropsOnlyOneSubPage)
