@@ -254,6 +254,29 @@ class IcebergTable
         return occ;
     }
 
+    /**
+     * Visit every used slot as (ref, key, value). Lets an external
+     * oracle verify that the table holds exactly the keys it should
+     * — no strays, no leaks — without widening the mutation API.
+     */
+    template <typename Fn>
+    void
+    forEachSlot(Fn &&fn) const
+    {
+        for (std::size_t b = 0; b < buckets_.size(); ++b) {
+            for (unsigned i = 0; i < config_.frontSlots; ++i) {
+                const Slot &slot = buckets_[b].front[i];
+                if (slot.used)
+                    fn(SlotRef{Yard::Front, b, i}, slot.key, slot.value);
+            }
+            for (unsigned i = 0; i < config_.backSlots; ++i) {
+                const Slot &slot = buckets_[b].back[i];
+                if (slot.used)
+                    fn(SlotRef{Yard::Back, b, i}, slot.key, slot.value);
+            }
+        }
+    }
+
   private:
     struct Slot
     {

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The differential fuzzer: drives a real component (a VM, a TLB
+ * variant, or the iceberg table) in lockstep with its oracle model
+ * through a deterministic operation sequence, cross-checking state
+ * after every operation.
+ *
+ * Three entry points:
+ *  - generateTrace() builds a random but fully deterministic Trace
+ *    from (component, seed, numOps);
+ *  - runTrace() executes a trace, returning the first divergence (if
+ *    any) and a digest of every observable outcome — two runs of the
+ *    same trace must produce bit-identical digests, on any machine
+ *    and under any MOSAIC_THREADS setting;
+ *  - shrinkTrace() delta-debugs a diverging trace down to a minimal
+ *    reproducer (every subsequence of a trace is itself a valid
+ *    trace, because harnesses deterministically skip ops that are
+ *    invalid in the current state).
+ *
+ * What is checked, per component:
+ *  - vm/linux: full lockstep against the bounded OracleVm — fault
+ *    kinds, all swap/fault counters, resident set, swap population,
+ *    per-frame dirty bits and access times;
+ *  - vm/mosaic (PageIdHash): the exact placement rule re-derived from
+ *    MosaicAllocator, predicted PFN/victim/horizon/conflict/ghost
+ *    accounting per touch, per-frame CPFN round trips, ghost-count
+ *    scans, and (under HorizonLru) the live-set == global-LRU-top-L
+ *    equivalence against an unbounded OracleVm;
+ *  - vm/mosaic (LocationId): a slot-level alias mirror validating
+ *    hits, sharer adoption, ghost-rescue accounting, binding
+ *    lifetimes (creation, sharing, release-on-death) and swap
+ *    population;
+ *  - tlb (all variants): lockstep against the recency-list oracle
+ *    models — every
+ *    lookup result, every stats counter, valid-entry counts, and the
+ *    variant extras (sub-entry fills, coalesced coverage, hole
+ *    lookups);
+ *  - iceberg: predicted insert placement (yard + bucket), slot
+ *    stability, size/backyard accounting, per-bucket occupancy, and
+ *    full-table sweeps for stray or leaked keys.
+ */
+
+#ifndef MOSAIC_ORACLE_FUZZER_HH_
+#define MOSAIC_ORACLE_FUZZER_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "oracle/trace.hh"
+
+namespace mosaic
+{
+
+/** A disagreement between the real component and its oracle. */
+struct FuzzDivergence
+{
+    /** Index of the trace op whose checks failed. */
+    std::size_t opIndex = 0;
+
+    /** Human-readable description of the failed check. */
+    std::string message;
+};
+
+/** Outcome of executing one trace. */
+struct FuzzResult
+{
+    /** First divergence, or nullopt when the whole trace passed. */
+    std::optional<FuzzDivergence> divergence;
+
+    /** FNV-1a digest over every applied op's observable outcomes.
+     *  Equal traces must produce equal digests everywhere. */
+    std::uint64_t digest = 0;
+
+    /** Ops actually applied (invalid ops are skipped, not counted). */
+    std::size_t opsApplied = 0;
+};
+
+/** Execute a trace; stops at the first divergence. */
+FuzzResult runTrace(const Trace &trace);
+
+/**
+ * Build a deterministic random trace.
+ *
+ * @param component "vm", "tlb", or "iceberg".
+ * @param seed stream selector; same (component, seed, numOps) always
+ *             yields the same trace.
+ * @param numOps operations to generate.
+ */
+Trace generateTrace(const std::string &component, std::uint64_t seed,
+                    std::size_t numOps);
+
+/**
+ * Delta-debug a diverging trace to a (1-)minimal reproducer: remove
+ * chunks, halving the chunk size down to single ops, keeping any
+ * candidate that still diverges. Returns the input unchanged when it
+ * does not diverge. @p maxRuns bounds the total re-executions.
+ */
+Trace shrinkTrace(const Trace &trace, std::size_t maxRuns = 3000);
+
+} // namespace mosaic
+
+#endif // MOSAIC_ORACLE_FUZZER_HH_

@@ -1,0 +1,88 @@
+#include "oracle/oracle_iceberg.hh"
+
+namespace mosaic
+{
+
+OracleIceberg::OracleIceberg(const IcebergConfig &config)
+    : config_(config),
+      hasher_(config.seed),
+      frontOcc_(config.buckets, 0),
+      backOcc_(config.buckets, 0)
+{
+}
+
+std::size_t
+OracleIceberg::frontBucket(std::uint64_t key) const
+{
+    return hasher_.hash(key, 0) % config_.buckets;
+}
+
+std::size_t
+OracleIceberg::backBucket(std::uint64_t key, unsigned k) const
+{
+    return hasher_.hash(key, k + 1) % config_.buckets;
+}
+
+OracleIceberg::Prediction
+OracleIceberg::insert(std::uint64_t key, std::uint64_t value)
+{
+    if (const auto it = items_.find(key); it != items_.end()) {
+        // Overwrite in place: stability says the slot cannot move.
+        it->second.value = value;
+        return Prediction{true, it->second.yard, it->second.bucket};
+    }
+
+    const std::size_t fb = frontBucket(key);
+    if (frontOcc_[fb] < config_.frontSlots) {
+        ++frontOcc_[fb];
+        items_.emplace(key, Item{value, Yard::Front, fb});
+        return Prediction{true, Yard::Front, fb};
+    }
+
+    // Power of d choices: the emptiest candidate backyard, scanning
+    // ascending so ties resolve to the lowest choice index, exactly
+    // like the real table.
+    std::size_t best = config_.buckets;
+    unsigned best_occupancy = config_.backSlots + 1;
+    for (unsigned k = 0; k < config_.backChoices; ++k) {
+        const std::size_t b = backBucket(key, k);
+        if (backOcc_[b] < best_occupancy) {
+            best_occupancy = backOcc_[b];
+            best = b;
+        }
+    }
+    if (best == config_.buckets || best_occupancy >= config_.backSlots)
+        return Prediction{false, Yard::Back, 0};
+
+    ++backOcc_[best];
+    ++backSize_;
+    items_.emplace(key, Item{value, Yard::Back, best});
+    return Prediction{true, Yard::Back, best};
+}
+
+bool
+OracleIceberg::erase(std::uint64_t key)
+{
+    const auto it = items_.find(key);
+    if (it == items_.end())
+        return false;
+    if (it->second.yard == Yard::Front) {
+        --frontOcc_[it->second.bucket];
+    } else {
+        --backOcc_[it->second.bucket];
+        --backSize_;
+    }
+    items_.erase(it);
+    return true;
+}
+
+std::optional<std::uint64_t>
+OracleIceberg::find(std::uint64_t key) const
+{
+    const auto it = items_.find(key);
+    if (it == items_.end())
+        return std::nullopt;
+    return it->second.value;
+}
+
+} // namespace mosaic

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A reference occupancy model for the iceberg hash table. It keeps a
+ * plain std::map of key -> value plus per-bucket occupancy counters,
+ * and *predicts* — straight from the insertion rule of §2.3 — where
+ * each insert must land (front yard of h0, else the emptiest of the
+ * d candidate backyards) and when an insert must fail.
+ *
+ * The differential harness checks, against a real IcebergTable:
+ *  - insert success/failure agrees with the predicted rule;
+ *  - the bucket and yard the real table reports via locate() match
+ *    the prediction;
+ *  - stability: a key's slot never changes while it is stored;
+ *  - find()/erase() results and values agree;
+ *  - size(), backyardSize(), and per-bucket occupancies agree;
+ *  - the real table holds exactly the oracle's key set (via
+ *    IcebergTable::forEachSlot), no strays and no leaks.
+ */
+
+#ifndef MOSAIC_ORACLE_ORACLE_ICEBERG_HH_
+#define MOSAIC_ORACLE_ORACLE_ICEBERG_HH_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "hash/tabulation.hh"
+#include "iceberg/iceberg_table.hh"
+
+namespace mosaic
+{
+
+/** Map-based mirror of IcebergTable<std::uint64_t>. */
+class OracleIceberg
+{
+  public:
+    /** Where an insert should land (or that it must fail). */
+    struct Prediction
+    {
+        bool ok = false;
+        Yard yard = Yard::Front;
+        std::size_t bucket = 0;
+    };
+
+    explicit OracleIceberg(const IcebergConfig &config);
+
+    /** Apply an insert and return what the real table must do. */
+    Prediction insert(std::uint64_t key, std::uint64_t value);
+
+    /** Apply an erase; true when the key was stored. */
+    bool erase(std::uint64_t key);
+
+    /** Stored value, or nullopt. */
+    std::optional<std::uint64_t> find(std::uint64_t key) const;
+
+    std::size_t size() const { return items_.size(); }
+    std::size_t backyardSize() const { return backSize_; }
+
+    unsigned frontOccupancy(std::size_t b) const { return frontOcc_[b]; }
+    unsigned backOccupancy(std::size_t b) const { return backOcc_[b]; }
+
+    /** Candidate buckets (same tabulation hash as the real table). */
+    std::size_t frontBucket(std::uint64_t key) const;
+    std::size_t backBucket(std::uint64_t key, unsigned k) const;
+
+    /** Visit every stored key with its recorded placement. */
+    template <typename Fn>
+    void
+    forEachItem(Fn &&fn) const
+    {
+        for (const auto &[key, item] : items_)
+            fn(key, item.value, item.yard, item.bucket);
+    }
+
+  private:
+    struct Item
+    {
+        std::uint64_t value = 0;
+        Yard yard = Yard::Front;
+        std::size_t bucket = 0;
+    };
+
+    IcebergConfig config_;
+    TabulationHash hasher_;
+    std::map<std::uint64_t, Item> items_;
+    std::vector<unsigned> frontOcc_;
+    std::vector<unsigned> backOcc_;
+    std::size_t backSize_ = 0;
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_ORACLE_ORACLE_ICEBERG_HH_

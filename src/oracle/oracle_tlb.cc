@@ -1,0 +1,347 @@
+#include "oracle/oracle_tlb.hh"
+
+#include <bit>
+
+#include "tlb/coalesced_tlb.hh"
+#include "util/log.hh"
+
+namespace mosaic
+{
+
+// Tag forms mirror the real TLBs exactly; they are part of the
+// modelled contract (bit 63 separates secondary tag spaces, ASIDs
+// occupy bits 40+).
+namespace
+{
+
+std::uint64_t
+tag4k(Asid asid, Vpn vpn)
+{
+    return (std::uint64_t{asid} << 40) | vpn;
+}
+
+std::uint64_t
+tagHugeVanilla(Asid asid, Vpn vpn)
+{
+    return (std::uint64_t{1} << 63) | (std::uint64_t{asid} << 40) |
+           (vpn >> 9);
+}
+
+std::uint64_t
+tagSecondary(Asid asid, std::uint64_t key)
+{
+    return (std::uint64_t{1} << 63) | (std::uint64_t{asid} << 40) | key;
+}
+
+bool
+tagHasAsid(std::uint64_t tag, Asid asid)
+{
+    const std::uint64_t mask = std::uint64_t{0xFFFF} << 40;
+    return (tag & mask) == (std::uint64_t{asid} << 40);
+}
+
+} // namespace
+
+// ------------------------------------------------------------ vanilla
+
+std::optional<Pfn>
+OracleVanillaTlb::lookup(Asid asid, Vpn vpn)
+{
+    ++stats_.accesses;
+    if (auto *p = array_.find(vpn, tag4k(asid, vpn))) {
+        ++stats_.hits;
+        return p->pfn;
+    }
+    if (auto *p = array_.find(vpn >> 9, tagHugeVanilla(asid, vpn))) {
+        ++stats_.hits;
+        return p->pfn + (vpn & 0x1FF);
+    }
+    ++stats_.misses;
+    return std::nullopt;
+}
+
+void
+OracleVanillaTlb::fill(Asid asid, Vpn vpn, Pfn pfn)
+{
+    bool evicted = false;
+    auto &p = array_.allocate(vpn, tag4k(asid, vpn), &evicted);
+    if (evicted)
+        ++stats_.evictions;
+    p.pfn = pfn;
+}
+
+void
+OracleVanillaTlb::fillHuge(Asid asid, Vpn vpn, Pfn base_pfn)
+{
+    bool evicted = false;
+    auto &p =
+        array_.allocate(vpn >> 9, tagHugeVanilla(asid, vpn), &evicted);
+    if (evicted)
+        ++stats_.evictions;
+    p.pfn = base_pfn;
+}
+
+void
+OracleVanillaTlb::invalidate(Asid asid, Vpn vpn)
+{
+    if (array_.invalidate(vpn, tag4k(asid, vpn)))
+        ++stats_.invalidations;
+}
+
+void
+OracleVanillaTlb::flushAsid(Asid asid)
+{
+    stats_.invalidations += array_.invalidateIf(
+        [&](std::uint64_t tag, const Payload &) {
+            return tagHasAsid(tag, asid);
+        });
+}
+
+// ------------------------------------------------------------- mosaic
+
+std::optional<Cpfn>
+OracleMosaicTlb::lookup(Asid asid, Vpn vpn)
+{
+    ++stats_.accesses;
+    const Mvpn mvpn = mvpnOf(vpn);
+    if (auto *p = array_.find(mvpn, tag4k(asid, mvpn))) {
+        const Cpfn cpfn = p->cpfns[offsetOf(vpn)];
+        if (cpfn != MosaicTlb::absentCpfn) {
+            ++stats_.hits;
+            return cpfn;
+        }
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    ++stats_.misses;
+    return std::nullopt;
+}
+
+void
+OracleMosaicTlb::fill(Asid asid, Vpn vpn, std::span<const Cpfn> toc,
+                      Cpfn unmapped_code)
+{
+    ensure(toc.size() == arity_, "oracle_tlb: ToC size != arity");
+    const Mvpn mvpn = mvpnOf(vpn);
+    const std::uint64_t tag = tag4k(asid, mvpn);
+    auto *p = array_.find(mvpn, tag);
+    if (!p) {
+        bool evicted = false;
+        p = &array_.allocate(mvpn, tag, &evicted);
+        if (evicted)
+            ++stats_.evictions;
+    } else {
+        ++stats_.subEntryFills;
+    }
+    for (unsigned i = 0; i < arity_; ++i) {
+        p->cpfns[i] =
+            toc[i] == unmapped_code ? MosaicTlb::absentCpfn : toc[i];
+    }
+    p->conventional = false;
+}
+
+std::optional<Pfn>
+OracleMosaicTlb::lookupConventional(Asid asid, Vpn vpn)
+{
+    ++stats_.accesses;
+    if (auto *p = array_.find(vpn, tagSecondary(asid, vpn))) {
+        ++stats_.hits;
+        return p->conventionalPfn;
+    }
+    ++stats_.misses;
+    return std::nullopt;
+}
+
+void
+OracleMosaicTlb::fillConventional(Asid asid, Vpn vpn, Pfn pfn)
+{
+    bool evicted = false;
+    auto &p = array_.allocate(vpn, tagSecondary(asid, vpn), &evicted);
+    if (evicted)
+        ++stats_.evictions;
+    p.conventional = true;
+    p.conventionalPfn = pfn;
+}
+
+void
+OracleMosaicTlb::invalidateSub(Asid asid, Vpn vpn)
+{
+    const Mvpn mvpn = mvpnOf(vpn);
+    if (auto *p = array_.find(mvpn, tag4k(asid, mvpn))) {
+        Cpfn &slot = p->cpfns[offsetOf(vpn)];
+        if (slot != MosaicTlb::absentCpfn) {
+            slot = MosaicTlb::absentCpfn;
+            ++stats_.invalidations;
+        }
+    }
+}
+
+void
+OracleMosaicTlb::invalidateEntry(Asid asid, Vpn vpn)
+{
+    const Mvpn mvpn = mvpnOf(vpn);
+    if (array_.invalidate(mvpn, tag4k(asid, mvpn)))
+        ++stats_.invalidations;
+}
+
+void
+OracleMosaicTlb::flushAsid(Asid asid)
+{
+    stats_.invalidations += array_.invalidateIf(
+        [&](std::uint64_t tag, const Payload &) {
+            return tagHasAsid(tag, asid);
+        });
+}
+
+// ---------------------------------------------------------- coalesced
+
+std::optional<Pfn>
+OracleCoalescedTlb::lookup(Asid asid, Vpn vpn)
+{
+    ++stats_.accesses;
+    const Vpn group = vpn / CoalescedTlb::coalesceFactor;
+    const unsigned off = vpn % CoalescedTlb::coalesceFactor;
+
+    if (auto *p = array_.find(group, tag4k(asid, group))) {
+        if (p->mask & (1u << off)) {
+            ++stats_.hits;
+            return p->basePfn + off;
+        }
+    }
+    if (auto *p = array_.find(vpn, tagSecondary(asid, vpn))) {
+        ++stats_.hits;
+        return p->basePfn;
+    }
+    ++stats_.misses;
+    return std::nullopt;
+}
+
+void
+OracleCoalescedTlb::fill(
+    Asid asid, Vpn vpn, Pfn pfn,
+    const std::function<std::optional<Pfn>(Vpn)> &pfn_of)
+{
+    const Vpn group = vpn / CoalescedTlb::coalesceFactor;
+    const unsigned off = vpn % CoalescedTlb::coalesceFactor;
+    const Pfn base = pfn - off;
+
+    std::uint8_t mask = static_cast<std::uint8_t>(1u << off);
+    if (pfn >= off) {
+        for (unsigned i = 0; i < CoalescedTlb::coalesceFactor; ++i) {
+            if (i == off)
+                continue;
+            const std::optional<Pfn> neighbour =
+                pfn_of(group * CoalescedTlb::coalesceFactor + i);
+            if (neighbour && *neighbour == base + i)
+                mask |= static_cast<std::uint8_t>(1u << i);
+        }
+    }
+
+    covered_ += std::popcount(mask);
+
+    if (std::popcount(mask) == 1) {
+        bool evicted = false;
+        auto &p = array_.allocate(vpn, tagSecondary(asid, vpn), &evicted);
+        if (evicted)
+            ++stats_.evictions;
+        p.basePfn = pfn;
+        p.mask = 0;
+        return;
+    }
+
+    ++coalescedFills_;
+    const std::uint64_t t = tag4k(asid, group);
+    auto *p = array_.find(group, t);
+    if (p && p->basePfn != base &&
+            std::popcount(p->mask) >= std::popcount(mask)) {
+        bool evicted = false;
+        auto &page =
+            array_.allocate(vpn, tagSecondary(asid, vpn), &evicted);
+        if (evicted)
+            ++stats_.evictions;
+        page.basePfn = pfn;
+        page.mask = 0;
+        return;
+    }
+    if (!p) {
+        bool evicted = false;
+        p = &array_.allocate(group, t, &evicted);
+        if (evicted)
+            ++stats_.evictions;
+    }
+    p->basePfn = base;
+    p->mask = mask;
+}
+
+void
+OracleCoalescedTlb::invalidate(Asid asid, Vpn vpn)
+{
+    const Vpn group = vpn / CoalescedTlb::coalesceFactor;
+    const unsigned off = vpn % CoalescedTlb::coalesceFactor;
+    if (auto *p = array_.find(group, tag4k(asid, group))) {
+        if (p->mask & (1u << off)) {
+            p->mask &= static_cast<std::uint8_t>(~(1u << off));
+            ++stats_.invalidations;
+        }
+    }
+    if (array_.invalidate(vpn, tagSecondary(asid, vpn)))
+        ++stats_.invalidations;
+}
+
+// --------------------------------------------------------- perforated
+
+std::optional<Pfn>
+OraclePerforatedTlb::lookup(Asid asid, Vpn vpn)
+{
+    ++stats_.accesses;
+    const Vpn huge_vpn = vpn >> 9;
+    const unsigned off = vpn & 0x1FF;
+
+    if (auto *p = array_.find(huge_vpn, tag4k(asid, huge_vpn))) {
+        if (!isHole(p->holes, off)) {
+            ++stats_.hits;
+            return p->basePfn + off;
+        }
+        ++holeLookups_;
+    }
+    if (auto *p = array_.find(vpn, tagSecondary(asid, vpn))) {
+        ++stats_.hits;
+        return p->basePfn;
+    }
+    ++stats_.misses;
+    return std::nullopt;
+}
+
+void
+OraclePerforatedTlb::fillPerforated(Asid asid, Vpn vpn, Pfn base_pfn,
+                                    const HoleBitmap &holes)
+{
+    const Vpn huge_vpn = vpn >> 9;
+    bool evicted = false;
+    auto &p = array_.allocate(huge_vpn, tag4k(asid, huge_vpn), &evicted);
+    if (evicted)
+        ++stats_.evictions;
+    p.basePfn = base_pfn;
+    p.holes = holes;
+    p.huge = true;
+}
+
+void
+OraclePerforatedTlb::fill4k(Asid asid, Vpn vpn, Pfn pfn)
+{
+    bool evicted = false;
+    auto &p = array_.allocate(vpn, tagSecondary(asid, vpn), &evicted);
+    if (evicted)
+        ++stats_.evictions;
+    p.basePfn = pfn;
+    p.huge = false;
+}
+
+bool
+OraclePerforatedTlb::hasPerforatedEntry(Asid asid, Vpn vpn) const
+{
+    const Vpn huge_vpn = vpn >> 9;
+    return array_.peek(huge_vpn, tag4k(asid, huge_vpn)) != nullptr;
+}
+
+} // namespace mosaic

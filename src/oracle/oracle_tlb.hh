@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Reference models for every TLB variant, built on a deliberately
+ * naive set-associative array: each set is a std::list ordered by
+ * recency (front = most recently used), so true-LRU replacement is
+ * structural rather than timestamp-driven. The real TLBs implement
+ * the same contract with a packed array and a monotonic use clock
+ * (`SetAssocArray`); running both in lockstep over the same operation
+ * sequence cross-checks lookup results, every stats counter, and the
+ * number of valid entries after each step.
+ *
+ * The variant semantics (tag forms, probe order, sub-entry fills,
+ * coalescing rules, hole handling) are transcribed from the
+ * documented behaviour of vanilla_tlb/mosaic_tlb/coalesced_tlb/
+ * perforated_tlb headers — including the subtle points:
+ *  - a probe that matches a tag refreshes recency even when the
+ *    caller then reports a miss (absent sub-entry, cleared mask bit,
+ *    perforation hole);
+ *  - fills allocate the first invalid way when one exists, otherwise
+ *    the true-LRU way.
+ */
+
+#ifndef MOSAIC_ORACLE_ORACLE_TLB_HH_
+#define MOSAIC_ORACLE_ORACLE_TLB_HH_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mem/geometry.hh"
+#include "tlb/mosaic_tlb.hh"
+#include "tlb/perforated_tlb.hh"
+#include "tlb/set_assoc.hh"
+#include "tlb/tlb_stats.hh"
+#include "util/types.hh"
+
+namespace mosaic
+{
+
+/**
+ * The naive reference array: per-set recency lists.
+ *
+ * @tparam Payload the per-entry payload, as in SetAssocArray.
+ */
+template <typename Payload>
+class OracleSetAssoc
+{
+  public:
+    struct Entry
+    {
+        std::uint64_t tag = 0;
+        Payload payload{};
+    };
+
+    explicit OracleSetAssoc(const TlbGeometry &geometry)
+        : ways_(geometry.ways), sets_(geometry.sets())
+    {
+        geometry.check();
+    }
+
+    std::uint64_t setOf(std::uint64_t index_key) const
+    {
+        return index_key % sets_.size();
+    }
+
+    /** Find an entry; refreshes recency on a tag match. */
+    Payload *
+    find(std::uint64_t index_key, std::uint64_t tag)
+    {
+        auto &set = sets_[setOf(index_key)];
+        for (auto it = set.begin(); it != set.end(); ++it) {
+            if (it->tag == tag) {
+                set.splice(set.begin(), set, it);
+                return &set.front().payload;
+            }
+        }
+        return nullptr;
+    }
+
+    /** Claim an entry for the tag; sets *evicted when a valid entry
+     *  was displaced. Callers invoke this only after find() missed. */
+    Payload &
+    allocate(std::uint64_t index_key, std::uint64_t tag, bool *evicted)
+    {
+        auto &set = sets_[setOf(index_key)];
+        *evicted = set.size() >= ways_;
+        if (set.size() >= ways_)
+            set.pop_back(); // the least recently used entry
+        set.push_front(Entry{tag, Payload{}});
+        return set.front().payload;
+    }
+
+    /** Find without refreshing recency (for inspection only). */
+    const Payload *
+    peek(std::uint64_t index_key, std::uint64_t tag) const
+    {
+        const auto &set = sets_[setOf(index_key)];
+        for (const auto &entry : set) {
+            if (entry.tag == tag)
+                return &entry.payload;
+        }
+        return nullptr;
+    }
+
+    bool
+    invalidate(std::uint64_t index_key, std::uint64_t tag)
+    {
+        auto &set = sets_[setOf(index_key)];
+        for (auto it = set.begin(); it != set.end(); ++it) {
+            if (it->tag == tag) {
+                set.erase(it);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    template <typename Pred>
+    unsigned
+    invalidateIf(Pred &&pred)
+    {
+        unsigned dropped = 0;
+        for (auto &set : sets_) {
+            for (auto it = set.begin(); it != set.end();) {
+                if (pred(it->tag, it->payload)) {
+                    it = set.erase(it);
+                    ++dropped;
+                } else {
+                    ++it;
+                }
+            }
+        }
+        return dropped;
+    }
+
+    unsigned
+    validEntries() const
+    {
+        std::size_t n = 0;
+        for (const auto &set : sets_)
+            n += set.size();
+        return static_cast<unsigned>(n);
+    }
+
+  private:
+    unsigned ways_;
+    std::vector<std::list<Entry>> sets_;
+};
+
+/** Reference model of VanillaTlb. */
+class OracleVanillaTlb
+{
+  public:
+    explicit OracleVanillaTlb(const TlbGeometry &geometry)
+        : array_(geometry)
+    {
+    }
+
+    std::optional<Pfn> lookup(Asid asid, Vpn vpn);
+    void fill(Asid asid, Vpn vpn, Pfn pfn);
+    void fillHuge(Asid asid, Vpn vpn, Pfn base_pfn);
+    void invalidate(Asid asid, Vpn vpn);
+    void flushAsid(Asid asid);
+
+    const TlbStats &stats() const { return stats_; }
+    unsigned validEntries() const { return array_.validEntries(); }
+
+  private:
+    struct Payload
+    {
+        Pfn pfn = invalidPfn;
+    };
+
+    OracleSetAssoc<Payload> array_;
+    TlbStats stats_;
+};
+
+/** Reference model of MosaicTlb. */
+class OracleMosaicTlb
+{
+  public:
+    OracleMosaicTlb(const TlbGeometry &geometry, unsigned arity)
+        : array_(geometry), arity_(arity),
+          log2Arity_(ceilLog2(arity))
+    {
+    }
+
+    std::optional<Cpfn> lookup(Asid asid, Vpn vpn);
+    void fill(Asid asid, Vpn vpn, std::span<const Cpfn> toc,
+              Cpfn unmapped_code);
+    std::optional<Pfn> lookupConventional(Asid asid, Vpn vpn);
+    void fillConventional(Asid asid, Vpn vpn, Pfn pfn);
+    void invalidateSub(Asid asid, Vpn vpn);
+    void invalidateEntry(Asid asid, Vpn vpn);
+    void flushAsid(Asid asid);
+
+    const TlbStats &stats() const { return stats_; }
+    unsigned validEntries() const { return array_.validEntries(); }
+
+  private:
+    struct Payload
+    {
+        Payload() { cpfns.fill(MosaicTlb::absentCpfn); }
+        std::array<Cpfn, maxArity> cpfns;
+        Pfn conventionalPfn = invalidPfn;
+        bool conventional = false;
+    };
+
+    Mvpn mvpnOf(Vpn vpn) const { return vpn >> log2Arity_; }
+    unsigned offsetOf(Vpn vpn) const { return vpn & (arity_ - 1); }
+
+    OracleSetAssoc<Payload> array_;
+    TlbStats stats_;
+    unsigned arity_;
+    unsigned log2Arity_;
+};
+
+/** Reference model of CoalescedTlb. */
+class OracleCoalescedTlb
+{
+  public:
+    explicit OracleCoalescedTlb(const TlbGeometry &geometry)
+        : array_(geometry)
+    {
+    }
+
+    std::optional<Pfn> lookup(Asid asid, Vpn vpn);
+    void fill(Asid asid, Vpn vpn, Pfn pfn,
+              const std::function<std::optional<Pfn>(Vpn)> &pfn_of);
+    void invalidate(Asid asid, Vpn vpn);
+
+    const TlbStats &stats() const { return stats_; }
+    std::uint64_t pagesCoveredByFills() const { return covered_; }
+    std::uint64_t coalescedFills() const { return coalescedFills_; }
+    unsigned validEntries() const { return array_.validEntries(); }
+
+  private:
+    struct Payload
+    {
+        Pfn basePfn = invalidPfn;
+        std::uint8_t mask = 0;
+    };
+
+    OracleSetAssoc<Payload> array_;
+    TlbStats stats_;
+    std::uint64_t covered_ = 0;
+    std::uint64_t coalescedFills_ = 0;
+};
+
+/** Reference model of PerforatedTlb. */
+class OraclePerforatedTlb
+{
+  public:
+    explicit OraclePerforatedTlb(const TlbGeometry &geometry)
+        : array_(geometry)
+    {
+    }
+
+    std::optional<Pfn> lookup(Asid asid, Vpn vpn);
+    void fillPerforated(Asid asid, Vpn vpn, Pfn base_pfn,
+                        const HoleBitmap &holes);
+    void fill4k(Asid asid, Vpn vpn, Pfn pfn);
+
+    /** True when the 2 MiB entry of the region is cached. Does not
+     *  refresh recency: the fuzz driver uses it to decide between
+     *  fillPerforated and fill4k without perturbing either model. */
+    bool hasPerforatedEntry(Asid asid, Vpn vpn) const;
+
+    const TlbStats &stats() const { return stats_; }
+    std::uint64_t holeLookups() const { return holeLookups_; }
+    unsigned validEntries() const { return array_.validEntries(); }
+
+  private:
+    struct Payload
+    {
+        Pfn basePfn = invalidPfn;
+        HoleBitmap holes{};
+        bool huge = false;
+    };
+
+    OracleSetAssoc<Payload> array_;
+    TlbStats stats_;
+    std::uint64_t holeLookups_ = 0;
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_ORACLE_ORACLE_TLB_HH_

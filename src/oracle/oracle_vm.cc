@@ -1,0 +1,109 @@
+#include "oracle/oracle_vm.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace mosaic
+{
+
+OracleVm::OracleVm(const OracleVmConfig &config)
+    : config_(config)
+{
+    if (config_.numFrames > 0) {
+        reserve_ = std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   static_cast<double>(config_.numFrames) *
+                   config_.watermarkFraction));
+    }
+}
+
+bool
+OracleVm::isDirty(PageId id) const
+{
+    const auto it = pages_.find(id);
+    ensure(it != pages_.end(), "oracle_vm: dirty query on non-resident");
+    return it->second.dirty;
+}
+
+Tick
+OracleVm::lastAccessOf(PageId id) const
+{
+    const auto it = pages_.find(id);
+    ensure(it != pages_.end(), "oracle_vm: tick query on non-resident");
+    return it->second.lastAccess;
+}
+
+std::vector<PageId>
+OracleVm::residentByRecency() const
+{
+    std::vector<PageId> out(lru_.rbegin(), lru_.rend());
+    return out;
+}
+
+void
+OracleVm::reclaim()
+{
+    for (unsigned i = 0; i < config_.reclaimBatch && !lru_.empty(); ++i) {
+        const PageId victim = lru_.front();
+        lru_.pop_front();
+        const auto it = pages_.find(victim);
+        if (it->second.dirty) {
+            swap_.insert(victim);
+            ++stats_.swapOuts;
+        }
+        pages_.erase(it);
+    }
+}
+
+OracleVm::Outcome
+OracleVm::touch(Asid asid, Vpn vpn, bool write)
+{
+    ++clock_;
+    const PageId id{asid, vpn};
+
+    if (const auto it = pages_.find(id); it != pages_.end()) {
+        // Resident: move to the most-recently-used end.
+        lru_.splice(lru_.end(), lru_, it->second.lruPos);
+        it->second.lastAccess = clock_;
+        it->second.dirty = it->second.dirty || write;
+        return Outcome{false, false};
+    }
+
+    // Page fault.
+    const bool major = swap_.contains(id);
+
+    if (config_.numFrames > 0) {
+        const std::size_t free = config_.numFrames - pages_.size();
+        if (free <= reserve_)
+            reclaim();
+        ensure(pages_.size() < config_.numFrames,
+               "oracle_vm: reclaim failed to free frames");
+    }
+
+    const auto pos = lru_.insert(lru_.end(), id);
+    pages_.emplace(id, Record{pos, clock_, !major || write});
+
+    if (major) {
+        ++stats_.swapIns;
+        ++stats_.majorFaults;
+    } else {
+        ++stats_.minorFaults;
+    }
+    return Outcome{true, major};
+}
+
+void
+OracleVm::unmapRange(Asid asid, Vpn vpn, std::size_t npages)
+{
+    for (std::size_t i = 0; i < npages; ++i) {
+        const PageId id{asid, vpn + i};
+        swap_.erase(id);
+        if (const auto it = pages_.find(id); it != pages_.end()) {
+            lru_.erase(it->second.lruPos);
+            pages_.erase(it);
+        }
+    }
+}
+
+} // namespace mosaic

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * An obviously-correct reference model of demand paging with exact
+ * global-LRU reclaim, used as the differential oracle for the real
+ * virtual-memory subsystems.
+ *
+ * The oracle trades all performance for clarity: resident pages live
+ * in a std::list ordered by recency (front = least recently used),
+ * page metadata lives in a std::map, and the swap device is a
+ * std::set. Every operation is a direct transcription of the intended
+ * semantics, so any disagreement with `LinuxVm` or `MosaicVm` points
+ * at a bug in the optimized code (or, rarely, at a genuine semantic
+ * difference the checker must model explicitly).
+ *
+ * Two modes:
+ *  - bounded (numFrames > 0): mirrors `LinuxVm` — a free-frame
+ *    watermark triggers batched reclaim of the globally
+ *    least-recently-used pages;
+ *  - unbounded (numFrames == 0): a pure recency tracker that never
+ *    evicts. This is the ground truth for the Horizon-LRU property:
+ *    the live (non-ghost) pages of a Horizon-LRU `MosaicVm` must
+ *    always equal the most recently touched L distinct pages, where
+ *    L is the live-page count (paper §2.4).
+ */
+
+#ifndef MOSAIC_ORACLE_ORACLE_VM_HH_
+#define MOSAIC_ORACLE_ORACLE_VM_HH_
+
+#include <cstddef>
+#include <list>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "os/vm_stats.hh"
+#include "util/types.hh"
+
+namespace mosaic
+{
+
+/** Configuration of the reference VM. */
+struct OracleVmConfig
+{
+    /** Physical frames; 0 means unbounded (never evict). */
+    std::size_t numFrames = 0;
+
+    /** Free-frame reserve fraction (mirrors LinuxVmConfig). */
+    double watermarkFraction = 0.008;
+
+    /** Pages reclaimed per batch (mirrors LinuxVmConfig). */
+    unsigned reclaimBatch = 32;
+};
+
+/** Map/list-based demand paging with exact global-LRU reclaim. */
+class OracleVm
+{
+  public:
+    /** What a touch did, predicted from the oracle's own state. */
+    struct Outcome
+    {
+        /** True when the page was not resident before the touch. */
+        bool fault = false;
+
+        /** True when the fault required a swap-in. */
+        bool major = false;
+    };
+
+    explicit OracleVm(const OracleVmConfig &config);
+
+    /** Access one page, faulting it in if necessary. */
+    Outcome touch(Asid asid, Vpn vpn, bool write);
+
+    /** Release a range of pages; swap copies are dropped. */
+    void unmapRange(Asid asid, Vpn vpn, std::size_t npages);
+
+    std::size_t resident() const { return pages_.size(); }
+    bool isResident(PageId id) const { return pages_.contains(id); }
+
+    /** Dirty bit of a resident page. */
+    bool isDirty(PageId id) const;
+
+    /** Last access tick of a resident page. */
+    Tick lastAccessOf(PageId id) const;
+
+    bool inSwap(PageId id) const { return swap_.contains(id); }
+    std::size_t swapStored() const { return swap_.size(); }
+
+    /** Swap write I/Os (== stats().swapOuts, kept for symmetry). */
+    std::uint64_t swapWrites() const { return stats_.swapOuts; }
+
+    const VmStats &stats() const { return stats_; }
+    Tick now() const { return clock_; }
+
+    /** Reserve size the watermark works out to (bounded mode). */
+    std::size_t reserveFrames() const { return reserve_; }
+
+    /** Resident pages from most recently to least recently used. */
+    std::vector<PageId> residentByRecency() const;
+
+  private:
+    struct Record
+    {
+        std::list<PageId>::iterator lruPos;
+        Tick lastAccess = 0;
+        bool dirty = false;
+    };
+
+    void reclaim();
+
+    OracleVmConfig config_;
+    std::size_t reserve_ = 0;
+    Tick clock_ = 0;
+
+    /** Front = least recently used, back = most recently used. */
+    std::list<PageId> lru_;
+
+    std::map<PageId, Record> pages_;
+    std::set<PageId> swap_;
+    VmStats stats_;
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_ORACLE_ORACLE_VM_HH_

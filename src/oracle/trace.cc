@@ -1,0 +1,155 @@
+#include "oracle/trace.hh"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "util/log.hh"
+
+namespace mosaic
+{
+
+std::string
+Trace::cfgValue(const std::string &key, const std::string &fallback) const
+{
+    for (const auto &[k, v] : cfg) {
+        if (k == key)
+            return v;
+    }
+    return fallback;
+}
+
+std::uint64_t
+Trace::cfgUint(const std::string &key, std::uint64_t fallback) const
+{
+    const std::string v = cfgValue(key);
+    if (v.empty())
+        return fallback;
+    std::uint64_t out = 0;
+    const auto [ptr, ec] =
+        std::from_chars(v.data(), v.data() + v.size(), out);
+    if (ec != std::errc() || ptr != v.data() + v.size())
+        panic("trace: cfg '" + key + "' is not an unsigned integer: '" +
+              v + "'");
+    return out;
+}
+
+void
+Trace::setCfg(const std::string &key, const std::string &value)
+{
+    for (auto &[k, v] : cfg) {
+        if (k == key) {
+            v = value;
+            return;
+        }
+    }
+    cfg.emplace_back(key, value);
+}
+
+void
+Trace::setCfgUint(const std::string &key, std::uint64_t value)
+{
+    setCfg(key, std::to_string(value));
+}
+
+std::string
+serializeTrace(const Trace &trace)
+{
+    std::ostringstream out;
+    out << Trace::magic << '\n';
+    out << "component " << trace.component << '\n';
+    for (const auto &[k, v] : trace.cfg)
+        out << "cfg " << k << ' ' << v << '\n';
+    for (const TraceOp &op : trace.ops) {
+        out << "op " << op.kind;
+        for (unsigned i = 0; i < op.nargs; ++i)
+            out << ' ' << op.args[i];
+        out << '\n';
+    }
+    out << "end\n";
+    return out.str();
+}
+
+Trace
+parseTrace(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string line;
+
+    ensure(static_cast<bool>(std::getline(in, line)) &&
+               line == Trace::magic,
+           "trace: missing or wrong magic line");
+
+    Trace trace;
+    bool ended = false;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream fields(line);
+        std::string word;
+        fields >> word;
+        if (word == "end") {
+            ended = true;
+            break;
+        }
+        if (word == "component") {
+            fields >> trace.component;
+            ensure(!trace.component.empty(),
+                   "trace: empty component name");
+            continue;
+        }
+        if (word == "cfg") {
+            std::string key, value;
+            fields >> key >> value;
+            if (key.empty() || value.empty())
+                panic("trace: malformed cfg line: '" + line + "'");
+            trace.cfg.emplace_back(key, value);
+            continue;
+        }
+        if (word == "op") {
+            std::string kind;
+            fields >> kind;
+            if (kind.size() != 1)
+                panic("trace: op kind must be one letter: '" + line +
+                      "'");
+            TraceOp op;
+            op.kind = kind[0];
+            std::uint64_t arg = 0;
+            while (op.nargs < TraceOp::maxArgs && fields >> arg)
+                op.args[op.nargs++] = arg;
+            if (!fields.eof())
+                panic("trace: too many op args: '" + line + "'");
+            trace.ops.push_back(op);
+            continue;
+        }
+        panic("trace: unknown line: '" + line + "'");
+    }
+    ensure(ended, "trace: missing 'end' line");
+    ensure(!trace.component.empty(), "trace: missing component line");
+    return trace;
+}
+
+void
+writeTraceFile(const std::string &path, const Trace &trace)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out.good())
+        panic("trace: cannot open '" + path + "' for writing");
+    out << serializeTrace(trace);
+    out.flush();
+    if (!out.good())
+        panic("trace: write to '" + path + "' failed");
+}
+
+Trace
+readTraceFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good())
+        panic("trace: cannot open '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parseTrace(buffer.str());
+}
+
+} // namespace mosaic

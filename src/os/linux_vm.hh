@@ -64,6 +64,9 @@ class LinuxVm : public VirtualMemory
 
     const FrameTable &frameTable() const { return frames_; }
 
+    /** Swap-device counters (for telemetry, tests, and oracles). */
+    const SwapDevice &swapDevice() const { return swap_; }
+
     /** Free frames kept in reserve before reclaim starts. */
     std::size_t reserveFrames() const { return reserve_; }
 

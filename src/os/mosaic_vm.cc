@@ -313,6 +313,9 @@ MosaicVm::touch(Asid asid, Vpn vpn, bool write)
                 pt.setCpfn(vpn, peer.cpfn);
                 sharers_[pfn].emplace_back(asid, vpn);
                 if (frames_.frame(pfn).lastAccess < horizon_) {
+                    // Adopting a ghost frame rescues it exactly like a
+                    // direct hit on one would.
+                    ++stats_.ghostRescues;
                     --ghostCount_;
                     liveOrder_.pushBack(pfn);
                 } else {

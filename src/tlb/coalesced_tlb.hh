@@ -52,6 +52,9 @@ class CoalescedTlb
     /** Fills that coalesced at least two pages. */
     std::uint64_t coalescedFills() const { return coalescedFills_; }
 
+    /** Currently valid entries (oracle cross-checks). */
+    unsigned validEntries() const { return array_.validEntries(); }
+
   private:
     struct Payload
     {

@@ -94,6 +94,9 @@ class MosaicTlb
     TlbStats &stats() { return stats_; }
     const TlbGeometry &geometry() const { return array_.geometry(); }
 
+    /** Currently valid entries (oracle cross-checks). */
+    unsigned validEntries() const { return array_.validEntries(); }
+
   private:
     struct Payload
     {

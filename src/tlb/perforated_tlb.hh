@@ -67,6 +67,9 @@ class PerforatedTlb
      *  were served by (or missed into) the 4 KiB side. */
     std::uint64_t holeLookups() const { return holeLookups_; }
 
+    /** Currently valid entries (oracle cross-checks). */
+    unsigned validEntries() const { return array_.validEntries(); }
+
   private:
     struct Payload
     {

@@ -49,6 +49,9 @@ class VanillaTlb
     TlbStats &stats() { return stats_; }
     const TlbGeometry &geometry() const { return array_.geometry(); }
 
+    /** Currently valid entries (oracle cross-checks). */
+    unsigned validEntries() const { return array_.validEntries(); }
+
   private:
     struct Payload
     {

@@ -84,6 +84,32 @@ Rng::chance(double p)
     return uniform() < p;
 }
 
+unsigned
+Rng::pickWeighted(std::initializer_list<double> weights)
+{
+    double total = 0.0;
+    for (const double w : weights)
+        total += w;
+    double point = uniform() * total;
+    unsigned index = 0;
+    for (const double w : weights) {
+        point -= w;
+        if (point < 0.0)
+            return index;
+        ++index;
+    }
+    // Rounding pushed the point past the last weight: return the
+    // final index with a nonzero weight.
+    index = 0;
+    unsigned last = 0;
+    for (const double w : weights) {
+        if (w > 0.0)
+            last = index;
+        ++index;
+    }
+    return last;
+}
+
 Rng
 Rng::fork()
 {

@@ -12,6 +12,7 @@
 
 #include <array>
 #include <cstdint>
+#include <initializer_list>
 
 namespace mosaic
 {
@@ -47,6 +48,14 @@ class Rng
 
     /** Bernoulli trial with probability p of returning true. */
     bool chance(double p);
+
+    /**
+     * Weighted choice: the index of one weight, drawn with
+     * probability proportional to its value. Weights must be
+     * non-negative with a positive sum. Used by the fuzzer to pick
+     * operation kinds.
+     */
+    unsigned pickWeighted(std::initializer_list<double> weights);
 
     /**
      * Fork an independent generator. Equivalent to a long jump in the

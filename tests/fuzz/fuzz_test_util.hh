@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared helpers for the differential fuzz test binaries: seed/op
+ * budgets overridable from the environment (CI cranks them up without
+ * a rebuild) and a standard "run N seeds, demand zero divergences"
+ * driver that prints a ready-to-run reproduction command on failure.
+ */
+
+#ifndef MOSAIC_TESTS_FUZZ_FUZZ_TEST_UTIL_HH_
+#define MOSAIC_TESTS_FUZZ_FUZZ_TEST_UTIL_HH_
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "oracle/fuzzer.hh"
+#include "oracle/trace.hh"
+
+namespace mosaic::fuzztest
+{
+
+inline std::uint64_t
+envOr(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    return std::strtoull(v, nullptr, 10);
+}
+
+/** Seeds per component; MOSAIC_FUZZ_SEEDS overrides. */
+inline std::uint64_t
+seedBudget(std::uint64_t fallback = 6)
+{
+    return envOr("MOSAIC_FUZZ_SEEDS", fallback);
+}
+
+/** Ops per trace; MOSAIC_FUZZ_OPS overrides. */
+inline std::uint64_t
+opBudget(std::uint64_t fallback = 5000)
+{
+    return envOr("MOSAIC_FUZZ_OPS", fallback);
+}
+
+/** Generate-and-run one seed; fails the test on any divergence with
+ *  a message naming the exact mosaic_fuzz invocation to reproduce. */
+inline void
+expectSeedPasses(const std::string &component, std::uint64_t seed,
+                 std::uint64_t ops)
+{
+    const Trace trace = generateTrace(component, seed, ops);
+    const FuzzResult result = runTrace(trace);
+    if (result.divergence) {
+        FAIL() << component << " seed " << seed << " diverged at op "
+               << result.divergence->opIndex << ": "
+               << result.divergence->message
+               << "\nreproduce: tools/mosaic_fuzz --component "
+               << component << " --first-seed " << seed
+               << " --seeds 1 --ops " << ops << " --out /tmp";
+    }
+}
+
+} // namespace mosaic::fuzztest
+
+#endif // MOSAIC_TESTS_FUZZ_FUZZ_TEST_UTIL_HH_

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Differential fuzzing of IcebergTable against OracleIceberg: insert
+ * placement predictions (yard and bucket), slot stability across the
+ * table's lifetime, erase/find agreement, per-bucket occupancies, and
+ * periodic full-table sweeps.
+ */
+
+#include "fuzz_test_util.hh"
+
+#include <gtest/gtest.h>
+
+#include "oracle/fuzzer.hh"
+#include "oracle/trace.hh"
+
+using namespace mosaic;
+using namespace mosaic::fuzztest;
+
+TEST(FuzzIceberg, GeneratedSeedsPass)
+{
+    const std::uint64_t seeds = seedBudget();
+    const std::uint64_t ops = opBudget();
+    for (std::uint64_t s = 1; s <= seeds; ++s)
+        expectSeedPasses("iceberg", s, ops);
+}
+
+// The paper's geometry (f=56, b=8, d=6) at near-capacity load, where
+// backyard spill and insert conflicts actually happen.
+TEST(FuzzIceberg, PaperGeometryUnderPressure)
+{
+    Trace trace = generateTrace("iceberg", 7, opBudget(4000));
+    trace.setCfgUint("buckets", 8);
+    trace.setCfgUint("front", 56);
+    trace.setCfgUint("back", 8);
+    trace.setCfgUint("d", 6);
+    const FuzzResult result = runTrace(trace);
+    EXPECT_FALSE(result.divergence.has_value())
+        << result.divergence->message;
+}
+
+// Tiny table: conflicts on nearly every insert once full.
+TEST(FuzzIceberg, TinyTableConflictHeavy)
+{
+    Trace trace = generateTrace("iceberg", 11, opBudget(4000));
+    trace.setCfgUint("buckets", 3);
+    trace.setCfgUint("front", 2);
+    trace.setCfgUint("back", 1);
+    trace.setCfgUint("d", 2);
+    const FuzzResult result = runTrace(trace);
+    EXPECT_FALSE(result.divergence.has_value())
+        << result.divergence->message;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Differential fuzzing of every TLB variant (vanilla, mosaic,
+ * coalesced, perforated) against the recency-list oracle models:
+ * lookup results, all stats counters, valid-entry counts, and the
+ * variant-specific extras must agree after every operation.
+ *
+ * This is the oracle cross-check coverage for PerforatedTlb and
+ * CoalescedTlb: beyond the random sweep, pinned-kind tests guarantee
+ * each variant is exercised regardless of the seed budget.
+ */
+
+#include "fuzz_test_util.hh"
+
+#include <gtest/gtest.h>
+
+#include "oracle/fuzzer.hh"
+#include "oracle/trace.hh"
+
+using namespace mosaic;
+using namespace mosaic::fuzztest;
+
+TEST(FuzzTlb, GeneratedSeedsPass)
+{
+    const std::uint64_t seeds = seedBudget();
+    const std::uint64_t ops = opBudget();
+    for (std::uint64_t s = 1; s <= seeds; ++s)
+        expectSeedPasses("tlb", s, ops);
+}
+
+namespace
+{
+
+/** Run a generated trace re-pinned to one TLB kind. */
+void
+runPinnedKind(const std::string &kind, std::uint64_t seeds,
+              std::uint64_t ops)
+{
+    for (std::uint64_t s = 1; s <= seeds; ++s) {
+        Trace trace = generateTrace("tlb", s, ops);
+        trace.setCfg("kind", kind);
+        const FuzzResult result = runTrace(trace);
+        if (result.divergence) {
+            FAIL() << kind << " tlb seed " << s << " diverged at op "
+                   << result.divergence->opIndex << ": "
+                   << result.divergence->message;
+        }
+        EXPECT_GT(result.opsApplied, 0u);
+    }
+}
+
+} // namespace
+
+TEST(FuzzTlb, VanillaPinned)
+{
+    runPinnedKind("vanilla", 4, opBudget(2000));
+}
+
+TEST(FuzzTlb, MosaicPinned)
+{
+    runPinnedKind("mosaic", 4, opBudget(2000));
+}
+
+TEST(FuzzTlb, CoalescedPinned)
+{
+    runPinnedKind("coalesced", 4, opBudget(2000));
+}
+
+TEST(FuzzTlb, PerforatedPinned)
+{
+    runPinnedKind("perforated", 4, opBudget(2000));
+}
+
+// A fully-associative geometry stresses the recency-order modelling
+// hardest: one set, every entry competes on pure LRU order.
+TEST(FuzzTlb, FullyAssociativePinned)
+{
+    for (const char *kind :
+         {"vanilla", "mosaic", "coalesced", "perforated"}) {
+        Trace trace = generateTrace("tlb", 99, opBudget(2000));
+        trace.setCfg("kind", kind);
+        trace.setCfgUint("entries", 16);
+        trace.setCfgUint("ways", 16);
+        const FuzzResult result = runTrace(trace);
+        EXPECT_FALSE(result.divergence.has_value())
+            << kind << ": " << result.divergence->message;
+    }
+}

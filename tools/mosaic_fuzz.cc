@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Differential fuzzer driver: generates deterministic operation
+ * traces, runs each real component in lockstep with its oracle, and
+ * on divergence shrinks the trace to a minimal reproducer and writes
+ * it to a file that `mosaic_replay` (or the corpus regression test)
+ * can re-execute.
+ *
+ * Usage:
+ *   mosaic_fuzz [--component vm|tlb|iceberg|all] [--seeds N]
+ *               [--first-seed S] [--ops N] [--out DIR] [--emit]
+ *
+ * --emit also writes every PASSING trace to the out dir (named
+ * <component>_seed<S>.trace) — used to regenerate the seed corpus.
+ *
+ * Exit status: 0 when every trace passed, 1 when any diverged,
+ * 2 on usage errors.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "oracle/fuzzer.hh"
+#include "oracle/trace.hh"
+#include "util/thread_pool.hh"
+
+using namespace mosaic;
+
+namespace
+{
+
+struct Options
+{
+    std::string component = "all";
+    std::uint64_t seeds = 10;
+    std::uint64_t firstSeed = 1;
+    std::size_t ops = 20000;
+    std::string outDir = ".";
+    bool emit = false;
+};
+
+int
+usage()
+{
+    std::cerr <<
+        "usage: mosaic_fuzz [--component vm|tlb|iceberg|all]\n"
+        "                   [--seeds N] [--first-seed S] [--ops N]\n"
+        "                   [--out DIR]\n";
+    return 2;
+}
+
+bool
+parseArgs(int argc, char **argv, Options *opts)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--component") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts->component = v;
+        } else if (arg == "--seeds") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts->seeds = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--first-seed") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts->firstSeed = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--ops") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts->ops = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--out") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts->outDir = v;
+        } else if (arg == "--emit") {
+            opts->emit = true;
+        } else {
+            return false;
+        }
+    }
+    if (opts->component != "all" && opts->component != "vm" &&
+            opts->component != "tlb" && opts->component != "iceberg")
+        return false;
+    return opts->seeds > 0 && opts->ops > 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    if (!parseArgs(argc, argv, &opts))
+        return usage();
+
+    std::vector<std::string> components;
+    if (opts.component == "all")
+        components = {"vm", "tlb", "iceberg"};
+    else
+        components = {opts.component};
+
+    struct Job
+    {
+        std::string component;
+        std::uint64_t seed = 0;
+    };
+    std::vector<Job> jobs;
+    for (const std::string &c : components) {
+        for (std::uint64_t s = 0; s < opts.seeds; ++s)
+            jobs.push_back(Job{c, opts.firstSeed + s});
+    }
+
+    std::mutex outMutex;
+    std::size_t failures = 0;
+    parallelFor(jobs.size(), [&](std::size_t i) {
+        const Job &job = jobs[i];
+        const Trace trace =
+            generateTrace(job.component, job.seed, opts.ops);
+        const FuzzResult result = runTrace(trace);
+        std::lock_guard<std::mutex> lock(outMutex);
+        if (!result.divergence) {
+            std::cout << job.component << " seed " << job.seed << ": ok, "
+                      << result.opsApplied << " ops, digest "
+                      << result.digest << "\n";
+            if (opts.emit) {
+                std::filesystem::create_directories(opts.outDir);
+                writeTraceFile(opts.outDir + "/" + job.component +
+                                   "_seed" + std::to_string(job.seed) +
+                                   ".trace",
+                               trace);
+            }
+            return;
+        }
+        ++failures;
+        std::cout << job.component << " seed " << job.seed
+                  << ": DIVERGED at op " << result.divergence->opIndex
+                  << ": " << result.divergence->message << "\n";
+        const Trace small = shrinkTrace(trace);
+        const FuzzResult rerun = runTrace(small);
+        const std::string path = opts.outDir + "/diverge_" +
+            job.component + "_seed" + std::to_string(job.seed) + ".trace";
+        std::filesystem::create_directories(opts.outDir);
+        writeTraceFile(path, small);
+        std::cout << "  shrunk " << trace.ops.size() << " -> "
+                  << small.ops.size() << " ops ("
+                  << (rerun.divergence ? rerun.divergence->message
+                                       : std::string("no longer diverges?!"))
+                  << ")\n  wrote " << path << "\n";
+    });
+
+    if (failures != 0) {
+        std::cout << failures << "/" << jobs.size()
+                  << " traces diverged\n";
+        return 1;
+    }
+    std::cout << "all " << jobs.size() << " traces passed\n";
+    return 0;
+}

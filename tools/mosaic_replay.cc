@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Re-execute a fuzz trace file byte-deterministically.
+ *
+ * Usage:
+ *   mosaic_replay TRACE...          re-run each trace, report result
+ *   mosaic_replay --digest TRACE... print only "digest opsApplied"
+ *                                   per trace (for determinism
+ *                                   comparisons across hosts or
+ *                                   MOSAIC_THREADS settings)
+ *
+ * Exit status: 0 when every trace passed, 1 when any diverged,
+ * 2 on usage errors.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "oracle/fuzzer.hh"
+#include "oracle/trace.hh"
+
+using namespace mosaic;
+
+int
+main(int argc, char **argv)
+{
+    bool digestOnly = false;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--digest")
+            digestOnly = true;
+        else
+            paths.push_back(arg);
+    }
+    if (paths.empty()) {
+        std::cerr << "usage: mosaic_replay [--digest] TRACE...\n";
+        return 2;
+    }
+
+    int status = 0;
+    for (const std::string &path : paths) {
+        const Trace trace = readTraceFile(path);
+        const FuzzResult result = runTrace(trace);
+        if (digestOnly) {
+            std::cout << result.digest << " " << result.opsApplied
+                      << "\n";
+            if (result.divergence)
+                status = 1;
+            continue;
+        }
+        if (result.divergence) {
+            std::cout << path << ": DIVERGED at op "
+                      << result.divergence->opIndex << ": "
+                      << result.divergence->message << "\n";
+            status = 1;
+        } else {
+            std::cout << path << ": ok, " << result.opsApplied
+                      << " ops, digest " << result.digest << "\n";
+        }
+    }
+    return status;
+}
