@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/sweep.hh"
 #include "telemetry/report.hh"
 #include "util/table.hh"
 #include "util/thread_pool.hh"
@@ -128,6 +129,56 @@ finishReport(telemetry::BenchReport &report, std::ostream &os,
     report.timing().serialSeconds = cell_seconds;
     if (const auto path = report.write())
         os << "telemetry: " << *path << "\n";
+}
+
+/**
+ * Record a resilient sweep's outcome (fault::SweepRunner) in the
+ * report and on stdout.
+ *
+ * Everything lands in the manifest *config* section, never in
+ * metrics: failure manifests, retry counts, and resume counters are
+ * run-shape data, and keeping them out of the metrics object is what
+ * lets an interrupted-and-resumed run's metrics compare byte-for-byte
+ * against an uninterrupted one (DESIGN.md §11). Counters are only
+ * recorded when nonzero, so a clean sweep's report is byte-identical
+ * to a pre-resilience one.
+ */
+inline void
+recordSweep(telemetry::BenchReport &report, std::ostream &os,
+            const fault::SweepRunner &runner,
+            const fault::SweepStats &stats)
+{
+    const std::string base = "sweep." + runner.name();
+    if (!stats.failures.empty()) {
+        report.config(base + ".failedCells", stats.failures.size());
+        std::size_t idx = 0;
+        for (const fault::CellFailure &f : stats.failures) {
+            report.config(base + ".failure" + std::to_string(idx++),
+                          f.cell + " (attempts=" +
+                              std::to_string(f.attempts) +
+                              "): " + f.error);
+            os << "sweep " << runner.name() << ": cell " << f.cell
+               << " FAILED after " << f.attempts
+               << " attempts: " << f.error << "\n";
+        }
+    }
+    if (stats.retries > 0)
+        report.config(base + ".retries", stats.retries);
+    if (stats.watchdogTimeouts > 0)
+        report.config(base + ".watchdogTimeouts",
+                      stats.watchdogTimeouts);
+    if (stats.resumedCells > 0)
+        report.config(base + ".resumedCells", stats.resumedCells);
+    if (stats.checkpointedCells > 0)
+        report.config(base + ".checkpointedCells",
+                      stats.checkpointedCells);
+    if (stats.injectedCellFaults > 0)
+        report.config(base + ".injectedCellFaults",
+                      stats.injectedCellFaults);
+    if (stats.resumedCells > 0)
+        os << "sweep " << runner.name() << ": resumed "
+           << stats.resumedCells << " cell(s) from "
+           << runner.options().resumeDir << "\n";
 }
 
 /** Read a double knob from the environment. */

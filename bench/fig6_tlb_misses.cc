@@ -25,6 +25,7 @@
 #include "bench_common.hh"
 #include "core/experiment_export.hh"
 #include "core/experiments.hh"
+#include "fault/sweep.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 #include "util/thread_pool.hh"
@@ -114,11 +115,36 @@ main()
     report.config("tlbEntries",
                   static_cast<std::uint64_t>(options.tlbEntries));
 
+    // Resilient sweep (DESIGN.md §11): each (workload × ways) cell
+    // is isolated, retried, and — with MOSAIC_RESUME_DIR — resumable.
+    fault::SweepOptions sweep_options = fault::SweepOptions::fromEnv();
+    {
+        char fp[120];
+        std::snprintf(fp, sizeof fp,
+                      "fig6 scale=%g kernel=%d seed=%llu tlb=%u",
+                      options.scale, options.kernelHugePages ? 1 : 0,
+                      static_cast<unsigned long long>(options.seed),
+                      options.tlbEntries);
+        sweep_options.fingerprint = fp;
+    }
+    fault::SweepRunner runner("fig6", sweep_options);
+
     std::vector<Fig6Cell> cells(num_panels * ways_count);
-    parallelFor(pool, cells.size(), [&](std::size_t i) {
-        cells[i] = runFig6Cell(kinds[i / ways_count], options,
-                               i % ways_count);
-    });
+    const fault::SweepStats sweep = runner.run(
+        pool, cells.size(),
+        [&](std::size_t i) {
+            return metricWorkloadKey(kinds[i / ways_count]) + ".ways" +
+                   std::to_string(options.waysList[i % ways_count]);
+        },
+        [&](std::size_t i) {
+            cells[i] = runFig6Cell(kinds[i / ways_count], options,
+                                   i % ways_count);
+        },
+        [&](std::size_t i) { return encodeFig6Cell(cells[i]); },
+        [&](std::size_t i, const std::string &payload) {
+            return decodeFig6Cell(payload, &cells[i]);
+        });
+    bench::recordSweep(report, std::cout, runner, sweep);
 
     double cell_seconds = 0.0;
     for (std::size_t p = 0; p < num_panels; ++p) {
@@ -127,8 +153,16 @@ main()
         result.arities = options.arities;
         for (std::size_t w = 0; w < ways_count; ++w) {
             Fig6Cell &cell = cells[p * ways_count + w];
-            result.footprintBytes = cell.footprintBytes;
-            result.accesses = cell.accesses;
+            // A permanently failed cell leaves its slot empty: give
+            // it the expected shape (zero misses) so the panel still
+            // renders and the surviving cells still report; the
+            // failure itself is in the sweep manifest above.
+            if (cell.row.ways == 0)
+                cell.row.ways = options.waysList[w];
+            cell.row.mosaicMisses.resize(options.arities.size(), 0);
+            result.footprintBytes =
+                std::max(result.footprintBytes, cell.footprintBytes);
+            result.accesses = std::max(result.accesses, cell.accesses);
             cell_seconds += cell.seconds;
             result.rows.push_back(std::move(cell.row));
         }

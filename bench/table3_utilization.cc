@@ -21,6 +21,7 @@
 #include "bench_common.hh"
 #include "core/experiment_export.hh"
 #include "core/experiments.hh"
+#include "fault/sweep.hh"
 #include "util/table.hh"
 #include "util/thread_pool.hh"
 
@@ -67,17 +68,46 @@ main()
     report.config("memFrames", static_cast<std::uint64_t>(frames));
     report.config("runs", static_cast<std::uint64_t>(runs));
 
+    // Resilient sweep (DESIGN.md §11): per-row isolation, retries,
+    // and MOSAIC_RESUME_DIR checkpoint/resume.
+    fault::SweepOptions sweep_options = fault::SweepOptions::fromEnv();
+    {
+        char fp[120];
+        std::snprintf(fp, sizeof fp,
+                      "table3 frames=%zu runs=%u seed=%llu", frames,
+                      runs,
+                      static_cast<unsigned long long>(
+                          Table3Options{}.seed));
+        sweep_options.fingerprint = fp;
+    }
+    fault::SweepRunner runner("table3", sweep_options);
+
     std::vector<Table3Row> rows(num_factors * num_kinds);
-    parallelFor(pool, rows.size(), [&](std::size_t i) {
-        Table3Options options;
-        options.memFrames = frames;
-        options.footprintFactor = factors[i / num_kinds];
-        options.runs = runs;
-        rows[i] = runTable3(kinds[i % num_kinds], options, pool);
-    });
+    const fault::SweepStats sweep = runner.run(
+        pool, rows.size(),
+        [&](std::size_t i) {
+            return metricWorkloadKey(kinds[i % num_kinds]) + ".factor" +
+                   std::to_string(i / num_kinds);
+        },
+        [&](std::size_t i) {
+            Table3Options options;
+            options.memFrames = frames;
+            options.footprintFactor = factors[i / num_kinds];
+            options.runs = runs;
+            rows[i] = runTable3(kinds[i % num_kinds], options, pool);
+        },
+        [&](std::size_t i) { return encodeTable3Row(rows[i]); },
+        [&](std::size_t i, const std::string &payload) {
+            return decodeTable3Row(payload, &rows[i]);
+        });
+    bench::recordSweep(report, std::cout, runner, sweep);
 
     double cell_seconds = 0.0;
     for (const Table3Row &row : rows) {
+        // A permanently failed row never ran: skip it (the sweep
+        // manifest above carries the failure).
+        if (row.firstConflictPct.count() == 0)
+            continue;
         cell_seconds += row.cellSeconds;
         recordTable3(report.metrics(), row);
         table.beginRow()

@@ -22,6 +22,7 @@
 #include "bench_common.hh"
 #include "core/experiment_export.hh"
 #include "core/experiments.hh"
+#include "fault/sweep.hh"
 #include "util/table.hh"
 #include "util/thread_pool.hh"
 
@@ -62,19 +63,44 @@ main()
     report.config("steps", static_cast<std::uint64_t>(steps));
     report.config("runs", static_cast<std::uint64_t>(runs));
 
+    // Resilient sweep (DESIGN.md §11): per-row isolation, retries,
+    // and MOSAIC_RESUME_DIR checkpoint/resume.
+    fault::SweepOptions sweep_options = fault::SweepOptions::fromEnv();
+    {
+        char fp[120];
+        std::snprintf(fp, sizeof fp,
+                      "table4 frames=%zu steps=%u runs=%u seed=%llu",
+                      frames, steps, runs,
+                      static_cast<unsigned long long>(
+                          Table4Options{}.seed));
+        sweep_options.fingerprint = fp;
+    }
+    fault::SweepRunner runner("table4", sweep_options);
+
     std::vector<Table4Row> rows(num_kinds * steps);
-    parallelFor(pool, rows.size(), [&](std::size_t i) {
-        const unsigned k = static_cast<unsigned>(i % steps);
-        // Paper's ladder: 1.0151 + k * 0.0625 (up to 1.577 at
-        // ten steps).
-        Table4Options options;
-        options.memFrames = frames;
-        options.footprintFactor =
-            1.0151 + 0.0625 * (k * (steps > 1 ? 9.0 / (steps - 1)
-                                              : 0.0));
-        options.runs = runs;
-        rows[i] = runTable4(kinds[i / steps], options, pool);
-    });
+    const fault::SweepStats sweep = runner.run(
+        pool, rows.size(),
+        [&](std::size_t i) {
+            return metricWorkloadKey(kinds[i / steps]) + ".step" +
+                   std::to_string(i % steps);
+        },
+        [&](std::size_t i) {
+            const unsigned k = static_cast<unsigned>(i % steps);
+            // Paper's ladder: 1.0151 + k * 0.0625 (up to 1.577 at
+            // ten steps).
+            Table4Options options;
+            options.memFrames = frames;
+            options.footprintFactor =
+                1.0151 + 0.0625 * (k * (steps > 1 ? 9.0 / (steps - 1)
+                                                  : 0.0));
+            options.runs = runs;
+            rows[i] = runTable4(kinds[i / steps], options, pool);
+        },
+        [&](std::size_t i) { return encodeTable4Row(rows[i]); },
+        [&](std::size_t i, const std::string &payload) {
+            return decodeTable4Row(payload, &rows[i]);
+        });
+    bench::recordSweep(report, std::cout, runner, sweep);
 
     double cell_seconds = 0.0;
     for (std::size_t p = 0; p < num_kinds; ++p) {
@@ -82,6 +108,11 @@ main()
                          "Mosaic (pages)", "Difference (%)"});
         for (unsigned k = 0; k < steps; ++k) {
             const Table4Row &row = rows[p * steps + k];
+            // A permanently failed row never ran: skip it (the
+            // sweep manifest above carries the failure).
+            if (row.linuxSwapIo.count() == 0 &&
+                    row.mosaicSwapIo.count() == 0)
+                continue;
             cell_seconds += row.cellSeconds;
             recordTable4(report.metrics(), row);
             table.beginRow()

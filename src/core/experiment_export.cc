@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
 
 namespace mosaic
 {
@@ -56,6 +59,168 @@ recordTable4(telemetry::Registry &r, const Table4Row &row)
     r.stat(base + ".linuxSwapIo", row.linuxSwapIo);
     r.stat(base + ".mosaicSwapIo", row.mosaicSwapIo);
     r.gauge(base + ".differencePct", row.differencePct());
+}
+
+namespace
+{
+
+/** Bit-exact double -> text (see RunningStat::encode). */
+std::string
+hexDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%la", v);
+    return buf;
+}
+
+/** Parse a hexfloat token; false when the token isn't one number. */
+bool
+parseDouble(const std::string &token, double *out)
+{
+    const char *begin = token.c_str();
+    char *end = nullptr;
+    *out = std::strtod(begin, &end);
+    return end != begin && *end == '\0';
+}
+
+/** Read one "key rest-of-line" line; false on EOF or key mismatch. */
+bool
+keyedLine(std::istream &in, const char *key, std::string *rest)
+{
+    std::string line;
+    if (!std::getline(in, line))
+        return false;
+    const std::string prefix = std::string(key) + " ";
+    if (line.rfind(prefix, 0) != 0)
+        return false;
+    *rest = line.substr(prefix.size());
+    return true;
+}
+
+} // namespace
+
+std::string
+encodeFig6Cell(const Fig6Cell &cell)
+{
+    std::ostringstream out;
+    out << "ways " << cell.row.ways << '\n';
+    out << "vanilla " << cell.row.vanillaMisses << '\n';
+    out << "mosaic";
+    for (const std::uint64_t m : cell.row.mosaicMisses)
+        out << ' ' << m;
+    out << '\n';
+    out << "footprint " << cell.footprintBytes << '\n';
+    out << "accesses " << cell.accesses << '\n';
+    out << "seconds " << hexDouble(cell.seconds) << '\n';
+    return out.str();
+}
+
+bool
+decodeFig6Cell(const std::string &text, Fig6Cell *out)
+{
+    std::istringstream in(text);
+    std::string rest;
+    Fig6Cell cell;
+    if (!keyedLine(in, "ways", &rest))
+        return false;
+    cell.row.ways = static_cast<unsigned>(std::strtoul(
+        rest.c_str(), nullptr, 10));
+    if (!keyedLine(in, "vanilla", &rest))
+        return false;
+    cell.row.vanillaMisses = std::strtoull(rest.c_str(), nullptr, 10);
+    if (!keyedLine(in, "mosaic", &rest))
+        return false;
+    std::istringstream misses(rest);
+    std::uint64_t m = 0;
+    while (misses >> m)
+        cell.row.mosaicMisses.push_back(m);
+    if (!keyedLine(in, "footprint", &rest))
+        return false;
+    cell.footprintBytes = std::strtoull(rest.c_str(), nullptr, 10);
+    if (!keyedLine(in, "accesses", &rest))
+        return false;
+    cell.accesses = std::strtoull(rest.c_str(), nullptr, 10);
+    if (!keyedLine(in, "seconds", &rest) ||
+            !parseDouble(rest, &cell.seconds))
+        return false;
+    *out = std::move(cell);
+    return true;
+}
+
+std::string
+encodeTable3Row(const Table3Row &row)
+{
+    std::ostringstream out;
+    out << "kind " << static_cast<int>(row.kind) << '\n';
+    out << "footprint " << row.footprintBytes << '\n';
+    out << "firstConflictPct " << row.firstConflictPct.encode() << '\n';
+    out << "steadyPct " << row.steadyPct.encode() << '\n';
+    out << "seconds " << hexDouble(row.cellSeconds) << '\n';
+    return out.str();
+}
+
+bool
+decodeTable3Row(const std::string &text, Table3Row *out)
+{
+    std::istringstream in(text);
+    std::string rest;
+    Table3Row row;
+    if (!keyedLine(in, "kind", &rest))
+        return false;
+    row.kind = static_cast<WorkloadKind>(
+        std::strtol(rest.c_str(), nullptr, 10));
+    if (!keyedLine(in, "footprint", &rest))
+        return false;
+    row.footprintBytes = std::strtoull(rest.c_str(), nullptr, 10);
+    if (!keyedLine(in, "firstConflictPct", &rest) ||
+            !row.firstConflictPct.decode(rest))
+        return false;
+    if (!keyedLine(in, "steadyPct", &rest) ||
+            !row.steadyPct.decode(rest))
+        return false;
+    if (!keyedLine(in, "seconds", &rest) ||
+            !parseDouble(rest, &row.cellSeconds))
+        return false;
+    *out = std::move(row);
+    return true;
+}
+
+std::string
+encodeTable4Row(const Table4Row &row)
+{
+    std::ostringstream out;
+    out << "kind " << static_cast<int>(row.kind) << '\n';
+    out << "footprint " << row.footprintBytes << '\n';
+    out << "linuxSwapIo " << row.linuxSwapIo.encode() << '\n';
+    out << "mosaicSwapIo " << row.mosaicSwapIo.encode() << '\n';
+    out << "seconds " << hexDouble(row.cellSeconds) << '\n';
+    return out.str();
+}
+
+bool
+decodeTable4Row(const std::string &text, Table4Row *out)
+{
+    std::istringstream in(text);
+    std::string rest;
+    Table4Row row;
+    if (!keyedLine(in, "kind", &rest))
+        return false;
+    row.kind = static_cast<WorkloadKind>(
+        std::strtol(rest.c_str(), nullptr, 10));
+    if (!keyedLine(in, "footprint", &rest))
+        return false;
+    row.footprintBytes = std::strtoull(rest.c_str(), nullptr, 10);
+    if (!keyedLine(in, "linuxSwapIo", &rest) ||
+            !row.linuxSwapIo.decode(rest))
+        return false;
+    if (!keyedLine(in, "mosaicSwapIo", &rest) ||
+            !row.mosaicSwapIo.decode(rest))
+        return false;
+    if (!keyedLine(in, "seconds", &rest) ||
+            !parseDouble(rest, &row.cellSeconds))
+        return false;
+    *out = std::move(row);
+    return true;
 }
 
 } // namespace mosaic

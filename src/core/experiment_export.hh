@@ -46,6 +46,24 @@ void recordTable3(telemetry::Registry &r, const Table3Row &row);
 /** Register one Table 4 row's results. */
 void recordTable4(telemetry::Registry &r, const Table4Row &row);
 
+// --------------------------------------------------- checkpoint codecs
+//
+// Line-oriented text codecs for the sweep checkpoint/resume machinery
+// (fault::SweepRunner, DESIGN.md §11). Doubles travel as hexfloats so
+// a resumed cell's metrics merge byte-identically with freshly
+// computed ones. decode* returns false on malformed payloads (the
+// runner then recomputes the cell); the output is unspecified in that
+// case.
+
+std::string encodeFig6Cell(const Fig6Cell &cell);
+bool decodeFig6Cell(const std::string &text, Fig6Cell *out);
+
+std::string encodeTable3Row(const Table3Row &row);
+bool decodeTable3Row(const std::string &text, Table3Row *out);
+
+std::string encodeTable4Row(const Table4Row &row);
+bool decodeTable4Row(const std::string &text, Table4Row *out);
+
 } // namespace mosaic
 
 #endif // MOSAIC_CORE_EXPERIMENT_EXPORT_HH_

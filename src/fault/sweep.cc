@@ -1,0 +1,326 @@
+#include "fault/sweep.hh"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+#include "hash/mix.hh"
+#include "util/log.hh"
+
+namespace mosaic::fault
+{
+
+namespace
+{
+
+constexpr const char *checkpointMagic = "mosaic-cell-checkpoint v1";
+
+long
+envLong(const char *name, long fallback)
+{
+    const char *value = std::getenv(name);
+    return value != nullptr && *value != '\0' ? std::atol(value)
+                                              : fallback;
+}
+
+double
+envDouble(const char *name, double fallback)
+{
+    const char *value = std::getenv(name);
+    return value != nullptr && *value != '\0' ? std::atof(value)
+                                              : fallback;
+}
+
+/** Filename-safe form of a cell id. */
+std::string
+sanitize(const std::string &cell)
+{
+    std::string out;
+    out.reserve(cell.size());
+    for (const char c : cell) {
+        const bool safe = std::isalnum(static_cast<unsigned char>(c)) ||
+                          c == '.' || c == '-' || c == '_';
+        out += safe ? c : '_';
+    }
+    return out;
+}
+
+std::string
+describeException()
+{
+    try {
+        throw;
+    } catch (const std::exception &e) {
+        return e.what();
+    } catch (...) {
+        return "non-standard exception";
+    }
+}
+
+} // namespace
+
+SweepOptions
+SweepOptions::fromEnv()
+{
+    SweepOptions options;
+    const long retries = envLong("MOSAIC_CELL_RETRIES", 2);
+    options.maxAttempts =
+        1 + static_cast<unsigned>(retries < 0 ? 0 : retries);
+    options.backoffMs = static_cast<unsigned>(
+        std::max(0L, envLong("MOSAIC_CELL_BACKOFF_MS", 0)));
+    options.watchdogSeconds =
+        std::max(0.0, envDouble("MOSAIC_CELL_TIMEOUT", 0.0));
+    if (const char *dir = std::getenv("MOSAIC_RESUME_DIR");
+            dir != nullptr && *dir != '\0') {
+        options.resumeDir = dir;
+    }
+    options.dieAfterCells = static_cast<unsigned>(
+        std::max(0L, envLong("MOSAIC_SWEEP_DIE_AFTER", 0)));
+    return options;
+}
+
+SweepRunner::SweepRunner(std::string name, SweepOptions options)
+    : name_(std::move(name)), options_(std::move(options)),
+      plan_(FaultPlan::fromEnv())
+{
+    ensure(options_.maxAttempts >= 1, "sweep: need at least one attempt");
+}
+
+std::string
+SweepRunner::checkpointPath(const std::string &cell) const
+{
+    return options_.resumeDir + "/" + sanitize(name_) + "." +
+           sanitize(cell) + ".cell";
+}
+
+SweepStats
+SweepRunner::run(ThreadPool &pool, std::size_t n,
+                 const std::function<std::string(std::size_t)> &cellId,
+                 const std::function<void(std::size_t)> &body,
+                 const SaveFn &save, const LoadFn &load)
+{
+    using Clock = std::chrono::steady_clock;
+
+    const bool checkpointing = !options_.resumeDir.empty() &&
+                               save != nullptr && load != nullptr;
+    if (checkpointing) {
+        std::error_code ec;
+        std::filesystem::create_directories(options_.resumeDir, ec);
+        if (ec) {
+            warn("sweep " + name_ + ": cannot create resume dir '" +
+                 options_.resumeDir + "' (" + ec.message() +
+                 "); checkpointing disabled");
+        }
+    }
+
+    // Per-index slots (written only by the claimant of the index)
+    // keep the manifest deterministic without locking.
+    std::vector<std::optional<CellFailure>> failed(n);
+    std::atomic<std::uint64_t> retries{0};
+    std::atomic<std::uint64_t> resumed{0};
+    std::atomic<std::uint64_t> checkpointed{0};
+    std::atomic<std::uint64_t> injected{0};
+    std::atomic<std::uint64_t> timeouts{0};
+    std::atomic<unsigned> freshDone{0};
+
+    // Watchdog state: per-cell start time (steady nanos; 0 = idle)
+    // and a flagged bit so each overrun is counted once.
+    std::vector<std::atomic<std::int64_t>> startedNs(n);
+    std::vector<std::atomic<bool>> flagged(n);
+    std::mutex watchdogMutex;
+    std::condition_variable watchdogWake;
+    bool watchdogStop = false;
+    std::thread watchdog;
+    if (options_.watchdogSeconds > 0.0) {
+        watchdog = std::thread([&] {
+            const auto threshold = std::chrono::duration<double>(
+                options_.watchdogSeconds);
+            std::unique_lock<std::mutex> lock(watchdogMutex);
+            while (!watchdogStop) {
+                watchdogWake.wait_for(
+                    lock, std::chrono::milliseconds(50),
+                    [&] { return watchdogStop; });
+                if (watchdogStop)
+                    return;
+                const std::int64_t now =
+                    Clock::now().time_since_epoch().count();
+                for (std::size_t i = 0; i < n; ++i) {
+                    const std::int64_t started =
+                        startedNs[i].load(std::memory_order_acquire);
+                    if (started == 0 ||
+                            flagged[i].load(std::memory_order_relaxed))
+                        continue;
+                    const auto elapsed =
+                        std::chrono::nanoseconds(now - started);
+                    if (elapsed >= threshold &&
+                            !flagged[i].exchange(true)) {
+                        ++timeouts;
+                        warn("sweep " + name_ + ": cell index " +
+                             std::to_string(i) +
+                             " exceeded the watchdog timeout (" +
+                             std::to_string(options_.watchdogSeconds) +
+                             "s) and is still running");
+                    }
+                }
+            }
+        });
+    }
+
+    parallelFor(pool, n, [&](std::size_t i) {
+        const std::string cell = cellId(i);
+
+        if (checkpointing) {
+            std::ifstream in(checkpointPath(cell), std::ios::binary);
+            if (in.good()) {
+                std::string line;
+                bool header_ok =
+                    std::getline(in, line) && line == checkpointMagic &&
+                    std::getline(in, line) &&
+                    line == "fingerprint " + options_.fingerprint;
+                if (header_ok) {
+                    std::ostringstream payload;
+                    payload << in.rdbuf();
+                    bool loaded = false;
+                    try {
+                        loaded = load(i, payload.str());
+                    } catch (...) {
+                        loaded = false;
+                    }
+                    if (loaded) {
+                        ++resumed;
+                        return;
+                    }
+                }
+                warn("sweep " + name_ + ": stale or unreadable "
+                     "checkpoint for cell '" + cell +
+                     "'; recomputing");
+            }
+        }
+
+        std::string last_error;
+        unsigned attempt = 0;
+        for (attempt = 1; attempt <= options_.maxAttempts; ++attempt) {
+            if (attempt > 1) {
+                ++retries;
+                if (options_.backoffMs > 0) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(
+                            std::uint64_t{options_.backoffMs}
+                            << (attempt - 2)));
+                }
+            }
+            // One injector per (sweep, cell, attempt): bit-identical
+            // firing at any thread count, and retries of a
+            // probabilistic fault get fresh draws while cell.run:p=1
+            // keeps failing forever (the always-failing cell).
+            FaultInjector inj(
+                &plan_, mix64(hashString(name_) ^
+                              mix64(hashString(cell) ^
+                                    mix64(attempt))));
+            startedNs[i].store(
+                Clock::now().time_since_epoch().count(),
+                std::memory_order_release);
+            try {
+                if (inj.shouldFail("cell.run")) {
+                    ++injected;
+                    throw FaultInjectedError("cell.run");
+                }
+                body(i);
+                startedNs[i].store(0, std::memory_order_release);
+                last_error.clear();
+                break;
+            } catch (...) {
+                startedNs[i].store(0, std::memory_order_release);
+                last_error = describeException();
+                warn("sweep " + name_ + ": cell '" + cell +
+                     "' attempt " + std::to_string(attempt) + "/" +
+                     std::to_string(options_.maxAttempts) +
+                     " failed: " + last_error);
+            }
+        }
+
+        if (!last_error.empty()) {
+            failed[i] = CellFailure{
+                cell, options_.maxAttempts, last_error};
+            return;
+        }
+
+        if (checkpointing) {
+            std::string payload;
+            bool have_payload = false;
+            try {
+                payload = save(i);
+                have_payload = true;
+            } catch (...) {
+                warn("sweep " + name_ + ": serializing cell '" + cell +
+                     "' failed (" + describeException() +
+                     "); not checkpointed");
+            }
+            if (have_payload) {
+                const std::string path = checkpointPath(cell);
+                const std::string tmp = path + ".tmp";
+                std::ofstream out(tmp,
+                                  std::ios::binary | std::ios::trunc);
+                out << checkpointMagic << '\n'
+                    << "fingerprint " << options_.fingerprint << '\n'
+                    << payload;
+                out.flush();
+                const bool wrote = out.good();
+                out.close();
+                std::error_code ec;
+                if (wrote)
+                    std::filesystem::rename(tmp, path, ec);
+                if (!wrote || ec) {
+                    std::filesystem::remove(tmp, ec);
+                    warn("sweep " + name_ +
+                         ": cannot write checkpoint '" + path + "'");
+                } else {
+                    ++checkpointed;
+                }
+            }
+        }
+
+        const unsigned fresh = ++freshDone;
+        if (options_.dieAfterCells > 0 &&
+                fresh >= options_.dieAfterCells) {
+            // Test hook: simulate a mid-sweep kill *after* the
+            // completed cells' checkpoints are durable. 130 mirrors
+            // death-by-SIGINT.
+            warn("sweep " + name_ + ": MOSAIC_SWEEP_DIE_AFTER " +
+                 "reached after " + std::to_string(fresh) +
+                 " fresh cells; exiting");
+            std::_Exit(130);
+        }
+    });
+
+    if (watchdog.joinable()) {
+        {
+            const std::lock_guard<std::mutex> lock(watchdogMutex);
+            watchdogStop = true;
+        }
+        watchdogWake.notify_all();
+        watchdog.join();
+    }
+
+    SweepStats stats;
+    stats.retries = retries.load();
+    stats.watchdogTimeouts = timeouts.load();
+    stats.resumedCells = resumed.load();
+    stats.checkpointedCells = checkpointed.load();
+    stats.injectedCellFaults = injected.load();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (failed[i])
+            stats.failures.push_back(std::move(*failed[i]));
+    }
+    return stats;
+}
+
+} // namespace mosaic::fault

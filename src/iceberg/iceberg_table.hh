@@ -23,6 +23,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -119,6 +120,19 @@ class IcebergTable
     std::size_t backyardSize() const { return backSize_; }
 
     /**
+     * Install a fault hook consulted on each fresh insert (after the
+     * overwrite fast path): when it returns true, the insert fails
+     * as if by an associativity conflict and the table is unchanged.
+     * Used by the fault-injection harness ("iceberg.insert" site,
+     * DESIGN.md §11) without this header depending on it. An empty
+     * function clears the hook.
+     */
+    void setFaultHook(std::function<bool()> hook)
+    {
+        faultHook_ = std::move(hook);
+    }
+
+    /**
      * Insert or overwrite. Returns false on an associativity
      * conflict: all f + d*b candidate slots are occupied by other
      * keys. The table is unchanged in that case.
@@ -130,6 +144,9 @@ class IcebergTable
             existing->value = std::move(value);
             return true;
         }
+
+        if (faultHook_ && faultHook_())
+            return false; // injected insert failure; table unchanged
 
         Bucket &fb = buckets_[frontBucket(key)];
         for (auto &slot : fb.front) {
@@ -324,6 +341,7 @@ class IcebergTable
     std::vector<Bucket> buckets_;
     std::size_t size_ = 0;
     std::size_t backSize_ = 0;
+    std::function<bool()> faultHook_;
 };
 
 } // namespace mosaic

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "fault/fault.hh"
 #include "iceberg/iceberg_table.hh"
 #include "mem/geometry.hh"
 #include "oracle/oracle_iceberg.hh"
@@ -93,7 +94,8 @@ pageStr(Asid asid, Vpn vpn)
 class IcebergHarness
 {
   public:
-    explicit IcebergHarness(const Trace &t)
+    explicit IcebergHarness(const Trace &t,
+                            fault::FaultInjector *faults = nullptr)
         : config_{t.cfgUint("buckets", 8),
                   static_cast<unsigned>(t.cfgUint("front", 4)),
                   static_cast<unsigned>(t.cfgUint("back", 2)),
@@ -102,6 +104,15 @@ class IcebergHarness
           real_(config_), oracle_(config_),
           pseed_(t.cfgUint("pseed", 7)), deep_(t.cfgUint("deep", 256))
     {
+        if (faults != nullptr) {
+            real_.setFaultHook([this, faults] {
+                if (faults->shouldFail("iceberg.insert")) {
+                    injected_ = true;
+                    return true;
+                }
+                return false;
+            });
+        }
     }
 
     MaybeDivergence
@@ -112,9 +123,21 @@ class IcebergHarness
         switch (op.kind) {
         case 'i': {
             const std::uint64_t value = mix(pseed_, key, 0x1CEBE26);
+            injected_ = false;
+            const bool ok = real_.insert(key, value);
+            if (injected_) {
+                // The injector forced this fresh insert to fail and
+                // the table is unchanged; the oracle must not see the
+                // op at all. The digest marks the injection (value 2,
+                // distinct from success/conflict) — unreachable when
+                // no plan is active, so clean digests are unchanged.
+                dg.mix('i');
+                dg.mix(key);
+                dg.mix(2);
+                break;
+            }
             const OracleIceberg::Prediction pred =
                 oracle_.insert(key, value);
-            const bool ok = real_.insert(key, value);
             dg.mix('i');
             dg.mix(key);
             dg.mix(ok ? 1 : 0);
@@ -251,6 +274,9 @@ class IcebergHarness
     std::uint64_t pseed_;
     std::uint64_t deep_;
     std::map<std::uint64_t, SlotRef> placed_;
+
+    /** Set by the fault hook while an injected insert is in flight. */
+    bool injected_ = false;
 };
 
 // -------------------------------------------------------- tlb harness
@@ -628,7 +654,8 @@ class TlbHarness
 class VmHarness
 {
   public:
-    explicit VmHarness(const Trace &t)
+    explicit VmHarness(const Trace &t,
+                       fault::FaultInjector *faults = nullptr)
         : kind_(t.cfgValue("kind", "mosaic")),
           deep_(t.cfgUint("deep", 512))
     {
@@ -639,6 +666,7 @@ class VmHarness
                 static_cast<double>(t.cfgUint("watermark_ppm", 8000)) / 1e6;
             cfg.reclaimBatch =
                 static_cast<unsigned>(t.cfgUint("batch", 32));
+            cfg.faults = faults;
             lvm_ = std::make_unique<LinuxVm>(cfg);
             OracleVmConfig ocfg;
             ocfg.numFrames = cfg.numFrames;
@@ -660,6 +688,7 @@ class VmHarness
         cfg.geometry.hashSeed = t.cfgUint("hashseed", 1);
         cfg.arity = static_cast<unsigned>(t.cfgUint("arity", 4));
         cfg.seed = t.cfgUint("seed", 12345);
+        cfg.faults = faults;
         cfg.shrinkDelta =
             static_cast<double>(t.cfgUint("shrink_ppm", 20000)) / 1e6;
         locMode_ = t.cfgValue("sharing", "pageid") == "locid";
@@ -1521,6 +1550,17 @@ runTrace(const Trace &trace)
     FuzzResult res;
     Digest dg;
 
+    // One injector per trace run, seeded from the trace itself, so
+    // injection decisions are a pure function of (plan, trace) —
+    // thread-count and machine invariant, like every other fuzz
+    // outcome. With MOSAIC_FAULTS unset the plan is empty and a null
+    // pointer reaches the harnesses: zero behavior change.
+    const fault::FaultPlan plan = fault::FaultPlan::fromEnv();
+    fault::FaultInjector injector(
+        &plan, mix(fault::hashString(trace.component),
+                   trace.cfgUint("pseed", 7)));
+    fault::FaultInjector *faults = plan.empty() ? nullptr : &injector;
+
     const auto drive = [&](auto &harness) {
         for (std::size_t i = 0; i < trace.ops.size(); ++i) {
             bool applied = false;
@@ -1536,17 +1576,22 @@ runTrace(const Trace &trace)
     };
 
     if (trace.component == "iceberg") {
-        IcebergHarness h(trace);
+        IcebergHarness h(trace, faults);
         drive(h);
     } else if (trace.component == "tlb") {
         TlbHarness h(trace);
         drive(h);
     } else if (trace.component == "vm") {
-        VmHarness h(trace);
+        VmHarness h(trace, faults);
         drive(h);
     } else {
         panic("fuzzer: unknown component '" + trace.component + "'");
     }
+    res.faultsInjected = injector.totalFired();
+    // Fold the injected-fault count into the digest only when a plan
+    // is active: fault-free digests stay byte-identical to pre-PR.
+    if (faults != nullptr)
+        dg.mix(res.faultsInjected);
     res.digest = dg.h;
     return res;
 }

@@ -75,9 +75,28 @@ struct FuzzResult
 
     /** Ops actually applied (invalid ops are skipped, not counted). */
     std::size_t opsApplied = 0;
+
+    /** Faults injected during the run (0 unless MOSAIC_FAULTS names
+     *  a site this trace's component consults). Deterministic like
+     *  the digest: same trace + same plan = same count, anywhere. */
+    std::uint64_t faultsInjected = 0;
 };
 
-/** Execute a trace; stops at the first divergence. */
+/**
+ * Execute a trace; stops at the first divergence.
+ *
+ * When $MOSAIC_FAULTS is set, the run wires a per-trace
+ * FaultInjector (seeded from the trace, so thread-count invariant)
+ * into the component under test: swap I/O errors and latency spikes,
+ * "vm.place" placement failures (recovered by the VM's conflict-
+ * recovery hook), and "iceberg.insert" failures (coordinated with
+ * the oracle, which then expects the insert to fail). The oracles
+ * stay in lockstep under every supported plan — any divergence under
+ * injection is a real robustness bug, which is the point of the
+ * chaos tests. The digest additionally folds in the injected-fault
+ * count when (and only when) a plan is active, so fault-free digests
+ * are unchanged.
+ */
 FuzzResult runTrace(const Trace &trace);
 
 /**

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "util/log.hh"
 
@@ -28,9 +29,12 @@ Trace::cfgUint(const std::string &key, std::uint64_t fallback) const
     std::uint64_t out = 0;
     const auto [ptr, ec] =
         std::from_chars(v.data(), v.data() + v.size(), out);
-    if (ec != std::errc() || ptr != v.data() + v.size())
-        panic("trace: cfg '" + key + "' is not an unsigned integer: '" +
-              v + "'");
+    if (ec != std::errc() || ptr != v.data() + v.size()) {
+        // Trace cfg is external input, so a bad value is not a
+        // library bug: fatal, not panic.
+        fatal("trace: cfg '" + key +
+              "' is not an unsigned integer: '" + v + "'");
+    }
     return out;
 }
 
@@ -70,15 +74,15 @@ serializeTrace(const Trace &trace)
     return out.str();
 }
 
-Trace
-parseTrace(const std::string &text)
+Result<Trace>
+tryParseTrace(const std::string &text)
 {
     std::istringstream in(text);
     std::string line;
 
-    ensure(static_cast<bool>(std::getline(in, line)) &&
-               line == Trace::magic,
-           "trace: missing or wrong magic line");
+    if (!std::getline(in, line) || line != Trace::magic)
+        return Status::invalidArgument(
+            "trace: missing or wrong magic line");
 
     Trace trace;
     bool ended = false;
@@ -94,15 +98,17 @@ parseTrace(const std::string &text)
         }
         if (word == "component") {
             fields >> trace.component;
-            ensure(!trace.component.empty(),
-                   "trace: empty component name");
+            if (trace.component.empty())
+                return Status::invalidArgument(
+                    "trace: empty component name");
             continue;
         }
         if (word == "cfg") {
             std::string key, value;
             fields >> key >> value;
             if (key.empty() || value.empty())
-                panic("trace: malformed cfg line: '" + line + "'");
+                return Status::invalidArgument(
+                    "trace: malformed cfg line: '" + line + "'");
             trace.cfg.emplace_back(key, value);
             continue;
         }
@@ -110,46 +116,100 @@ parseTrace(const std::string &text)
             std::string kind;
             fields >> kind;
             if (kind.size() != 1)
-                panic("trace: op kind must be one letter: '" + line +
-                      "'");
+                return Status::invalidArgument(
+                    "trace: op kind must be one letter: '" + line +
+                    "'");
             TraceOp op;
             op.kind = kind[0];
             std::uint64_t arg = 0;
             while (op.nargs < TraceOp::maxArgs && fields >> arg)
                 op.args[op.nargs++] = arg;
             if (!fields.eof())
-                panic("trace: too many op args: '" + line + "'");
+                return Status::invalidArgument(
+                    "trace: too many op args: '" + line + "'");
             trace.ops.push_back(op);
             continue;
         }
-        panic("trace: unknown line: '" + line + "'");
+        return Status::invalidArgument("trace: unknown line: '" +
+                                       line + "'");
     }
-    ensure(ended, "trace: missing 'end' line");
-    ensure(!trace.component.empty(), "trace: missing component line");
+    // No "end" marker means the file was cut off mid-write:
+    // truncation, not malformation.
+    if (!ended)
+        return Status::dataLoss("trace: missing 'end' line "
+                                "(truncated input)");
+    if (trace.component.empty())
+        return Status::invalidArgument(
+            "trace: missing component line");
     return trace;
+}
+
+Status
+tryWriteTraceFile(const std::string &path, const Trace &trace)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out.good())
+        return Status::ioError("trace: cannot open '" + path +
+                               "' for writing");
+    out << serializeTrace(trace);
+    out.flush();
+    if (!out.good())
+        return Status::ioError("trace: write to '" + path +
+                               "' failed");
+    return Status();
+}
+
+Result<Trace>
+tryReadTraceFile(const std::string &path, fault::FaultInjector *faults)
+{
+    if (faults != nullptr && faults->shouldFail("trace.read"))
+        return Status::ioError("trace: injected read error on '" +
+                               path + "'");
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good())
+        return Status::notFound("trace: cannot open '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad())
+        return Status::ioError("trace: read from '" + path +
+                               "' failed");
+    std::string text = buffer.str();
+    if (faults != nullptr && faults->shouldFail("trace.corrupt")) {
+        // Model a torn write: drop the second half of the file,
+        // trimmed back to a line boundary so the damage is pure
+        // truncation. The parser then reports DataLoss (missing
+        // "end"), exercising the truncation path deterministically.
+        text.resize(text.size() / 2);
+        const std::size_t nl = text.rfind('\n');
+        text.resize(nl == std::string::npos ? 0 : nl + 1);
+    }
+    return tryParseTrace(text);
+}
+
+Trace
+parseTrace(const std::string &text)
+{
+    Result<Trace> parsed = tryParseTrace(text);
+    if (!parsed.ok())
+        fatal(parsed.status().toString());
+    return std::move(parsed.value());
 }
 
 void
 writeTraceFile(const std::string &path, const Trace &trace)
 {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out.good())
-        panic("trace: cannot open '" + path + "' for writing");
-    out << serializeTrace(trace);
-    out.flush();
-    if (!out.good())
-        panic("trace: write to '" + path + "' failed");
+    const Status status = tryWriteTraceFile(path, trace);
+    if (!status.ok())
+        fatal(status.toString());
 }
 
 Trace
 readTraceFile(const std::string &path)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in.good())
-        panic("trace: cannot open '" + path + "'");
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    return parseTrace(buffer.str());
+    Result<Trace> read = tryReadTraceFile(path);
+    if (!read.ok())
+        fatal(read.status().toString());
+    return std::move(read.value());
 }
 
 } // namespace mosaic

@@ -40,6 +40,9 @@
 #include <utility>
 #include <vector>
 
+#include "fault/fault.hh"
+#include "util/status.hh"
+
 namespace mosaic
 {
 
@@ -89,11 +92,32 @@ struct Trace
 /** Serialize to the canonical text form (always ends in "end\n"). */
 std::string serializeTrace(const Trace &trace);
 
-/** Parse the canonical text form; panics on malformed input. */
-Trace parseTrace(const std::string &text);
+/**
+ * Parse the canonical text form. Trace text is external input, so
+ * malformation is a recoverable error, never a panic:
+ * InvalidArgument for a malformed line, DataLoss for a file cut off
+ * before its "end" marker (truncation).
+ */
+Result<Trace> tryParseTrace(const std::string &text);
 
-/** File round trips. writeTraceFile panics when the file can't be
- *  written; readTraceFile panics when it can't be read or parsed. */
+/**
+ * Read and parse a trace file: NotFound / IoError for file-system
+ * failures plus everything tryParseTrace reports. When @p faults is
+ * non-null, the "trace.read" site injects an IoError and the
+ * "trace.corrupt" site truncates the text mid-file before parsing
+ * (surfacing as DataLoss) — both deliberate, for chaos testing.
+ */
+Result<Trace> tryReadTraceFile(const std::string &path,
+                               fault::FaultInjector *faults = nullptr);
+
+/** Write the canonical form; IoError when the path can't be opened
+ *  or the write fails. */
+Status tryWriteTraceFile(const std::string &path, const Trace &trace);
+
+/** Convenience wrappers over the try* forms for tools whose callers
+ *  cannot continue without the trace: any error is fatal() (bad
+ *  external input, not a library bug — so not panic()). */
+Trace parseTrace(const std::string &text);
 void writeTraceFile(const std::string &path, const Trace &trace);
 Trace readTraceFile(const std::string &path);
 

@@ -19,6 +19,7 @@ MosaicVm::MosaicVm(const MosaicVmConfig &config)
               static_cast<double>(frames_.numFrames()) *
               (1.0 - config_.shrinkDelta))
         : frames_.numFrames();
+    swap_.setFaultInjector(config_.faults);
 }
 
 MosaicPageTable &
@@ -340,8 +341,24 @@ MosaicVm::touch(Asid asid, Vpn vpn, bool write)
     const auto is_ghost = [this](const Frame &f) {
         return f.lastAccess < horizon_;
     };
-    std::optional<Placement> placement =
-        allocator_.place(cand, frames_, is_ghost);
+    std::optional<Placement> placement;
+    const bool place_injected = config_.faults != nullptr &&
+                                config_.faults->shouldFail("vm.place");
+    if (!place_injected)
+        placement = allocator_.place(cand, frames_, is_ghost);
+
+    if (!placement &&
+            config_.recovery == ConflictRecovery::GhostReclaimRetry) {
+        // Recovery hook: reclaim anything the horizon has already
+        // ghosted and retry before escalating to a hard conflict.
+        // Placement is a pure function of frames_ and horizon_, so
+        // the retry succeeds only when the first attempt failed
+        // transiently (fault injection) — never on a real conflict.
+        reapGhosts();
+        placement = allocator_.place(cand, frames_, is_ghost);
+        if (placement)
+            ++stats_.recoveredConflicts;
+    }
 
     if (!placement) {
         // Associativity conflict: every candidate slot holds a live

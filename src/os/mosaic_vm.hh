@@ -61,6 +61,25 @@ enum class EvictionPolicy
     ShrunkenCache,
 };
 
+/**
+ * What MosaicVm::touch does when placement fails before declaring a
+ * hard associativity conflict (DESIGN.md §11).
+ */
+enum class ConflictRecovery
+{
+    /** Escalate immediately: evict the LRU candidate. */
+    None,
+
+    /** Reap frames the horizon has already ghosted and retry the
+     *  placement once; only an unrecovered failure escalates. A
+     *  genuine conflict is deterministic (the retry fails exactly
+     *  when the first attempt did), so this changes behaviour only
+     *  when the first attempt failed transiently — e.g. under
+     *  "vm.place" fault injection — and recoveries are counted in
+     *  VmStats::recoveredConflicts. */
+    GhostReclaimRetry,
+};
+
 /** Configuration of a MosaicVm instance. */
 struct MosaicVmConfig
 {
@@ -69,11 +88,19 @@ struct MosaicVmConfig
     SharingMode sharing = SharingMode::PageIdHash;
     EvictionPolicy policy = EvictionPolicy::HorizonLru;
 
+    /** Conflict-recovery policy consulted before a hard conflict. */
+    ConflictRecovery recovery = ConflictRecovery::GhostReclaimRetry;
+
     /** Reserved fraction for ShrunkenCache (its delta). */
     double shrinkDelta = 0.02;
 
     /** Seed for location-ID generation. */
     std::uint64_t seed = 12345;
+
+    /** Optional fault-injection state (DESIGN.md §11); must outlive
+     *  the VM. Consulted at the "vm.place" site and attached to the
+     *  swap device for "swap.read"/"swap.write"/"swap.latency". */
+    fault::FaultInjector *faults = nullptr;
 };
 
 /** Mosaic paging: iceberg allocation + Horizon LRU. */

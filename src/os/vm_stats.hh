@@ -42,6 +42,13 @@ struct VmStats
      *  swap-out. */
     double firstSwapOutUtilization = -1.0;
 
+    /** Placement failures recovered by the conflict-recovery hook
+     *  (ghost reclamation + retry) instead of escalating to a hard
+     *  conflict. Always zero in fault-free runs: a genuine conflict
+     *  is deterministic, so the retry fails exactly when the first
+     *  attempt did. */
+    std::uint64_t recoveredConflicts = 0;
+
     /** Ghost pages whose frames were reclaimed for an allocation. */
     std::uint64_t ghostEvictions = 0;
 
@@ -73,6 +80,10 @@ struct VmStats
         fn("swapIns", swapIns);
         fn("swapOuts", swapOuts);
         fn("conflicts", conflicts);
+        // Emitted only when nonzero so fault-free telemetry stays
+        // byte-identical to pre-fault-subsystem output.
+        if (recoveredConflicts > 0)
+            fn("recoveredConflicts", recoveredConflicts);
         fn("firstConflictUtilization", firstConflictUtilization);
         fn("firstSwapOutUtilization", firstSwapOutUtilization);
         fn("ghostEvictions", ghostEvictions);

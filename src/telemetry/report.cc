@@ -105,23 +105,32 @@ BenchReport::path() const
     return dir + "BENCH_" + manifest_.bench + ".json";
 }
 
+Result<std::string>
+BenchReport::tryWrite() const
+{
+    if (!jsonEnabled())
+        return Status::notFound("telemetry: JSON artifacts disabled "
+                                "by MOSAIC_NO_JSON");
+    const std::string file = path();
+    std::ofstream os(file);
+    if (!os)
+        return Status::ioError("telemetry: cannot write " + file);
+    writeJson(os);
+    if (!os)
+        return Status::ioError("telemetry: short write to " + file);
+    return file;
+}
+
 std::optional<std::string>
 BenchReport::write() const
 {
-    if (!jsonEnabled())
-        return std::nullopt;
-    const std::string file = path();
-    std::ofstream os(file);
-    if (!os) {
-        warn("telemetry: cannot write " + file);
-        return std::nullopt;
-    }
-    writeJson(os);
-    if (!os) {
-        warn("telemetry: short write to " + file);
-        return std::nullopt;
-    }
-    return file;
+    Result<std::string> written = tryWrite();
+    if (written.ok())
+        return written.value();
+    // Disabled-by-env is deliberate; only real failures warn.
+    if (written.status().code() != StatusCode::NotFound)
+        warn(written.status().toString());
+    return std::nullopt;
 }
 
 } // namespace mosaic::telemetry

@@ -25,6 +25,7 @@
 #include <string>
 
 #include "telemetry/registry.hh"
+#include "util/status.hh"
 
 namespace mosaic::telemetry
 {
@@ -97,9 +98,16 @@ class BenchReport
     /**
      * Write BENCH_<name>.json to $MOSAIC_JSON_DIR (default: the
      * current directory) unless MOSAIC_NO_JSON is set. Returns the
-     * path written, or nullopt when disabled or the write failed
-     * (failure also warns on stderr).
+     * path written; NotFound when MOSAIC_NO_JSON disables artifacts
+     * (deliberate, not a failure) and IoError when the path can't be
+     * opened or the write is short. A failed artifact write is
+     * recoverable (the run's results were already printed) — callers
+     * decide whether to warn or abort.
      */
+    Result<std::string> tryWrite() const;
+
+    /** tryWrite(), with failures downgraded to a stderr warn():
+     *  returns the path written, or nullopt when disabled/failed. */
     std::optional<std::string> write() const;
 
     /** The output path this report would write to. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 namespace mosaic
 {
@@ -28,6 +29,31 @@ RunningStat::stddev() const
     if (n_ < 2)
         return 0.0;
     return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+std::string
+RunningStat::encode() const
+{
+    // %la prints the exact bits of each double; round-tripping
+    // through decimal would perturb resumed results.
+    char buf[200];
+    std::snprintf(buf, sizeof buf, "%zu %la %la %la %la %la", n_,
+                  mean_, m2_, sum_, min_, max_);
+    return buf;
+}
+
+bool
+RunningStat::decode(const std::string &text)
+{
+    RunningStat parsed;
+    char extra = '\0';
+    if (std::sscanf(text.c_str(), "%zu %la %la %la %la %la %c",
+                    &parsed.n_, &parsed.mean_, &parsed.m2_,
+                    &parsed.sum_, &parsed.min_, &parsed.max_,
+                    &extra) != 6)
+        return false;
+    *this = parsed;
+    return true;
 }
 
 Histogram::Histogram(std::size_t buckets, double width)

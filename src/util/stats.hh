@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace mosaic
@@ -46,6 +47,18 @@ class RunningStat
 
     /** Reset to the empty state. */
     void reset() { *this = RunningStat(); }
+
+    /**
+     * Serialize the accumulator state to one line of text. Doubles
+     * are hexfloat-encoded, so decode() restores them bit-exactly —
+     * required by the sweep checkpoint format, whose resumed results
+     * must merge byte-identically with freshly computed ones.
+     */
+    std::string encode() const;
+
+    /** Restore state written by encode(); false on malformed text
+     *  (the accumulator is left unchanged). */
+    bool decode(const std::string &text);
 
   private:
     std::size_t n_ = 0;

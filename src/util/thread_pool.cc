@@ -138,9 +138,17 @@ parallelFor(ThreadPool &pool, std::size_t n,
     if (n == 0)
         return;
     if (n == 1 || pool.threadCount() <= 1) {
-        // Run inline; still wrap for uniform exception behavior.
-        for (std::size_t i = 0; i < n; ++i)
-            fn(i);
+        // Run inline; still run every index and aggregate failures
+        // so exception behavior matches the pooled path.
+        std::vector<std::exception_ptr> errors(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+        rethrowAggregated(errors);
         return;
     }
 
@@ -163,16 +171,71 @@ parallelFor(ThreadPool &pool, std::size_t n,
         });
     }
 
-    for (std::size_t i = 0; i < n; ++i) {
-        if (state->errors[i])
-            std::rethrow_exception(state->errors[i]);
-    }
+    rethrowAggregated(state->errors);
 }
 
 void
 parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
 {
     parallelFor(ThreadPool::shared(), n, fn);
+}
+
+namespace
+{
+
+std::string
+describeException(const std::exception_ptr &e)
+{
+    try {
+        std::rethrow_exception(e);
+    } catch (const std::exception &ex) {
+        return ex.what();
+    } catch (...) {
+        return "non-standard exception";
+    }
+}
+
+} // namespace
+
+void
+rethrowAggregated(const std::vector<std::exception_ptr> &errors)
+{
+    std::size_t failures = 0;
+    std::size_t first = errors.size();
+    for (std::size_t i = 0; i < errors.size(); ++i) {
+        if (errors[i]) {
+            if (failures == 0)
+                first = i;
+            ++failures;
+        }
+    }
+    if (failures == 0)
+        return;
+    if (failures == 1)
+        std::rethrow_exception(errors[first]);
+
+    // Several indices failed: the old contract rethrew the lowest
+    // index and *discarded* the rest, making multi-cell failures
+    // undiagnosable. Aggregate every failure (index order, so the
+    // message is deterministic) into one error instead.
+    constexpr std::size_t maxListed = 8;
+    std::string message = describeException(errors[first]);
+    message += " [index " + std::to_string(first) + "; +" +
+               std::to_string(failures - 1) + " suppressed:";
+    std::size_t listed = 0;
+    for (std::size_t i = first + 1; i < errors.size(); ++i) {
+        if (!errors[i])
+            continue;
+        if (listed == maxListed) {
+            message += " ...";
+            break;
+        }
+        message += " index " + std::to_string(i) + ": " +
+                   describeException(errors[i]) + ";";
+        ++listed;
+    }
+    message += "]";
+    throw ParallelForError(message, failures - 1);
 }
 
 } // namespace mosaic

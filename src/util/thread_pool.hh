@@ -22,8 +22,11 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -76,15 +79,39 @@ class ThreadPool
 };
 
 /**
+ * Thrown by parallelFor when more than one index failed: the lowest
+ * failing index's message leads, and every other failure is
+ * aggregated into what() (in index order, so the text is
+ * deterministic) instead of being silently discarded.
+ */
+class ParallelForError : public std::runtime_error
+{
+  public:
+    ParallelForError(const std::string &message,
+                     std::size_t suppressed)
+        : std::runtime_error(message), suppressed_(suppressed)
+    {
+    }
+
+    /** Failures beyond the lead one folded into the message. */
+    std::size_t suppressedErrors() const { return suppressed_; }
+
+  private:
+    std::size_t suppressed_;
+};
+
+/**
  * Run fn(0) .. fn(n-1) across the pool and the calling thread; the
  * call returns when every index has completed. Indices are claimed
  * in order but may finish in any order, so callers that need
  * deterministic output should write fn(i)'s result into slot i of a
  * pre-sized container and fold sequentially afterwards.
  *
- * If any invocation throws, the exception thrown by the *lowest*
- * index is rethrown here (the rest are discarded), after all indices
- * have finished — deterministic regardless of scheduling.
+ * If exactly one invocation throws, its exception is rethrown
+ * unchanged after all indices have finished. If several throw, a
+ * ParallelForError aggregating every failure (lowest index first) is
+ * thrown instead — deterministic regardless of scheduling, and no
+ * failure is discarded.
  *
  * Safe to call from inside a pool task: the caller participates in
  * the loop, so progress never depends on a free worker.
@@ -95,6 +122,13 @@ void parallelFor(ThreadPool &pool, std::size_t n,
 /** parallelFor on the shared() pool. */
 void parallelFor(std::size_t n,
                  const std::function<void(std::size_t)> &fn);
+
+/**
+ * parallelFor's error fold, exposed for reuse: no-op when no slot
+ * holds an exception, rethrows a single failure unchanged, throws an
+ * aggregated ParallelForError for several.
+ */
+void rethrowAggregated(const std::vector<std::exception_ptr> &errors);
 
 } // namespace mosaic
 

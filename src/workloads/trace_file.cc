@@ -28,17 +28,35 @@ static_assert(sizeof(Header) == 24);
 
 } // namespace
 
-TraceWriter::TraceWriter(const std::string &path)
+TraceWriter::TraceWriter(Unchecked, const std::string &path)
     : out_(path, std::ios::binary | std::ios::trunc), path_(path)
 {
     if (!out_)
-        fatal("trace: cannot open " + path + " for writing");
+        return; // open() reports; the fatal ctor checks below
     // Placeholder header; finalized on close.
     Header header{};
     std::memcpy(header.magic, magic, sizeof(magic));
     header.version = traceVersion;
     header.records = 0;
     out_.write(reinterpret_cast<const char *>(&header), sizeof(header));
+}
+
+TraceWriter::TraceWriter(const std::string &path)
+    : TraceWriter(Unchecked{}, path)
+{
+    if (!out_)
+        fatal("trace: cannot open " + path + " for writing");
+}
+
+Result<std::unique_ptr<TraceWriter>>
+TraceWriter::open(const std::string &path)
+{
+    std::unique_ptr<TraceWriter> writer(
+        new TraceWriter(Unchecked{}, path));
+    if (!writer->out_)
+        return Status::ioError("trace: cannot open " + path +
+                               " for writing");
+    return writer;
 }
 
 TraceWriter::~TraceWriter()
@@ -57,11 +75,11 @@ TraceWriter::access(Addr vaddr, bool write)
     ++records_;
 }
 
-void
-TraceWriter::close()
+Status
+TraceWriter::tryClose()
 {
     if (closed_)
-        return;
+        return Status();
     closed_ = true;
     Header header{};
     std::memcpy(header.magic, magic, sizeof(magic));
@@ -71,21 +89,60 @@ TraceWriter::close()
     out_.write(reinterpret_cast<const char *>(&header), sizeof(header));
     out_.close();
     if (!out_)
-        fatal("trace: failed to finalize " + path_);
+        return Status::ioError("trace: failed to finalize " + path_);
+    return Status();
 }
 
-TraceReader::TraceReader(const std::string &path)
+void
+TraceWriter::close()
+{
+    const Status status = tryClose();
+    if (!status.ok())
+        fatal(status.toString());
+}
+
+TraceReader::TraceReader(Unchecked, const std::string &path)
     : in_(path, std::ios::binary)
 {
+}
+
+Status
+TraceReader::validateHeader(const std::string &path)
+{
     if (!in_)
-        fatal("trace: cannot open " + path);
+        return Status::notFound("trace: cannot open " + path);
     Header header{};
     in_.read(reinterpret_cast<char *>(&header), sizeof(header));
     if (!in_ || std::memcmp(header.magic, magic, sizeof(magic)) != 0)
-        fatal("trace: " + path + " is not a mosaic trace");
+        return Status::dataLoss("trace: " + path +
+                                " is not a mosaic trace");
     if (header.version != traceVersion)
-        fatal("trace: unsupported version in " + path);
+        return Status::invalidArgument(
+            "trace: unsupported version in " + path);
     records_ = header.records;
+    return Status();
+}
+
+TraceReader::TraceReader(const std::string &path)
+    : TraceReader(Unchecked{}, path)
+{
+    const Status status = validateHeader(path);
+    if (!status.ok())
+        fatal(status.toString());
+}
+
+Result<std::unique_ptr<TraceReader>>
+TraceReader::open(const std::string &path, fault::FaultInjector *faults)
+{
+    if (faults != nullptr && faults->shouldFail("tracefile.read"))
+        return Status::ioError("trace: injected read error on " +
+                               path);
+    std::unique_ptr<TraceReader> reader(
+        new TraceReader(Unchecked{}, path));
+    const Status status = reader->validateHeader(path);
+    if (!status.ok())
+        return status;
+    return reader;
 }
 
 std::uint64_t
@@ -108,8 +165,12 @@ TraceReader::replay(AccessSink &sink, std::uint64_t limit)
                         (buffer[i] & writeFlag) != 0);
         }
         replayed += got;
-        if (got < take)
-            break; // truncated file
+        if (got < take) {
+            // The header promised more records than the file holds:
+            // a truncated or torn file, not a normal end of replay.
+            truncated_ = true;
+            break;
+        }
     }
     return replayed;
 }

@@ -62,7 +62,23 @@ TEST(ThreadPool, SingleWorkerStillCompletes)
     EXPECT_EQ(sum, 4950u);
 }
 
-TEST(ThreadPool, PropagatesLowestIndexException)
+TEST(ThreadPool, SingleFailureRethrownUnchanged)
+{
+    ThreadPool pool(4);
+    try {
+        parallelFor(pool, 100, [](std::size_t i) {
+            if (i == 42)
+                throw std::runtime_error("boom 42");
+        });
+        FAIL() << "parallelFor swallowed the exception";
+    } catch (const ParallelForError &) {
+        FAIL() << "single failure must not be wrapped";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "boom 42");
+    }
+}
+
+TEST(ThreadPool, AggregatesMultipleExceptions)
 {
     ThreadPool pool(4);
     try {
@@ -70,12 +86,43 @@ TEST(ThreadPool, PropagatesLowestIndexException)
             if (i % 7 == 3)
                 throw std::runtime_error("boom " + std::to_string(i));
         });
-        FAIL() << "parallelFor swallowed the exception";
-    } catch (const std::runtime_error &e) {
-        // Deterministic: always the lowest failing index, no matter
-        // which worker hit its exception first.
-        EXPECT_STREQ(e.what(), "boom 3");
+        FAIL() << "parallelFor swallowed the exceptions";
+    } catch (const ParallelForError &e) {
+        // Deterministic: the lowest failing index leads, the other
+        // 14 - 1 = 13 failures are aggregated (index order), no
+        // matter which worker hit its exception first.
+        const std::string what = e.what();
+        EXPECT_EQ(what.rfind("boom 3 [index 3; +13 suppressed:", 0),
+                  0u)
+            << what;
+        EXPECT_NE(what.find("index 10: boom 10;"), std::string::npos)
+            << what;
+        EXPECT_EQ(e.suppressedErrors(), 13u);
     }
+}
+
+TEST(ThreadPool, InlinePathAggregatesLikePooledPath)
+{
+    // One worker forces the inline path; its exception contract must
+    // match the pooled one (every index runs, failures aggregate).
+    ThreadPool pool(1);
+    std::vector<int> hits(10, 0);
+    try {
+        parallelFor(pool, 10, [&](std::size_t i) {
+            hits[i] = 1;
+            if (i == 2 || i == 5)
+                throw std::runtime_error("boom " + std::to_string(i));
+        });
+        FAIL() << "parallelFor swallowed the exceptions";
+    } catch (const ParallelForError &e) {
+        EXPECT_EQ(e.suppressedErrors(), 1u);
+        EXPECT_EQ(std::string(e.what())
+                      .rfind("boom 2 [index 2; +1 suppressed:", 0),
+                  0u)
+            << e.what();
+    }
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i], 1) << "index " << i;
 }
 
 TEST(ThreadPool, AllIndicesStillRunWhenSomeThrow)

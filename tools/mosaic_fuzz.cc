@@ -139,10 +139,14 @@ main(int argc, char **argv)
                       << result.digest << "\n";
             if (opts.emit) {
                 std::filesystem::create_directories(opts.outDir);
-                writeTraceFile(opts.outDir + "/" + job.component +
-                                   "_seed" + std::to_string(job.seed) +
-                                   ".trace",
-                               trace);
+                const std::string path = opts.outDir + "/" +
+                    job.component + "_seed" +
+                    std::to_string(job.seed) + ".trace";
+                // A failed corpus write must not kill the fuzz run:
+                // report it and keep the remaining jobs going.
+                const Status written = tryWriteTraceFile(path, trace);
+                if (!written.ok())
+                    std::cerr << written.toString() << "\n";
             }
             return;
         }
@@ -155,12 +159,17 @@ main(int argc, char **argv)
         const std::string path = opts.outDir + "/diverge_" +
             job.component + "_seed" + std::to_string(job.seed) + ".trace";
         std::filesystem::create_directories(opts.outDir);
-        writeTraceFile(path, small);
+        const Status written = tryWriteTraceFile(path, small);
         std::cout << "  shrunk " << trace.ops.size() << " -> "
                   << small.ops.size() << " ops ("
                   << (rerun.divergence ? rerun.divergence->message
                                        : std::string("no longer diverges?!"))
-                  << ")\n  wrote " << path << "\n";
+                  << ")\n  ";
+        if (written.ok())
+            std::cout << "wrote " << path << "\n";
+        else
+            std::cout << "could not write reproducer: "
+                      << written.toString() << "\n";
     });
 
     if (failures != 0) {

@@ -10,13 +10,19 @@
  *                                   MOSAIC_THREADS settings)
  *
  * Exit status: 0 when every trace passed, 1 when any diverged,
- * 2 on usage errors.
+ * 2 on usage errors or unreadable/malformed trace files.
+ *
+ * An unreadable or malformed trace is reported with its structured
+ * status (NOT_FOUND / DATA_LOSS / ...) and the remaining traces
+ * still run. When MOSAIC_FAULTS is active, the per-trace report also
+ * shows how many faults were injected.
  */
 
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "fault/fault.hh"
 #include "oracle/fuzzer.hh"
 #include "oracle/trace.hh"
 
@@ -39,25 +45,37 @@ main(int argc, char **argv)
         return 2;
     }
 
+    const bool chaos = fault::FaultPlan::envActive();
     int status = 0;
     for (const std::string &path : paths) {
-        const Trace trace = readTraceFile(path);
-        const FuzzResult result = runTrace(trace);
+        const Result<Trace> read = tryReadTraceFile(path);
+        if (!read.ok()) {
+            // One bad file must not hide the results of the rest.
+            std::cerr << path << ": " << read.status().toString()
+                      << "\n";
+            status = 2;
+            continue;
+        }
+        const FuzzResult result = runTrace(read.value());
         if (digestOnly) {
             std::cout << result.digest << " " << result.opsApplied
                       << "\n";
             if (result.divergence)
-                status = 1;
+                status = status == 0 ? 1 : status;
             continue;
         }
         if (result.divergence) {
             std::cout << path << ": DIVERGED at op "
                       << result.divergence->opIndex << ": "
                       << result.divergence->message << "\n";
-            status = 1;
+            status = status == 0 ? 1 : status;
         } else {
             std::cout << path << ": ok, " << result.opsApplied
-                      << " ops, digest " << result.digest << "\n";
+                      << " ops, digest " << result.digest;
+            if (chaos)
+                std::cout << ", " << result.faultsInjected
+                          << " faults injected";
+            std::cout << "\n";
         }
     }
     return status;
