@@ -35,13 +35,12 @@ firstConflictLoad(const MemoryGeometry &geometry, std::uint64_t seed)
 {
     MosaicAllocator alloc(geometry);
     FrameTable frames(geometry.numFrames);
-    const auto no_ghosts = [](const Frame &) { return false; };
 
     Tick t = 0;
     for (Vpn vpn = 0;; ++vpn) {
         const CandidateSet cand = alloc.mapper().candidates(
             packPageId(PageId{1, vpn}) ^ seed * 0x9E3779B97F4A7C15ull);
-        const auto placement = alloc.place(cand, frames, no_ghosts);
+        const auto placement = alloc.place(cand, frames);
         if (!placement)
             return frames.utilization();
         frames.map(placement->pfn, PageId{1, vpn}, ++t);

@@ -169,9 +169,8 @@ class WalkCostSim : public AccessSink
         vanillaPt_.map(vpn, nextPfn_++);
         const CandidateSet cand =
             allocator_.mapper().candidates(PageId{1, vpn});
-        const auto no_ghosts = [](const Frame &) { return false; };
         const auto placement =
-            allocator_.place(cand, frames_, no_ghosts);
+            allocator_.place(cand, frames_);
         ensure(placement.has_value(), "walkcost: memory too small");
         frames_.map(placement->pfn, PageId{1, vpn}, ++clock_);
         mosaicPt_.setCpfn(vpn, placement->cpfn);

@@ -77,13 +77,12 @@ class FragmentationSim : public AccessSink
         // their layout is hash-scattered by construction — physical
         // layout is exactly what mosaic does not depend on.
         Tick t = 0;
-        const auto no_ghosts = [](const Frame &) { return false; };
         for (std::size_t i = 0; i < pinned.size(); ++i) {
             const PageId id{pinnedAsid, static_cast<Vpn>(i)};
             const CandidateSet cand =
                 mosaicAllocator_.mapper().candidates(id);
             const auto placement =
-                mosaicAllocator_.place(cand, mosaicFrames_, no_ghosts);
+                mosaicAllocator_.place(cand, mosaicFrames_);
             ensure(placement.has_value(),
                    "fragmentation_sim: pinned fraction beyond "
                    "mosaic capacity");
@@ -241,9 +240,8 @@ class FragmentationSim : public AccessSink
         // Mosaic side: iceberg placement around the pinned frames.
         const CandidateSet cand = mosaicAllocator_.mapper().candidates(
             PageId{asid_, vpn});
-        const auto no_ghosts = [](const Frame &) { return false; };
         const auto placement =
-            mosaicAllocator_.place(cand, mosaicFrames_, no_ghosts);
+            mosaicAllocator_.place(cand, mosaicFrames_);
         ensure(placement.has_value(),
                "fragmentation_sim: mosaic conflict (pinned fraction "
                "+ footprint too close to capacity)");

@@ -43,29 +43,24 @@ TranslationSim::TranslationSim(const TranslationSimConfig &config)
 VanillaPageTable &
 TranslationSim::vanillaPtFor(Asid asid)
 {
-    auto it = vanillaPts_.find(asid);
-    if (it == vanillaPts_.end()) {
-        it = vanillaPts_.emplace(asid,
-                                 std::make_unique<VanillaPageTable>())
-                 .first;
-    }
-    return *it->second;
+    auto [pt, inserted] = vanillaPts_.emplace(asid);
+    if (inserted)
+        pt = std::make_unique<VanillaPageTable>();
+    return *pt;
 }
 
 TranslationSim::MosaicPtSet &
 TranslationSim::mosaicPtsFor(Asid asid)
 {
-    auto it = mosaicPts_.find(asid);
-    if (it == mosaicPts_.end()) {
-        MosaicPtSet set;
+    auto [set, inserted] = mosaicPts_.emplace(asid);
+    if (inserted) {
         const Cpfn unmapped = allocator_.mapper().codec().invalid();
         for (const unsigned arity : config_.arities) {
             set.push_back(
                 std::make_unique<MosaicPageTable>(arity, unmapped));
         }
-        it = mosaicPts_.emplace(asid, std::move(set)).first;
     }
-    return it->second;
+    return set;
 }
 
 const TlbStats &
@@ -132,9 +127,8 @@ TranslationSim::ensureMapped(Vpn vpn)
     ++clock_;
     const CandidateSet cand = allocator_.mapper().candidates(
         PageId{activeAsid_, vpn});
-    const auto no_ghosts = [](const Frame &) { return false; };
     const std::optional<Placement> placement =
-        allocator_.place(cand, frames_, no_ghosts);
+        allocator_.place(cand, frames_);
     if (!placement) {
         fatal("translation_sim: mosaic memory too small for workload "
               "(associativity conflict during demand mapping)");

@@ -22,7 +22,6 @@
 #ifndef MOSAIC_CORE_TRANSLATION_SIM_HH_
 #define MOSAIC_CORE_TRANSLATION_SIM_HH_
 
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -32,6 +31,7 @@
 #include "pt/vanilla_page_table.hh"
 #include "tlb/mosaic_tlb.hh"
 #include "tlb/vanilla_tlb.hh"
+#include "util/flat_map.hh"
 #include "util/random.hh"
 #include "workloads/access_sink.hh"
 
@@ -157,7 +157,7 @@ class TranslationSim : public AccessSink
 
     // Vanilla side (one page table per address space).
     std::vector<std::unique_ptr<VanillaTlb>> vanillaTlbs_;
-    std::map<Asid, std::unique_ptr<VanillaPageTable>> vanillaPts_;
+    FlatMap<Asid, std::unique_ptr<VanillaPageTable>> vanillaPts_;
     Pfn vanillaNextPfn_ = 0;
 
     /** Mosaic page tables of one address space, one per arity. */
@@ -169,7 +169,7 @@ class TranslationSim : public AccessSink
     // Mosaic side: per-ASID page tables, TLB grid [ways][arity].
     MosaicAllocator allocator_;
     FrameTable frames_;
-    std::map<Asid, MosaicPtSet> mosaicPts_;
+    FlatMap<Asid, MosaicPtSet> mosaicPts_;
     std::vector<std::vector<std::unique_ptr<MosaicTlb>>> mosaicTlbs_;
 
     // Instruction TLBs (same grid shape, fed by synthetic fetches).

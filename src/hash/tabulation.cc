@@ -1,5 +1,7 @@
 #include "hash/tabulation.hh"
 
+#include <cassert>
+
 #include "util/random.hh"
 
 namespace mosaic
@@ -8,9 +10,14 @@ namespace mosaic
 TabulationHash::TabulationHash(std::uint64_t seed)
 {
     std::uint64_t sm = seed;
+    // The base 256 entries must be drawn in exactly this order — the
+    // hash function (and every placement digest derived from it) is
+    // defined by it. The mirrored tail is a copy, not fresh draws.
     for (auto &table : tables_) {
-        for (auto &entry : table)
-            entry = static_cast<std::uint32_t>(splitmix64(sm));
+        for (unsigned e = 0; e < tableEntries; ++e)
+            table[e] = static_cast<std::uint32_t>(splitmix64(sm));
+        for (unsigned j = 0; j + 1 < maxProbes; ++j)
+            table[tableEntries + j] = table[j];
     }
 }
 
@@ -35,6 +42,26 @@ TabulationHash::hashMany(std::uint64_t key, std::span<std::uint32_t> out) const
         for (unsigned k = 0; k < out.size(); ++k)
             out[k] ^= tables_[i][(byte + k) & 0xFF];
     }
+}
+
+void
+TabulationHash::probeAll(std::uint64_t key, std::span<std::uint32_t> out) const
+{
+    assert(out.size() <= maxProbes &&
+           "probeAll batch exceeds the mirrored window");
+    std::uint32_t acc[maxProbes] = {};
+    for (unsigned i = 0; i < numTables; ++i) {
+        const auto byte = static_cast<unsigned>((key >> (8 * i)) & 0xFF);
+        // One read per table: the window [byte, byte + out.size())
+        // is contiguous thanks to the mirrored tail, and equals the
+        // (byte + k) mod 256 entries hash() would fetch one by one.
+        const std::uint32_t *window = &tables_[i][byte];
+        for (unsigned k = 0; k < out.size(); ++k)
+            acc[k] ^= window[k];
+    }
+    probeTableReads_ += numTables;
+    for (unsigned k = 0; k < out.size(); ++k)
+        out[k] = acc[k];
 }
 
 std::uint32_t

@@ -10,7 +10,9 @@
  * H_k(A) = XOR_i T_i[(byte_i(A) + k) mod 256].
  *
  * Mosaic evaluates 1 + d = 7 outputs per translation: H_0 selects the
- * front-yard bucket and H_1..H_6 the backyard candidates.
+ * front-yard bucket and H_1..H_6 the backyard candidates. The batched
+ * probeAll() path mirrors the hardware exactly: each table is read
+ * once and yields every probe offset in the same pass.
  */
 
 #ifndef MOSAIC_HASH_TABULATION_HH_
@@ -40,6 +42,9 @@ class TabulationHash
     /** Entries per table (one per byte value). */
     static constexpr unsigned tableEntries = 256;
 
+    /** Largest probe batch probeAll() supports in one pass. */
+    static constexpr unsigned maxProbes = 8;
+
     /** Construct with tables filled from the given seed. */
     explicit TabulationHash(std::uint64_t seed = 1);
 
@@ -53,11 +58,36 @@ class TabulationHash
      */
     void hashMany(std::uint64_t key, std::span<std::uint32_t> out) const;
 
+    /**
+     * Batched probe: outputs 0..out.size()-1 with exactly one read
+     * per table (numTables = 8 reads total, independent of the probe
+     * count). Requires out.size() <= maxProbes. The probe offsets
+     * (byte + k) mod 256 land in a contiguous window because the
+     * tables carry a mirrored tail (entries 256..256+maxProbes-2
+     * duplicate entries 0..maxProbes-2), so one block read per table
+     * covers all offsets — the software analogue of the hardware's
+     * wide table port. Results are bit-identical to hash()/hashMany().
+     */
+    void probeAll(std::uint64_t key, std::span<std::uint32_t> out) const;
+
     /** Raw table entry, exposed for the Verilog generator. */
     std::uint32_t tableEntry(unsigned table, unsigned index) const;
 
+    /** Cumulative table reads performed by probeAll() (testing). */
+    std::uint64_t probeTableReads() const { return probeTableReads_; }
+
+    /** Reset the probeAll() read counter (testing). */
+    void resetProbeTableReads() { probeTableReads_ = 0; }
+
   private:
-    std::array<std::array<std::uint32_t, tableEntries>, numTables> tables_;
+    // Each table carries maxProbes-1 mirrored entries past index 255
+    // so a probe window starting at any byte stays contiguous.
+    static constexpr unsigned paddedEntries =
+        tableEntries + maxProbes - 1;
+
+    std::array<std::array<std::uint32_t, paddedEntries>, numTables>
+        tables_;
+    mutable std::uint64_t probeTableReads_ = 0;
 };
 
 } // namespace mosaic

@@ -16,18 +16,30 @@
  *  - stability: an item never moves after insertion;
  *  - high utilization: with f = 56, b = 8, d = 6 the first failed
  *    insertion empirically occurs at ~98 % load (Table 3).
+ *
+ * Probe mechanics (DESIGN.md §12): occupancy is a per-bucket bitmask
+ * (one bit per slot), so free-slot choice is countr_zero, fill counts
+ * are popcount, and the power-of-d comparison never scans slots. Key
+ * search goes through one-byte fingerprints packed eight per word and
+ * matched with SWAR; full keys are compared only on fingerprint hits.
+ * All d+1 bucket choices come from one batched tabulation pass
+ * (TabulationHash::probeAll, 8 table reads total). Every placement
+ * decision is bit-identical to the former slot-scanning code.
  */
 
 #ifndef MOSAIC_ICEBERG_ICEBERG_TABLE_HH_
 #define MOSAIC_ICEBERG_ICEBERG_TABLE_HH_
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <vector>
 
+#include "hash/mix.hh"
 #include "hash/tabulation.hh"
+#include "util/fastmod.hh"
 #include "util/log.hh"
 
 namespace mosaic
@@ -80,25 +92,55 @@ struct SlotRef
 /**
  * The iceberg hash table, mapping 64-bit keys to values.
  *
- * @tparam Value the mapped type; must be movable.
+ * @tparam Value the mapped type; must be movable and
+ *         default-constructible.
  */
 template <typename Value>
 class IcebergTable
 {
   public:
+    /**
+     * Word traffic on the probe path, for the complexity tests: a
+     * lookup or insert must touch a constant number of words (the
+     * bucket's occupancy and fingerprint words), never O(slots)
+     * structures, and full-key comparisons should stay near one per
+     * probe (fingerprint false positives are ~occupancy/256).
+     */
+    struct ProbeCounters
+    {
+        /** Occupancy + fingerprint words read while probing. */
+        std::uint64_t wordReads = 0;
+
+        /** Full 64-bit key comparisons (fingerprint hits only). */
+        std::uint64_t keyCompares = 0;
+    };
+
     explicit IcebergTable(const IcebergConfig &config)
         : config_(config),
           hasher_(config.seed),
-          buckets_(config.buckets)
+          frontWords_((config.frontSlots + 63) / 64),
+          backWords_((config.backSlots + 63) / 64),
+          frontFpWords_((config.frontSlots + 7) / 8),
+          backFpWords_((config.backSlots + 7) / 8)
     {
         ensure(config.buckets > 0, "iceberg: need at least one bucket");
         ensure(config.backChoices >= 1, "iceberg: need d >= 1");
-        for (auto &bucket : buckets_) {
-            bucket.front.resize(config.frontSlots);
-            bucket.back.resize(config.backSlots);
-            for (auto &slot : bucket.back)
-                slot.inBackyard = true;
-        }
+        ensure(config.frontSlots > 0, "iceberg: need front slots");
+        ensure(config.backSlots > 0, "iceberg: need back slots");
+        ensure(config.backChoices + 1 <= maxProbeBatch,
+               "iceberg: too many backyard choices");
+        if (config.buckets <= UINT32_MAX)
+            bucketMod_ = FastMod32(
+                static_cast<std::uint32_t>(config.buckets));
+
+        occFront_.assign(config.buckets * frontWords_, 0);
+        occBack_.assign(config.buckets * backWords_, 0);
+        fpFront_.assign(config.buckets * frontFpWords_, 0);
+        fpBack_.assign(config.buckets * backFpWords_, 0);
+        keysFront_.assign(config.buckets * config.frontSlots, 0);
+        keysBack_.assign(config.buckets * config.backSlots, 0);
+        valsFront_.resize(config.buckets * config.frontSlots);
+        valsBack_.resize(config.buckets * config.backSlots);
     }
 
     /** Shape parameters this table was built with. */
@@ -118,6 +160,12 @@ class IcebergTable
 
     /** Items currently stored in backyards (for balance analysis). */
     std::size_t backyardSize() const { return backSize_; }
+
+    /** Probe-path word traffic since the last reset (testing). */
+    const ProbeCounters &probeCounters() const { return counters_; }
+
+    /** Reset the probe counters (testing). */
+    void resetProbeCounters() { counters_ = {}; }
 
     /**
      * Install a fault hook consulted on each fresh insert (after the
@@ -140,27 +188,32 @@ class IcebergTable
     bool
     insert(std::uint64_t key, Value value)
     {
-        if (Slot *existing = findSlot(key)) {
-            existing->value = std::move(value);
+        const unsigned n = config_.backChoices + 1;
+        std::size_t bkts[maxProbeBatch];
+        probeBuckets(key, bkts, n);
+
+        const Loc loc = findLoc(key, bkts, n);
+        if (loc.found) {
+            valueAt(loc) = std::move(value);
             return true;
         }
 
         if (faultHook_ && faultHook_())
             return false; // injected insert failure; table unchanged
 
-        Bucket &fb = buckets_[frontBucket(key)];
-        for (auto &slot : fb.front) {
-            if (!slot.used) {
-                fill(slot, key, std::move(value));
-                return true;
-            }
+        const int fs = firstFree(&occFront_[bkts[0] * frontWords_],
+                                 frontWords_, config_.frontSlots);
+        if (fs >= 0) {
+            fill(Loc{true, false, bkts[0], unsigned(fs)}, key,
+                 std::move(value));
+            return true;
         }
 
         // Front yard full: power-of-d-choices over backyards.
         std::size_t best = config_.buckets; // invalid
         unsigned best_occupancy = config_.backSlots + 1;
         for (unsigned k = 0; k < config_.backChoices; ++k) {
-            const std::size_t b = backBucket(key, k);
+            const std::size_t b = bkts[k + 1];
             const unsigned occ = backOccupancy(b);
             if (occ < best_occupancy) {
                 best_occupancy = occ;
@@ -171,14 +224,13 @@ class IcebergTable
                 best_occupancy >= config_.backSlots) {
             return false; // associativity conflict
         }
-        for (auto &slot : buckets_[best].back) {
-            if (!slot.used) {
-                fill(slot, key, std::move(value));
-                ++backSize_;
-                return true;
-            }
-        }
-        panic("iceberg: occupancy accounting out of sync");
+        const int bs = firstFree(&occBack_[best * backWords_],
+                                 backWords_, config_.backSlots);
+        if (bs < 0)
+            panic("iceberg: occupancy accounting out of sync");
+        fill(Loc{true, true, best, unsigned(bs)}, key, std::move(value));
+        ++backSize_;
+        return true;
     }
 
     /** Look up a key; nullptr when absent. Pointer stays valid until
@@ -186,8 +238,8 @@ class IcebergTable
     Value *
     find(std::uint64_t key)
     {
-        Slot *slot = findSlot(key);
-        return slot ? &slot->value : nullptr;
+        const Loc loc = locateLoc(key);
+        return loc.found ? &valueAt(loc) : nullptr;
     }
 
     const Value *
@@ -204,13 +256,13 @@ class IcebergTable
     bool
     erase(std::uint64_t key)
     {
-        Slot *slot = findSlot(key);
-        if (!slot)
+        const Loc loc = locateLoc(key);
+        if (!loc.found)
             return false;
-        if (slot->inBackyard)
+        if (loc.back)
             --backSize_;
-        slot->used = false;
-        slot->value = Value{};
+        occWord(loc) &= ~(1ull << (loc.slot % 64));
+        valueAt(loc) = Value{};
         --size_;
         return true;
     }
@@ -222,53 +274,39 @@ class IcebergTable
     std::optional<SlotRef>
     locate(std::uint64_t key) const
     {
-        const Bucket &fb = buckets_[frontBucket(key)];
-        for (unsigned i = 0; i < config_.frontSlots; ++i) {
-            if (fb.front[i].used && fb.front[i].key == key)
-                return SlotRef{Yard::Front, frontBucket(key), i};
-        }
-        for (unsigned k = 0; k < config_.backChoices; ++k) {
-            const std::size_t b = backBucket(key, k);
-            for (unsigned i = 0; i < config_.backSlots; ++i) {
-                if (buckets_[b].back[i].used && buckets_[b].back[i].key == key)
-                    return SlotRef{Yard::Back, b, i};
-            }
-        }
-        return std::nullopt;
+        const Loc loc = locateLoc(key);
+        if (!loc.found)
+            return std::nullopt;
+        return SlotRef{loc.back ? Yard::Back : Yard::Front, loc.bucket,
+                       loc.slot};
     }
 
     /** Front-yard bucket index for a key (h0). */
     std::size_t
     frontBucket(std::uint64_t key) const
     {
-        return hasher_.hash(key, 0) % config_.buckets;
+        return reduce(hasher_.hash(key, 0));
     }
 
     /** k-th backyard candidate bucket for a key (h_{k+1}). */
     std::size_t
     backBucket(std::uint64_t key, unsigned k) const
     {
-        return hasher_.hash(key, k + 1) % config_.buckets;
+        return reduce(hasher_.hash(key, k + 1));
     }
 
     /** Number of used backyard slots in bucket b. */
     unsigned
     backOccupancy(std::size_t b) const
     {
-        unsigned occ = 0;
-        for (const auto &slot : buckets_[b].back)
-            occ += slot.used ? 1 : 0;
-        return occ;
+        return popcountWords(&occBack_[b * backWords_], backWords_);
     }
 
     /** Number of used front-yard slots in bucket b. */
     unsigned
     frontOccupancy(std::size_t b) const
     {
-        unsigned occ = 0;
-        for (const auto &slot : buckets_[b].front)
-            occ += slot.used ? 1 : 0;
-        return occ;
+        return popcountWords(&occFront_[b * frontWords_], frontWords_);
     }
 
     /**
@@ -280,68 +318,251 @@ class IcebergTable
     void
     forEachSlot(Fn &&fn) const
     {
-        for (std::size_t b = 0; b < buckets_.size(); ++b) {
-            for (unsigned i = 0; i < config_.frontSlots; ++i) {
-                const Slot &slot = buckets_[b].front[i];
-                if (slot.used)
-                    fn(SlotRef{Yard::Front, b, i}, slot.key, slot.value);
-            }
-            for (unsigned i = 0; i < config_.backSlots; ++i) {
-                const Slot &slot = buckets_[b].back[i];
-                if (slot.used)
-                    fn(SlotRef{Yard::Back, b, i}, slot.key, slot.value);
-            }
+        for (std::size_t b = 0; b < config_.buckets; ++b) {
+            forEachUsed(&occFront_[b * frontWords_], frontWords_,
+                        [&](unsigned i) {
+                fn(SlotRef{Yard::Front, b, i},
+                   keysFront_[b * config_.frontSlots + i],
+                   valsFront_[b * config_.frontSlots + i]);
+            });
+            forEachUsed(&occBack_[b * backWords_], backWords_,
+                        [&](unsigned i) {
+                fn(SlotRef{Yard::Back, b, i},
+                   keysBack_[b * config_.backSlots + i],
+                   valsBack_[b * config_.backSlots + i]);
+            });
         }
     }
 
   private:
-    struct Slot
+    /** Largest d+1 the stack probe buffers support. */
+    static constexpr unsigned maxProbeBatch = 64;
+
+    static constexpr std::uint64_t lowBytes = 0x0101010101010101ull;
+    static constexpr std::uint64_t highBits = 0x8080808080808080ull;
+
+    struct Loc
     {
-        std::uint64_t key = 0;
-        Value value{};
-        bool used = false;
-        bool inBackyard = false;
+        bool found = false;
+        bool back = false;
+        std::size_t bucket = 0;
+        unsigned slot = 0;
     };
 
-    struct Bucket
+    /** One-byte key fingerprint; collisions only cost a key compare. */
+    static std::uint8_t
+    fingerprint(std::uint64_t key)
     {
-        std::vector<Slot> front;
-        std::vector<Slot> back;
-    };
-
-    void
-    fill(Slot &slot, std::uint64_t key, Value value)
-    {
-        slot.key = key;
-        slot.value = std::move(value);
-        slot.used = true;
-        ++size_;
+        return static_cast<std::uint8_t>(mix64(key) >> 56);
     }
 
-    Slot *
-    findSlot(std::uint64_t key)
+    std::size_t
+    reduce(std::uint32_t h) const
     {
-        Bucket &fb = buckets_[frontBucket(key)];
-        for (auto &slot : fb.front) {
-            if (slot.used && slot.key == key)
-                return &slot;
-        }
-        for (unsigned k = 0; k < config_.backChoices; ++k) {
-            Bucket &bb = buckets_[backBucket(key, k)];
-            for (auto &slot : bb.back) {
-                if (slot.used && slot.key == key)
-                    return &slot;
+        if (config_.buckets <= UINT32_MAX)
+            return bucketMod_.mod(h);
+        return h % config_.buckets;
+    }
+
+    /** All n bucket choices of a key in one batched hash pass. */
+    void
+    probeBuckets(std::uint64_t key, std::size_t *bkts, unsigned n) const
+    {
+        std::uint32_t h[maxProbeBatch];
+        if (n <= TabulationHash::maxProbes)
+            hasher_.probeAll(key, {h, n});
+        else
+            hasher_.hashMany(key, {h, n});
+        for (unsigned i = 0; i < n; ++i)
+            bkts[i] = reduce(h[i]);
+    }
+
+    std::uint64_t &
+    occWord(const Loc &loc)
+    {
+        return loc.back
+            ? occBack_[loc.bucket * backWords_ + loc.slot / 64]
+            : occFront_[loc.bucket * frontWords_ + loc.slot / 64];
+    }
+
+    Value &
+    valueAt(const Loc &loc)
+    {
+        return loc.back
+            ? valsBack_[loc.bucket * config_.backSlots + loc.slot]
+            : valsFront_[loc.bucket * config_.frontSlots + loc.slot];
+    }
+
+    /**
+     * SWAR fingerprint search for key in one yard of one bucket.
+     * Touches one fingerprint word per 8 slots plus the occupancy
+     * byte; compares full keys only where a fingerprint byte matches.
+     * Returns the lowest matching slot, or -1.
+     */
+    int
+    matchIn(bool back, std::size_t b, std::uint64_t key,
+            std::uint64_t fp_pattern) const
+    {
+        const unsigned fp_words = back ? backFpWords_ : frontFpWords_;
+        const unsigned slots = back ? config_.backSlots
+                                    : config_.frontSlots;
+        const std::uint64_t *fps = back
+            ? &fpBack_[b * backFpWords_]
+            : &fpFront_[b * frontFpWords_];
+        const std::uint64_t *occ = back
+            ? &occBack_[b * backWords_]
+            : &occFront_[b * frontWords_];
+        const std::uint64_t *keys = back
+            ? &keysBack_[b * slots]
+            : &keysFront_[b * slots];
+
+        counters_.wordReads += back ? backWords_ : frontWords_;
+        for (unsigned w = 0; w < fp_words; ++w) {
+            ++counters_.wordReads;
+            const std::uint64_t x = fps[w] ^ fp_pattern;
+            const std::uint64_t hit = (x - lowBytes) & ~x & highBits;
+            if (!hit)
+                continue;
+            // Compress the per-byte high bits to one bit per slot,
+            // then mask with this 8-slot window's occupancy byte.
+            std::uint64_t cand =
+                ((hit >> 7) * 0x0102040810204080ull) >> 56;
+            cand &= (occ[w / 8] >> ((w % 8) * 8)) & 0xFF;
+            while (cand) {
+                const unsigned slot =
+                    8 * w + unsigned(std::countr_zero(cand));
+                cand &= cand - 1;
+                ++counters_.keyCompares;
+                if (keys[slot] == key)
+                    return int(slot);
             }
         }
-        return nullptr;
+        return -1;
+    }
+
+    /** Find the key among precomputed bucket choices (front first,
+     *  then backyards in probe order — same as the scanning code). */
+    Loc
+    findLoc(std::uint64_t key, const std::size_t *bkts,
+            unsigned n) const
+    {
+        const std::uint64_t pattern = lowBytes * fingerprint(key);
+        int s = matchIn(false, bkts[0], key, pattern);
+        if (s >= 0)
+            return Loc{true, false, bkts[0], unsigned(s)};
+        for (unsigned k = 1; k < n; ++k) {
+            s = matchIn(true, bkts[k], key, pattern);
+            if (s >= 0)
+                return Loc{true, true, bkts[k], unsigned(s)};
+        }
+        return Loc{};
+    }
+
+    /**
+     * Lazy lookup: most keys live in their front-yard bucket, so
+     * hash only h0 first and batch the backyard probes on a front
+     * miss. A front hit costs 8 table reads + one SWAR scan, like
+     * the hardware's common case.
+     */
+    Loc
+    locateLoc(std::uint64_t key) const
+    {
+        const std::uint64_t pattern = lowBytes * fingerprint(key);
+        const std::size_t fb = reduce(hasher_.hash(key, 0));
+        const int s = matchIn(false, fb, key, pattern);
+        if (s >= 0)
+            return Loc{true, false, fb, unsigned(s)};
+        const unsigned n = config_.backChoices + 1;
+        std::size_t bkts[maxProbeBatch];
+        probeBuckets(key, bkts, n);
+        for (unsigned k = 1; k < n; ++k) {
+            const int bs = matchIn(true, bkts[k], key, pattern);
+            if (bs >= 0)
+                return Loc{true, true, bkts[k], unsigned(bs)};
+        }
+        return Loc{};
+    }
+
+    /** Lowest free slot index per the occupancy words, or -1. */
+    static int
+    firstFree(const std::uint64_t *occ, unsigned words, unsigned slots)
+    {
+        for (unsigned w = 0; w < words; ++w) {
+            const unsigned in_word = std::min(64u, slots - 64 * w);
+            const std::uint64_t valid = in_word == 64
+                ? ~0ull
+                : (1ull << in_word) - 1;
+            const std::uint64_t free = ~occ[w] & valid;
+            if (free)
+                return int(64 * w + std::countr_zero(free));
+        }
+        return -1;
+    }
+
+    static unsigned
+    popcountWords(const std::uint64_t *occ, unsigned words)
+    {
+        unsigned n = 0;
+        for (unsigned w = 0; w < words; ++w)
+            n += unsigned(std::popcount(occ[w]));
+        return n;
+    }
+
+    template <typename Fn>
+    static void
+    forEachUsed(const std::uint64_t *occ, unsigned words, Fn &&fn)
+    {
+        for (unsigned w = 0; w < words; ++w) {
+            std::uint64_t m = occ[w];
+            while (m) {
+                fn(64 * w + unsigned(std::countr_zero(m)));
+                m &= m - 1;
+            }
+        }
+    }
+
+    void
+    fill(const Loc &loc, std::uint64_t key, Value value)
+    {
+        occWord(loc) |= 1ull << (loc.slot % 64);
+        std::uint64_t &fpw = loc.back
+            ? fpBack_[loc.bucket * backFpWords_ + loc.slot / 8]
+            : fpFront_[loc.bucket * frontFpWords_ + loc.slot / 8];
+        const unsigned shift = (loc.slot % 8) * 8;
+        fpw = (fpw & ~(0xFFull << shift)) |
+              (std::uint64_t(fingerprint(key)) << shift);
+        (loc.back ? keysBack_[loc.bucket * config_.backSlots + loc.slot]
+                  : keysFront_[loc.bucket * config_.frontSlots +
+                               loc.slot]) = key;
+        valueAt(loc) = std::move(value);
+        ++size_;
     }
 
     IcebergConfig config_;
     TabulationHash hasher_;
-    std::vector<Bucket> buckets_;
+    unsigned frontWords_;
+    unsigned backWords_;
+    unsigned frontFpWords_;
+    unsigned backFpWords_;
+    FastMod32 bucketMod_;
+
+    // Structure-of-arrays storage: per-bucket occupancy bitmask
+    // words, packed fingerprint bytes, then flat key/value arrays.
+    // Nothing reallocates after construction, so value pointers are
+    // stable for the life of the entry (the stability contract).
+    std::vector<std::uint64_t> occFront_;
+    std::vector<std::uint64_t> occBack_;
+    std::vector<std::uint64_t> fpFront_;
+    std::vector<std::uint64_t> fpBack_;
+    std::vector<std::uint64_t> keysFront_;
+    std::vector<std::uint64_t> keysBack_;
+    std::vector<Value> valsFront_;
+    std::vector<Value> valsBack_;
+
     std::size_t size_ = 0;
     std::size_t backSize_ = 0;
     std::function<bool()> faultHook_;
+    mutable ProbeCounters counters_;
 };
 
 } // namespace mosaic

@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/bitvec.hh"
 #include "util/log.hh"
 #include "util/types.hh"
 
@@ -42,7 +43,8 @@ class FrameTable
 {
   public:
     explicit FrameTable(std::size_t num_frames)
-        : frames_(num_frames)
+        : frames_(num_frames), ticks_(num_frames, 0),
+          usedBits_(num_frames)
     {
     }
 
@@ -61,6 +63,22 @@ class FrameTable
 
     const Frame &frame(Pfn pfn) const { return frames_.at(pfn); }
 
+    /** lastAccess of a frame, from the dense tick array. Equal to
+     *  frame(pfn).lastAccess; placement scans read it here so that a
+     *  bucket's worth of ticks spans 8 bytes per slot, not a whole
+     *  Frame record each. */
+    Tick lastAccessOf(Pfn pfn) const { return ticks_[pfn]; }
+
+    /** Used bits of frames [base, base + width), width in [1, 64]
+     *  (bit k set iff frame base + k holds a page). Lets placement
+     *  find free slots with countr_zero and count bucket occupancy
+     *  with popcount instead of scanning Frame records. */
+    std::uint64_t
+    usedWindow(Pfn base, unsigned width) const
+    {
+        return usedBits_.window(base, width);
+    }
+
     /** Record a page -> frame mapping. The frame must be free. */
     void
     map(Pfn pfn, PageId owner, Tick now, bool dirty = true)
@@ -71,6 +89,8 @@ class FrameTable
         f.lastAccess = now;
         f.used = true;
         f.dirty = dirty;
+        ticks_[pfn] = now;
+        usedBits_.set(pfn);
         ++used_;
     }
 
@@ -83,6 +103,7 @@ class FrameTable
         f.used = false;
         f.dirty = false;
         f.owner = PageId{};
+        usedBits_.clear(pfn);
         --used_;
     }
 
@@ -94,10 +115,20 @@ class FrameTable
         ensure(f.used, "frame_table: touching a free frame");
         f.lastAccess = now;
         f.dirty = f.dirty || write;
+        ticks_[pfn] = now;
     }
 
   private:
     std::vector<Frame> frames_;
+
+    /** Mirror of Frame::lastAccess, densely packed for placement
+     *  scans. Maintained by map() and touch() only. */
+    std::vector<Tick> ticks_;
+
+    /** Mirror of Frame::used, one bit per frame. Maintained by
+     *  map() and unmap() only. */
+    BitVec usedBits_;
+
     std::size_t used_ = 0;
 };
 

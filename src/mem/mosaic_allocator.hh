@@ -19,10 +19,14 @@
 #ifndef MOSAIC_MEM_MOSAIC_ALLOCATOR_HH_
 #define MOSAIC_MEM_MOSAIC_ALLOCATOR_HH_
 
+#include <algorithm>
+#include <bit>
 #include <optional>
+#include <type_traits>
 
 #include "mem/frame_table.hh"
 #include "mem/mosaic_mapper.hh"
+#include "util/bitvec.hh"
 
 namespace mosaic
 {
@@ -65,6 +69,7 @@ class MosaicAllocator
      * @return the placement, or nullopt on an associativity conflict.
      */
     template <typename GhostPred>
+        requires std::is_invocable_r_v<bool, GhostPred, const Frame &>
     std::optional<Placement>
     place(const CandidateSet &c, const FrameTable &frames,
           GhostPred &&is_ghost) const
@@ -137,6 +142,33 @@ class MosaicAllocator
         return back_ghost;
     }
 
+    /**
+     * Bitmap-driven placement: decision-for-decision identical to the
+     * predicate overload when `ghosts.test(pfn) == is_ghost(frame)`
+     * for every used frame, but free-slot choice, ghost discovery,
+     * and power-of-d occupancy counts run on the frame table's used
+     * bits (countr_zero/popcount) instead of per-Frame loads; only
+     * ghost slots' timestamps are read, from the dense tick array.
+     *
+     * @param ghosts PFN-indexed ghost bits; a set bit marks a used
+     *        frame as a ghost (DESIGN.md §12). Maintained by the
+     *        eviction policy (MosaicVm).
+     */
+    std::optional<Placement>
+    place(const CandidateSet &c, const FrameTable &frames,
+          const BitVec &ghosts) const
+    {
+        return placeBits(c, frames, &ghosts);
+    }
+
+    /** Bitmap-driven placement with no ghosts: equivalent to the
+     *  predicate overload with an always-false predicate. */
+    std::optional<Placement>
+    place(const CandidateSet &c, const FrameTable &frames) const
+    {
+        return placeBits(c, frames, nullptr);
+    }
+
     /** Visit every candidate slot of a page as (pfn, cpfn). */
     template <typename Visitor>
     void
@@ -163,20 +195,164 @@ class MosaicAllocator
     Placement
     lruCandidate(const CandidateSet &c, const FrameTable &frames) const
     {
+        const MemoryGeometry &g = geometry();
         std::optional<Placement> best;
         Tick best_tick = invalidTick;
-        forEachCandidate(c, [&](Pfn pfn, Cpfn cpfn) {
-            const Frame &f = frames.frame(pfn);
-            if (f.used && f.lastAccess < best_tick) {
-                best_tick = f.lastAccess;
-                best = Placement{pfn, cpfn, false};
-            }
+        // Same visit order and strict-< tie-break as the historical
+        // forEachCandidate scan, but only used slots' ticks are read.
+        const auto consider = [&](Pfn base, unsigned width, auto encode) {
+            forEachUsed(frames, base, width, [&](unsigned off) {
+                const Tick t = frames.lastAccessOf(base + off);
+                if (t < best_tick) {
+                    best_tick = t;
+                    best = Placement{base + off, encode(off), false};
+                }
+            });
+        };
+        consider(mapper_.frontBase(c), g.frontSlots, [&](unsigned off) {
+            return mapper_.codec().encodeFront(off);
         });
+        for (unsigned k = 0; k < c.numBackChoices; ++k) {
+            consider(mapper_.backBase(c, k), g.backSlots,
+                     [&](unsigned off) {
+                         return mapper_.codec().encodeBack(k, off);
+                     });
+        }
         ensure(best.has_value(), "mosaic_allocator: no LRU candidate");
         return *best;
     }
 
   private:
+    /** One yard decision: offset of the chosen slot in the bucket. */
+    struct YardPick
+    {
+        unsigned offset = 0;
+        bool evictsGhost = false;
+    };
+
+    static std::uint64_t
+    windowMask(unsigned n)
+    {
+        return n >= 64 ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << n) - 1;
+    }
+
+    /** Visit the offsets of used slots in [base, base + width),
+     *  ascending, via the frame table's occupancy bits. */
+    template <typename Fn>
+    static void
+    forEachUsed(const FrameTable &frames, Pfn base, unsigned width,
+                Fn &&fn)
+    {
+        for (unsigned w = 0; w < width; w += 64) {
+            const unsigned n = std::min(64u, width - w);
+            std::uint64_t used = frames.usedWindow(base + w, n);
+            while (used != 0) {
+                fn(w + static_cast<unsigned>(std::countr_zero(used)));
+                used &= used - 1;
+            }
+        }
+    }
+
+    /**
+     * One bucket's allocation decision: the first free slot, else the
+     * oldest ghost (earliest offset on equal ticks), else nullopt —
+     * the same preference order as the predicate scan.
+     */
+    std::optional<YardPick>
+    yardPick(const FrameTable &frames, const BitVec *ghosts, Pfn base,
+             unsigned width) const
+    {
+        for (unsigned w = 0; w < width; w += 64) {
+            const unsigned n = std::min(64u, width - w);
+            const std::uint64_t free =
+                ~frames.usedWindow(base + w, n) & windowMask(n);
+            if (free != 0) {
+                return YardPick{
+                    w + static_cast<unsigned>(std::countr_zero(free)),
+                    false};
+            }
+        }
+        if (ghosts == nullptr)
+            return std::nullopt;
+        std::optional<unsigned> best;
+        Tick best_tick = 0;
+        for (unsigned w = 0; w < width; w += 64) {
+            const unsigned n = std::min(64u, width - w);
+            std::uint64_t g = ghosts->window(base + w, n) &
+                              frames.usedWindow(base + w, n);
+            while (g != 0) {
+                const unsigned off =
+                    w + static_cast<unsigned>(std::countr_zero(g));
+                g &= g - 1;
+                const Tick t = frames.lastAccessOf(base + off);
+                if (!best || t < best_tick) {
+                    best = off;
+                    best_tick = t;
+                }
+            }
+        }
+        if (!best)
+            return std::nullopt;
+        return YardPick{*best, true};
+    }
+
+    /** Live (used and non-ghost) slots in [base, base + width). */
+    unsigned
+    liveCount(const FrameTable &frames, const BitVec *ghosts, Pfn base,
+              unsigned width) const
+    {
+        unsigned live = 0;
+        for (unsigned w = 0; w < width; w += 64) {
+            const unsigned n = std::min(64u, width - w);
+            std::uint64_t used = frames.usedWindow(base + w, n);
+            if (ghosts != nullptr)
+                used &= ~ghosts->window(base + w, n);
+            live += static_cast<unsigned>(std::popcount(used));
+        }
+        return live;
+    }
+
+    std::optional<Placement>
+    placeBits(const CandidateSet &c, const FrameTable &frames,
+              const BitVec *ghosts) const
+    {
+        const MemoryGeometry &g = geometry();
+
+        // 1./2. Free front-yard slot, else oldest front-yard ghost.
+        const Pfn fbase = mapper_.frontBase(c);
+        if (const auto front = yardPick(frames, ghosts, fbase,
+                                        g.frontSlots)) {
+            return Placement{fbase + front->offset,
+                             mapper_.codec().encodeFront(front->offset),
+                             front->evictsGhost};
+        }
+
+        // 3. Power-of-d-choices over backyards; ghosts don't count
+        //    towards occupancy.
+        unsigned best_choice = c.numBackChoices;
+        unsigned best_live = g.backSlots + 1;
+        for (unsigned k = 0; k < c.numBackChoices; ++k) {
+            const unsigned live = liveCount(
+                frames, ghosts, mapper_.backBase(c, k), g.backSlots);
+            if (live < best_live) {
+                best_live = live;
+                best_choice = k;
+            }
+        }
+        if (best_choice == c.numBackChoices || best_live >= g.backSlots)
+            return std::nullopt; // associativity conflict
+
+        const Pfn bbase = mapper_.backBase(c, best_choice);
+        const auto back = yardPick(frames, ghosts, bbase, g.backSlots);
+        ensure(back.has_value(),
+               "mosaic_allocator: occupancy accounting out of sync");
+        return Placement{
+            bbase + back->offset,
+            mapper_.codec().encodeBack(best_choice, back->offset),
+            back->evictsGhost};
+    }
+
     MosaicMapper mapper_;
 };
 

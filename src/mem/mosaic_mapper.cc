@@ -11,6 +11,11 @@ MosaicMapper::MosaicMapper(const MemoryGeometry &geometry)
     geometry_.check();
     ensure(geometry_.backChoices <= maxBackChoices,
            "mapper: d exceeds maxBackChoices");
+    ensure(geometry_.numFrames <= UINT32_MAX,
+           "mapper: PFNs must fit 32 bits");
+    bucketMod_ = FastMod32(
+        static_cast<std::uint32_t>(geometry_.numBuckets()));
+    slotMod_ = FastMod32(geometry_.slotsPerBucket());
 }
 
 CandidateSet
@@ -19,48 +24,29 @@ MosaicMapper::candidates(std::uint64_t hash_input) const
     CandidateSet out;
     std::array<std::uint32_t, maxBackChoices + 1> hashes;
     const unsigned n = geometry_.backChoices + 1;
-    hasher_.hashMany(hash_input, std::span(hashes.data(), n));
+    // The paper default (d = 6, so 7 outputs) fits one batched pass:
+    // 8 table reads total instead of 8 per output. Wider d falls back
+    // to the per-output path; both are bit-identical.
+    if (n <= TabulationHash::maxProbes)
+        hasher_.probeAll(hash_input, std::span(hashes.data(), n));
+    else
+        hasher_.hashMany(hash_input, std::span(hashes.data(), n));
 
-    const auto buckets = static_cast<std::uint32_t>(geometry_.numBuckets());
-    out.frontBucket = hashes[0] % buckets;
+    out.frontBucket = bucketMod_.mod(hashes[0]);
     out.numBackChoices = geometry_.backChoices;
     for (unsigned k = 0; k < geometry_.backChoices; ++k)
-        out.backBuckets[k] = hashes[k + 1] % buckets;
+        out.backBuckets[k] = bucketMod_.mod(hashes[k + 1]);
     return out;
-}
-
-Pfn
-MosaicMapper::frontPfn(const CandidateSet &c, unsigned offset) const
-{
-    ensure(offset < geometry_.frontSlots, "mapper: front offset range");
-    return Pfn{c.frontBucket} * geometry_.slotsPerBucket() + offset;
-}
-
-Pfn
-MosaicMapper::backPfn(const CandidateSet &c, unsigned choice,
-                      unsigned offset) const
-{
-    ensure(choice < c.numBackChoices, "mapper: backyard choice range");
-    ensure(offset < geometry_.backSlots, "mapper: backyard offset range");
-    return Pfn{c.backBuckets[choice]} * geometry_.slotsPerBucket() +
-           geometry_.frontSlots + offset;
-}
-
-Pfn
-MosaicMapper::toPfn(const CandidateSet &c, Cpfn cpfn) const
-{
-    const CpfnCodec::Decoded d = codec_.decode(cpfn);
-    if (d.front)
-        return frontPfn(c, d.offset);
-    return backPfn(c, d.choice, d.offset);
 }
 
 Cpfn
 MosaicMapper::toCpfn(const CandidateSet &c, Pfn pfn) const
 {
-    const unsigned spb = geometry_.slotsPerBucket();
-    const auto bucket = static_cast<std::uint32_t>(pfn / spb);
-    const auto slot = static_cast<unsigned>(pfn % spb);
+    // PFNs fit 32 bits (the ctor checks), so Lemire division is
+    // exact and the hot path avoids two div instructions.
+    const auto n = static_cast<std::uint32_t>(pfn);
+    const std::uint32_t bucket = slotMod_.div(n);
+    const unsigned slot = slotMod_.mod(n);
 
     if (slot < geometry_.frontSlots) {
         if (bucket == c.frontBucket)

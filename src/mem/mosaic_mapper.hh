@@ -22,6 +22,7 @@
 #include "hash/tabulation.hh"
 #include "mem/cpfn.hh"
 #include "mem/geometry.hh"
+#include "util/fastmod.hh"
 #include "util/types.hh"
 
 namespace mosaic
@@ -63,14 +64,50 @@ class MosaicMapper
     }
 
     /** PFN of a front-yard slot of the candidate set. */
-    Pfn frontPfn(const CandidateSet &c, unsigned offset) const;
+    Pfn
+    frontPfn(const CandidateSet &c, unsigned offset) const
+    {
+        ensure(offset < geometry_.frontSlots,
+               "mapper: front offset range");
+        return Pfn{c.frontBucket} * geometry_.slotsPerBucket() + offset;
+    }
 
     /** PFN of a backyard slot of the candidate set. */
-    Pfn backPfn(const CandidateSet &c, unsigned choice,
-                unsigned offset) const;
+    Pfn
+    backPfn(const CandidateSet &c, unsigned choice,
+            unsigned offset) const
+    {
+        ensure(choice < c.numBackChoices, "mapper: backyard choice range");
+        ensure(offset < geometry_.backSlots,
+               "mapper: backyard offset range");
+        return Pfn{c.backBuckets[choice]} * geometry_.slotsPerBucket() +
+               geometry_.frontSlots + offset;
+    }
+
+    /** First PFN of the front-yard bucket's slot run. */
+    Pfn
+    frontBase(const CandidateSet &c) const
+    {
+        return Pfn{c.frontBucket} * geometry_.slotsPerBucket();
+    }
+
+    /** First PFN of a backyard choice's slot run. */
+    Pfn
+    backBase(const CandidateSet &c, unsigned choice) const
+    {
+        return Pfn{c.backBuckets[choice]} * geometry_.slotsPerBucket() +
+               geometry_.frontSlots;
+    }
 
     /** Decode a valid CPFN to the PFN it denotes. */
-    Pfn toPfn(const CandidateSet &c, Cpfn cpfn) const;
+    Pfn
+    toPfn(const CandidateSet &c, Cpfn cpfn) const
+    {
+        const CpfnCodec::Decoded d = codec_.decode(cpfn);
+        if (d.front)
+            return frontPfn(c, d.offset);
+        return backPfn(c, d.choice, d.offset);
+    }
 
     /**
      * Encode the CPFN denoting the given PFN, which must be one of
@@ -83,6 +120,8 @@ class MosaicMapper
     MemoryGeometry geometry_;
     CpfnCodec codec_;
     TabulationHash hasher_;
+    FastMod32 bucketMod_;
+    FastMod32 slotMod_;
 };
 
 } // namespace mosaic

@@ -12,7 +12,8 @@ MosaicVm::MosaicVm(const MosaicVmConfig &config)
       frames_(config.geometry.numFrames),
       rng_(config.seed),
       globalLru_(config.geometry.numFrames),
-      liveOrder_(config.geometry.numFrames)
+      liveOrder_(config.geometry.numFrames),
+      ghostBits_(config.geometry.numFrames)
 {
     liveCap_ = config_.policy == EvictionPolicy::ShrunkenCache
         ? static_cast<std::size_t>(
@@ -25,15 +26,12 @@ MosaicVm::MosaicVm(const MosaicVmConfig &config)
 MosaicPageTable &
 MosaicVm::pageTable(Asid asid)
 {
-    auto it = tables_.find(asid);
-    if (it == tables_.end()) {
-        it = tables_.emplace(asid,
-                 std::make_unique<MosaicPageTable>(
-                     config_.arity,
-                     allocator_.mapper().codec().invalid()))
-                 .first;
+    auto [table, inserted] = tables_.emplace(asid);
+    if (inserted) {
+        table = std::make_unique<MosaicPageTable>(
+            config_.arity, allocator_.mapper().codec().invalid());
     }
-    return *it->second;
+    return *table;
 }
 
 std::size_t
@@ -63,6 +61,7 @@ MosaicVm::reapGhosts()
     // most once per residency: amortized O(1).
     while (!liveOrder_.empty() &&
                frames_.frame(liveOrder_.front()).lastAccess < horizon_) {
+        ghostBits_.set(liveOrder_.front());
         liveOrder_.popFront();
         ++ghostCount_;
     }
@@ -71,10 +70,12 @@ MosaicVm::reapGhosts()
 void
 MosaicVm::noteFrameFreed(Pfn pfn)
 {
-    if (isGhostFrame(pfn))
+    if (isGhostFrame(pfn)) {
+        ghostBits_.clear(pfn);
         --ghostCount_;
-    else
+    } else {
         liveOrder_.remove(pfn);
+    }
 }
 
 std::uint64_t
@@ -82,15 +83,14 @@ MosaicVm::locationIdFor(Asid asid, Vpn vpn)
 {
     MosaicPageTable &pt = pageTable(asid);
     const TocKey key{asid, pt.mvpnOf(vpn)};
-    auto it = locationIds_.find(key);
-    if (it == locationIds_.end()) {
-        // Random IDs per §2.5: collisions are tolerable because
-        // iceberg hashing is robust to a few duplicate inputs.
-        const std::uint64_t loc_id = rng_() >> 6;
-        it = locationIds_.emplace(key, loc_id).first;
-        locUsers_[loc_id].push_back(key);
-    }
-    return it->second;
+    if (const std::uint64_t *bound = locationIds_.find(key))
+        return *bound;
+    // Random IDs per §2.5: collisions are tolerable because
+    // iceberg hashing is robust to a few duplicate inputs.
+    const std::uint64_t loc_id = rng_() >> 6;
+    locationIds_[key] = loc_id;
+    locUsers_[loc_id].push_back(key);
+    return loc_id;
 }
 
 std::uint64_t
@@ -108,19 +108,20 @@ MosaicVm::hashInputIfBound(Asid asid, Vpn vpn)
     if (config_.sharing == SharingMode::PageIdHash)
         return packPageId(PageId{asid, vpn});
     MosaicPageTable &pt = pageTable(asid);
-    const auto it = locationIds_.find(TocKey{asid, pt.mvpnOf(vpn)});
-    if (it == locationIds_.end())
+    const std::uint64_t *bound =
+        locationIds_.find(TocKey{asid, pt.mvpnOf(vpn)});
+    if (!bound)
         return std::nullopt;
-    return (it->second << 6) | pt.offsetOf(vpn);
+    return (*bound << 6) | pt.offsetOf(vpn);
 }
 
 void
 MosaicVm::releaseBindingIfDead(const TocKey &key)
 {
-    const auto it = locationIds_.find(key);
-    if (it == locationIds_.end())
+    const std::uint64_t *bound = locationIds_.find(key);
+    if (!bound)
         return;
-    const std::uint64_t loc_id = it->second;
+    const std::uint64_t loc_id = *bound;
     MosaicPageTable &pt = pageTable(key.asid);
     const Vpn base = key.mvpn << ceilLog2(config_.arity);
     for (unsigned sub = 0; sub < config_.arity; ++sub) {
@@ -132,28 +133,12 @@ MosaicVm::releaseBindingIfDead(const TocKey &key)
     // can never be referenced again, so drop it. Without this,
     // locationIds_/locUsers_ grow without bound across map/unmap
     // cycles and the sharer-adoption scan in touch() slows down.
-    if (const auto users = locUsers_.find(loc_id);
-            users != locUsers_.end()) {
-        std::erase(users->second, key);
-        if (users->second.empty())
-            locUsers_.erase(users);
+    if (auto *users = locUsers_.find(loc_id)) {
+        std::erase(*users, key);
+        if (users->empty())
+            locUsers_.erase(loc_id);
     }
-    locationIds_.erase(it);
-}
-
-std::vector<std::pair<Asid, Vpn>>
-MosaicVm::mappingsOf(Pfn pfn) const
-{
-    const Frame &f = frames_.frame(pfn);
-    std::vector<std::pair<Asid, Vpn>> out;
-    out.emplace_back(f.owner.asid, f.owner.vpn);
-    if (auto it = sharers_.find(pfn); it != sharers_.end()) {
-        for (const auto &mapping : it->second) {
-            if (mapping != out.front())
-                out.push_back(mapping);
-        }
-    }
-    return out;
+    locationIds_.erase(key);
 }
 
 void
@@ -167,8 +152,9 @@ MosaicVm::evictFrame(Pfn pfn)
         if (stats_.firstSwapOutUtilization < 0)
             stats_.firstSwapOutUtilization = frames_.utilization();
     }
-    for (const auto &[asid, vpn] : mappingsOf(pfn))
+    forEachMapping(pfn, [this](Asid asid, Vpn vpn) {
         pageTable(asid).clearCpfn(vpn);
+    });
     sharers_.erase(pfn);
     if (config_.policy == EvictionPolicy::ShrunkenCache)
         globalLru_.remove(pfn);
@@ -201,10 +187,8 @@ MosaicVm::unmapRange(Asid asid, Vpn vpn, std::size_t npages)
             continue;
         }
         if (loc_mode) {
-            if (const auto users = locUsers_.find(*key >> 6);
-                    users != locUsers_.end())
-                affected.insert(users->second.begin(),
-                                users->second.end());
+            if (const auto *users = locUsers_.find(*key >> 6))
+                affected.insert(users->begin(), users->end());
         }
         swap_.invalidate(*key);
         const MosaicWalkResult walk = pt.walk(v);
@@ -216,8 +200,9 @@ MosaicVm::unmapRange(Asid asid, Vpn vpn, std::size_t npages)
         // Unlike eviction, releasing a range writes nothing back:
         // the contents are dead. Clear every mapping of the frame
         // (shared ToCs release for all sharers at once).
-        for (const auto &[a, vp] : mappingsOf(pfn))
+        forEachMapping(pfn, [this](Asid a, Vpn vp) {
             pageTable(a).clearCpfn(vp);
+        });
         sharers_.erase(pfn);
         if (config_.policy == EvictionPolicy::ShrunkenCache)
             globalLru_.remove(pfn);
@@ -249,7 +234,7 @@ MosaicVm::shareRange(Asid src_asid, Vpn src_vpn, Asid dst_asid,
         const TocKey dst_key{dst_asid, dst_pt.mvpnOf(dst_vpn + i)};
         ensure(!locationIds_.contains(dst_key),
                "mosaic_vm: destination ToC already bound");
-        locationIds_.emplace(dst_key, loc_id);
+        locationIds_[dst_key] = loc_id;
         locUsers_[loc_id].push_back(dst_key);
 
         // Make already-resident sub-pages visible immediately.
@@ -283,6 +268,7 @@ MosaicVm::touch(Asid asid, Vpn vpn, bool write)
             // LRU would have evicted it; Horizon LRU rescues it. It
             // rejoins the live order as most recently used.
             ++stats_.ghostRescues;
+            ghostBits_.clear(pfn);
             --ghostCount_;
             liveOrder_.pushBack(pfn);
         } else {
@@ -317,6 +303,7 @@ MosaicVm::touch(Asid asid, Vpn vpn, bool write)
                     // Adopting a ghost frame rescues it exactly like a
                     // direct hit on one would.
                     ++stats_.ghostRescues;
+                    ghostBits_.clear(pfn);
                     --ghostCount_;
                     liveOrder_.pushBack(pfn);
                 } else {
@@ -338,14 +325,11 @@ MosaicVm::touch(Asid asid, Vpn vpn, bool write)
         evictFrame(globalLru_.front());
     }
 
-    const auto is_ghost = [this](const Frame &f) {
-        return f.lastAccess < horizon_;
-    };
     std::optional<Placement> placement;
     const bool place_injected = config_.faults != nullptr &&
                                 config_.faults->shouldFail("vm.place");
     if (!place_injected)
-        placement = allocator_.place(cand, frames_, is_ghost);
+        placement = allocator_.place(cand, frames_, ghostBits_);
 
     if (!placement &&
             config_.recovery == ConflictRecovery::GhostReclaimRetry) {
@@ -355,7 +339,7 @@ MosaicVm::touch(Asid asid, Vpn vpn, bool write)
         // the retry succeeds only when the first attempt failed
         // transiently (fault injection) — never on a real conflict.
         reapGhosts();
-        placement = allocator_.place(cand, frames_, is_ghost);
+        placement = allocator_.place(cand, frames_, ghostBits_);
         if (placement)
             ++stats_.recoveredConflicts;
     }

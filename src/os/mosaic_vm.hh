@@ -13,11 +13,9 @@
 #ifndef MOSAIC_OS_MOSAIC_VM_HH_
 #define MOSAIC_OS_MOSAIC_VM_HH_
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/frame_table.hh"
@@ -26,6 +24,8 @@
 #include "os/swap_device.hh"
 #include "os/virtual_memory.hh"
 #include "pt/mosaic_page_table.hh"
+#include "util/bitvec.hh"
+#include "util/flat_map.hh"
 #include "util/random.hh"
 
 namespace mosaic
@@ -175,8 +175,8 @@ class MosaicVm : public VirtualMemory
   private:
     struct TocKey
     {
-        Asid asid;
-        Mvpn mvpn;
+        Asid asid = 0;
+        Mvpn mvpn = 0;
         bool operator<(const TocKey &o) const
         {
             return asid != o.asid ? asid < o.asid : mvpn < o.mvpn;
@@ -184,6 +184,17 @@ class MosaicVm : public VirtualMemory
         bool operator==(const TocKey &o) const
         {
             return asid == o.asid && mvpn == o.mvpn;
+        }
+    };
+
+    struct TocKeyHash
+    {
+        std::uint64_t operator()(const TocKey &k) const
+        {
+            // MVPNs are at most vpnBits - log2(arity) < 48 bits, so
+            // the ASID occupies disjoint bits before mixing.
+            return FlatHash<std::uint64_t>{}(
+                (std::uint64_t(k.asid) << 48) ^ k.mvpn);
         }
     };
 
@@ -214,8 +225,23 @@ class MosaicVm : public VirtualMemory
      *  page-table mappings of it, free the frame. */
     void evictFrame(Pfn pfn);
 
-    /** All (asid, vpn) mappings currently resolving to the frame. */
-    std::vector<std::pair<Asid, Vpn>> mappingsOf(Pfn pfn) const;
+    /** Visit every (asid, vpn) mapping currently resolving to the
+     *  frame (owner first, then sharers) without allocating — this
+     *  runs on every eviction. @p fn must not mutate sharers_. */
+    template <typename Fn>
+    void
+    forEachMapping(Pfn pfn, Fn &&fn) const
+    {
+        const Frame &f = frames_.frame(pfn);
+        const std::pair<Asid, Vpn> owner{f.owner.asid, f.owner.vpn};
+        fn(owner.first, owner.second);
+        if (const auto *shared = sharers_.find(pfn)) {
+            for (const auto &mapping : *shared) {
+                if (mapping != owner)
+                    fn(mapping.first, mapping.second);
+            }
+        }
+    }
 
     MosaicVmConfig config_;
     MosaicAllocator allocator_;
@@ -238,20 +264,26 @@ class MosaicVm : public VirtualMemory
     /** Used frames strictly below the horizon (== ghostPages()). */
     std::size_t ghostCount_ = 0;
 
-    std::map<Asid, std::unique_ptr<MosaicPageTable>> tables_;
+    /** PFN-indexed ghost bits: set iff the frame is used and its
+     *  lastAccess is below the horizon — exactly isGhostFrame(),
+     *  maintained incrementally at the ghost transitions (reap,
+     *  rescue, free). Drives the bitmap placement path. */
+    BitVec ghostBits_;
+
+    FlatMap<Asid, std::unique_ptr<MosaicPageTable>> tables_;
 
     /** LocationId mode: ToC -> location ID. */
-    std::map<TocKey, std::uint64_t> locationIds_;
+    FlatMap<TocKey, std::uint64_t, TocKeyHash> locationIds_;
 
     /** LocationId mode: location ID -> ToCs bound to it. */
-    std::map<std::uint64_t, std::vector<TocKey>> locUsers_;
+    FlatMap<std::uint64_t, std::vector<TocKey>> locUsers_;
 
     /** True once utilization first reached the steady-state band. */
     bool samplingSteadyState_ = false;
 
     /** LocationId mode: frame -> sharing mappings beyond the owner.
      *  Only frames referenced by shared ToCs appear here. */
-    std::unordered_map<Pfn, std::vector<std::pair<Asid, Vpn>>> sharers_;
+    FlatMap<Pfn, std::vector<std::pair<Asid, Vpn>>> sharers_;
 };
 
 } // namespace mosaic

@@ -8,6 +8,16 @@
  * can be direct-mapped through fully associative, exactly like a
  * conventional one. This array implements that whole range: ways ==
  * entries gives a fully associative table, ways == 1 direct-mapped.
+ *
+ * Lookup cost: for small associativities the way scan is already a
+ * handful of comparisons, but fully-associative configurations (the
+ * walk cache, fuzzer geometries) would scan every entry per probe.
+ * Arrays with more than 8 ways therefore keep a FlatMap from tag to
+ * the *lowest-way valid* matching entry, which makes find/peek O(1)
+ * while preserving the scan's first-match semantics exactly — even
+ * for duplicate tags, which fillConventional can legitimately create.
+ * The index relies on every tag embedding its index key (true for
+ * all in-tree tag schemes), so a tag determines its set.
  */
 
 #ifndef MOSAIC_TLB_SET_ASSOC_HH_
@@ -16,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/flat_map.hh"
 #include "util/log.hh"
 #include "util/types.hh"
 
@@ -59,9 +70,12 @@ class SetAssocArray
     };
 
     explicit SetAssocArray(const TlbGeometry &geometry)
-        : geometry_(geometry), entries_(geometry.entries)
+        : geometry_(geometry), entries_(geometry.entries),
+          useIndex_(geometry.ways > indexThresholdWays)
     {
         geometry_.check();
+        if (useIndex_)
+            tagIndex_.reserve(geometry_.entries);
     }
 
     const TlbGeometry &geometry() const { return geometry_; }
@@ -77,6 +91,14 @@ class SetAssocArray
     Entry *
     find(std::uint64_t index_key, std::uint64_t tag)
     {
+        if (useIndex_) {
+            const std::uint64_t *idx = tagIndex_.find(tag);
+            if (!idx)
+                return nullptr;
+            Entry &e = entries_[*idx];
+            e.lastUse = ++useClock_;
+            return &e;
+        }
         const std::uint64_t set = setOf(index_key);
         for (unsigned w = 0; w < geometry_.ways; ++w) {
             Entry &e = at(set, w);
@@ -92,6 +114,10 @@ class SetAssocArray
     const Entry *
     peek(std::uint64_t index_key, std::uint64_t tag) const
     {
+        if (useIndex_) {
+            const std::uint64_t *idx = tagIndex_.find(tag);
+            return idx ? &entries_[*idx] : nullptr;
+        }
         const std::uint64_t set = setOf(index_key);
         for (unsigned w = 0; w < geometry_.ways; ++w) {
             const Entry &e = at(set, w);
@@ -122,10 +148,14 @@ class SetAssocArray
                 victim = &e;
         }
         *evicted = victim->valid;
+        if (useIndex_ && victim->valid)
+            reindexTag(victim->tag, set, victim);
         victim->valid = true;
         victim->tag = tag;
         victim->lastUse = ++useClock_;
         victim->payload = Payload{};
+        if (useIndex_)
+            indexInsert(tag, victim);
         return *victim;
     }
 
@@ -134,6 +164,15 @@ class SetAssocArray
     invalidate(std::uint64_t index_key, std::uint64_t tag)
     {
         const std::uint64_t set = setOf(index_key);
+        if (useIndex_) {
+            const std::uint64_t *idx = tagIndex_.find(tag);
+            if (!idx)
+                return false;
+            Entry &e = entries_[*idx];
+            e.valid = false;
+            reindexTag(tag, set, &e);
+            return true;
+        }
         for (unsigned w = 0; w < geometry_.ways; ++w) {
             Entry &e = at(set, w);
             if (e.valid && e.tag == tag) {
@@ -157,6 +196,8 @@ class SetAssocArray
                 ++dropped;
             }
         }
+        if (useIndex_ && dropped > 0)
+            rebuildIndex();
         return dropped;
     }
 
@@ -166,6 +207,7 @@ class SetAssocArray
     {
         for (Entry &e : entries_)
             e.valid = false;
+        tagIndex_.clear();
     }
 
     /** Number of currently valid entries. */
@@ -179,6 +221,9 @@ class SetAssocArray
     }
 
   private:
+    // Below this associativity the way scan beats a hash lookup.
+    static constexpr unsigned indexThresholdWays = 8;
+
     Entry &
     at(std::uint64_t set, unsigned way)
     {
@@ -191,9 +236,65 @@ class SetAssocArray
         return entries_[set * geometry_.ways + way];
     }
 
+    std::uint64_t
+    indexOf(const Entry *e) const
+    {
+        return static_cast<std::uint64_t>(e - entries_.data());
+    }
+
+    /** Point the index at this entry unless a lower way already
+     *  holds the same tag (first-match semantics for duplicates). */
+    void
+    indexInsert(std::uint64_t tag, Entry *e)
+    {
+        const std::uint64_t idx = indexOf(e);
+        auto [slot, inserted] = tagIndex_.emplace(tag);
+        if (inserted || idx < slot)
+            slot = idx;
+    }
+
+    /**
+     * The entry the index mapped for this tag went away (evicted or
+     * invalidated): rescan its set for the lowest-way valid entry
+     * still carrying the tag — a duplicate — or drop the mapping.
+     * Only runs on eviction/invalidate paths that were already
+     * O(ways).
+     */
+    void
+    reindexTag(std::uint64_t tag, std::uint64_t set, Entry *gone)
+    {
+        const std::uint64_t *idx = tagIndex_.find(tag);
+        if (!idx || entries_.data() + *idx != gone)
+            return;
+        for (unsigned w = 0; w < geometry_.ways; ++w) {
+            Entry &e = at(set, w);
+            if (e.valid && e.tag == tag && &e != gone) {
+                tagIndex_[tag] = indexOf(&e);
+                return;
+            }
+        }
+        tagIndex_.erase(tag);
+    }
+
+    void
+    rebuildIndex()
+    {
+        tagIndex_.clear();
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            if (!entries_[i].valid)
+                continue;
+            // Ascending order keeps the lowest-way invariant.
+            auto [slot, inserted] = tagIndex_.emplace(entries_[i].tag);
+            if (inserted)
+                slot = i;
+        }
+    }
+
     TlbGeometry geometry_;
     std::vector<Entry> entries_;
     Tick useClock_ = 0;
+    bool useIndex_ = false;
+    FlatMap<std::uint64_t, std::uint64_t> tagIndex_;
 };
 
 } // namespace mosaic

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * A small open-addressing hash map for the simulator's hot paths.
+ *
+ * `std::map` costs a pointer-chasing tree walk per lookup and
+ * `std::unordered_map` a heap node per element; both dominate the
+ * per-touch cost of the VM and translation simulators. FlatMap
+ * stores keys and values in flat arrays with linear probing and
+ * byte-sized slot metadata, so a hit is typically one metadata load,
+ * one key compare, and one value access.
+ *
+ * Contract (narrower than std::map — every user is in-tree):
+ *  - Key and T must be default-constructible; Key needs operator==.
+ *  - References and pointers into the map are invalidated by any
+ *    insertion (rehash) and by erase of the referenced key. Callers
+ *    must not hold them across mutations.
+ *  - Iteration order is unspecified and changes across rehashes;
+ *    never let it leak into simulation results (sort first, or use
+ *    it only for order-insensitive aggregation).
+ *  - Erase uses tombstones; slots are reclaimed on the next rehash.
+ *    A tombstone-heavy map rehashes in place once tombstones would
+ *    push the probe load factor past the threshold.
+ */
+
+#ifndef MOSAIC_UTIL_FLAT_MAP_HH_
+#define MOSAIC_UTIL_FLAT_MAP_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mosaic
+{
+
+/** Default FlatMap hasher: a strong 64-bit finalizer (fmix64), so
+ *  sequential keys (ASIDs, PFNs, packed page ids) spread evenly. */
+template <typename Key>
+struct FlatHash
+{
+    std::uint64_t
+    operator()(const Key &key) const
+    {
+        auto k = static_cast<std::uint64_t>(key);
+        k ^= k >> 33;
+        k *= 0xFF51AFD7ED558CCDull;
+        k ^= k >> 33;
+        k *= 0xC4CEB9FE1A85EC53ull;
+        k ^= k >> 33;
+        return k;
+    }
+};
+
+/** Open-addressing (linear probe, tombstone) hash map. */
+template <typename Key, typename T, typename Hash = FlatHash<Key>>
+class FlatMap
+{
+    enum : std::uint8_t { kEmpty = 0, kTomb = 1, kFull = 2 };
+
+  public:
+    FlatMap() = default;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Slots currently in tombstone state (testing/analysis). */
+    std::size_t tombstones() const { return tombs_; }
+
+    /** Current slot-array capacity (testing/analysis). */
+    std::size_t capacity() const { return meta_.size(); }
+
+    /** Pointer to the mapped value, or nullptr when absent. */
+    T *
+    find(const Key &key)
+    {
+        if (meta_.empty())
+            return nullptr;
+        const std::size_t mask = meta_.size() - 1;
+        std::size_t i = Hash{}(key) & mask;
+        while (true) {
+            const std::uint8_t m = meta_[i];
+            if (m == kEmpty)
+                return nullptr;
+            if (m == kFull && keys_[i] == key)
+                return &vals_[i];
+            i = (i + 1) & mask;
+        }
+    }
+
+    const T *
+    find(const Key &key) const
+    {
+        return const_cast<FlatMap *>(this)->find(key);
+    }
+
+    bool contains(const Key &key) const { return find(key) != nullptr; }
+
+    /**
+     * Insert a default-constructed value if the key is absent.
+     * Returns (value reference, inserted). The reference is valid
+     * until the next mutation.
+     */
+    std::pair<T &, bool>
+    emplace(const Key &key)
+    {
+        reserveOne();
+        const std::size_t mask = meta_.size() - 1;
+        std::size_t i = Hash{}(key) & mask;
+        std::size_t tomb = meta_.size(); // first tombstone on the path
+        while (true) {
+            const std::uint8_t m = meta_[i];
+            if (m == kFull && keys_[i] == key)
+                return {vals_[i], false};
+            if (m == kEmpty)
+                break;
+            if (m == kTomb && tomb == meta_.size())
+                tomb = i;
+            i = (i + 1) & mask;
+        }
+        if (tomb != meta_.size()) {
+            i = tomb;
+            --tombs_;
+        }
+        meta_[i] = kFull;
+        keys_[i] = key;
+        vals_[i] = T{};
+        ++size_;
+        return {vals_[i], true};
+    }
+
+    /** Value for the key, default-constructing it when absent. */
+    T &operator[](const Key &key) { return emplace(key).first; }
+
+    /** Remove a key; false when it was absent. */
+    bool
+    erase(const Key &key)
+    {
+        if (meta_.empty())
+            return false;
+        const std::size_t mask = meta_.size() - 1;
+        std::size_t i = Hash{}(key) & mask;
+        while (true) {
+            const std::uint8_t m = meta_[i];
+            if (m == kEmpty)
+                return false;
+            if (m == kFull && keys_[i] == key) {
+                meta_[i] = kTomb;
+                keys_[i] = Key{};
+                vals_[i] = T{};
+                --size_;
+                ++tombs_;
+                return true;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /** Drop everything, keeping the current capacity. */
+    void
+    clear()
+    {
+        for (std::size_t i = 0; i < meta_.size(); ++i) {
+            if (meta_[i] == kFull) {
+                keys_[i] = Key{};
+                vals_[i] = T{};
+            }
+            meta_[i] = kEmpty;
+        }
+        size_ = 0;
+        tombs_ = 0;
+    }
+
+    /** Grow so that n elements fit without rehashing. */
+    void
+    reserve(std::size_t n)
+    {
+        std::size_t cap = minCapacity;
+        while (cap * maxLoadNum < n * maxLoadDen)
+            cap *= 2;
+        if (cap > meta_.size())
+            rehash(cap);
+    }
+
+    /** Visit every (key, value) pair; order unspecified. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < meta_.size(); ++i) {
+            if (meta_[i] == kFull)
+                fn(keys_[i], vals_[i]);
+        }
+    }
+
+    /** Minimal forward iteration for range-for (order unspecified). */
+    class const_iterator
+    {
+      public:
+        const_iterator(const FlatMap *map, std::size_t i)
+            : map_(map), i_(i)
+        {
+            skip();
+        }
+
+        std::pair<const Key &, const T &>
+        operator*() const
+        {
+            return {map_->keys_[i_], map_->vals_[i_]};
+        }
+
+        const_iterator &
+        operator++()
+        {
+            ++i_;
+            skip();
+            return *this;
+        }
+
+        bool
+        operator!=(const const_iterator &o) const
+        {
+            return i_ != o.i_;
+        }
+
+      private:
+        void
+        skip()
+        {
+            while (i_ < map_->meta_.size() && map_->meta_[i_] != kFull)
+                ++i_;
+        }
+
+        const FlatMap *map_;
+        std::size_t i_;
+    };
+
+    const_iterator begin() const { return const_iterator(this, 0); }
+    const_iterator end() const
+    {
+        return const_iterator(this, meta_.size());
+    }
+
+  private:
+    // Probe load (full + tombstone slots) stays below 7/8; a rehash
+    // that would not at least halve the load doubles the capacity.
+    static constexpr std::size_t minCapacity = 8;
+    static constexpr std::size_t maxLoadNum = 7;
+    static constexpr std::size_t maxLoadDen = 8;
+
+    void
+    reserveOne()
+    {
+        if (meta_.empty()) {
+            rehash(minCapacity);
+            return;
+        }
+        if ((size_ + tombs_ + 1) * maxLoadDen >
+                meta_.size() * maxLoadNum) {
+            // Grow only when live entries need it; a tombstone-heavy
+            // map rehashes at the same capacity to reclaim slots.
+            const std::size_t cap =
+                (size_ + 1) * maxLoadDen > meta_.size() * maxLoadNum / 2
+                    ? meta_.size() * 2
+                    : meta_.size();
+            rehash(cap);
+        }
+    }
+
+    void
+    rehash(std::size_t new_cap)
+    {
+        std::vector<std::uint8_t> old_meta = std::move(meta_);
+        std::vector<Key> old_keys = std::move(keys_);
+        std::vector<T> old_vals = std::move(vals_);
+
+        meta_.assign(new_cap, kEmpty);
+        keys_.assign(new_cap, Key{});
+        vals_.clear();
+        vals_.resize(new_cap);
+        tombs_ = 0;
+
+        const std::size_t mask = new_cap - 1;
+        for (std::size_t i = 0; i < old_meta.size(); ++i) {
+            if (old_meta[i] != kFull)
+                continue;
+            std::size_t j = Hash{}(old_keys[i]) & mask;
+            while (meta_[j] == kFull)
+                j = (j + 1) & mask;
+            meta_[j] = kFull;
+            keys_[j] = std::move(old_keys[i]);
+            vals_[j] = std::move(old_vals[i]);
+        }
+    }
+
+    std::vector<std::uint8_t> meta_;
+    std::vector<Key> keys_;
+    std::vector<T> vals_;
+    std::size_t size_ = 0;
+    std::size_t tombs_ = 0;
+};
+
+/** Open-addressing hash set with the same contract as FlatMap. */
+template <typename Key, typename Hash = FlatHash<Key>>
+class FlatSet
+{
+  public:
+    std::size_t size() const { return map_.size(); }
+    bool empty() const { return map_.empty(); }
+    bool contains(const Key &key) const { return map_.contains(key); }
+
+    /** Add a key; false when it was already present. */
+    bool insert(const Key &key) { return map_.emplace(key).second; }
+
+    /** Remove a key; false when it was absent. */
+    bool erase(const Key &key) { return map_.erase(key); }
+
+    void clear() { map_.clear(); }
+    void reserve(std::size_t n) { map_.reserve(n); }
+
+  private:
+    FlatMap<Key, std::uint8_t, Hash> map_;
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_UTIL_FLAT_MAP_HH_

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Pinned-digest equivalence tests: the observable behaviour of the
+ * VM, TLB, and iceberg stacks is frozen as FNV digests over every
+ * corpus trace and a sweep of freshly generated traces. Any change
+ * to placement, eviction, probing, or accounting that alters a
+ * single observable outcome flips a digest and fails here — this is
+ * the contract that lets hot-path data-structure rewrites (bitmap
+ * probing, flat maps, batched hashing) land without behaviour drift.
+ *
+ * The digests were recorded from serial runs and verified identical
+ * under MOSAIC_THREADS=1 and MOSAIC_THREADS=4; the thread-pool test
+ * below re-checks that invariance in-process with explicit 1- and
+ * 4-worker pools.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <iterator>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "oracle/fuzzer.hh"
+#include "oracle/trace.hh"
+#include "util/thread_pool.hh"
+
+using namespace mosaic;
+namespace fs = std::filesystem;
+
+namespace
+{
+
+struct CorpusGolden
+{
+    const char *name;
+    std::uint64_t digest;
+    std::size_t opsApplied;
+};
+
+// One entry per checked-in corpus trace. Regenerate with
+// tools/mosaic_replay after an *intentional* behaviour change.
+constexpr CorpusGolden corpusGoldens[] = {
+    {"ghost_rescue_adoption.trace", 14674125878381882746ull, 126},
+    {"ghost_rescue_adoption_long.trace", 7267721577211409804ull, 577},
+    {"iceberg_seed1.trace", 12277679911411772586ull, 2000},
+    {"iceberg_seed2.trace", 7512556313804452664ull, 2000},
+    {"iceberg_seed3.trace", 6005173454122881517ull, 2000},
+    {"iceberg_seed4.trace", 18112135876158637805ull, 2000},
+    {"tlb_seed1.trace", 17475615509327730047ull, 2000},
+    {"tlb_seed13.trace", 14888094062101289659ull, 2000},
+    {"tlb_seed2.trace", 5536836242472044596ull, 2000},
+    {"tlb_seed3.trace", 2856143697853722682ull, 2000},
+    {"tlb_seed4.trace", 13487116255103069025ull, 2000},
+    {"vm_seed1.trace", 16453423457793323468ull, 2000},
+    {"vm_seed13.trace", 4380896405506859887ull, 1872},
+    {"vm_seed14.trace", 12612648230678402869ull, 2000},
+    {"vm_seed2.trace", 17829253315784731889ull, 2000},
+    {"vm_seed3.trace", 11893999554279364395ull, 2000},
+    {"vm_seed4.trace", 16836882967811444107ull, 2000},
+};
+
+struct FreshGolden
+{
+    const char *component;
+    std::uint64_t seed;
+    std::size_t numOps;
+    std::uint64_t digest;
+    std::size_t opsApplied;
+};
+
+// Fresh generateTrace() sweeps: 8 seeds per component at 4000 ops.
+constexpr FreshGolden freshGoldens[] = {
+    {"vm", 1ull, 4000u, 1802567896903992309ull, 4000u},
+    {"vm", 2ull, 4000u, 12470357187984636251ull, 4000u},
+    {"vm", 3ull, 4000u, 4573978801501107102ull, 4000u},
+    {"vm", 4ull, 4000u, 5571181489335277707ull, 4000u},
+    {"vm", 5ull, 4000u, 6509343633951978690ull, 4000u},
+    {"vm", 6ull, 4000u, 12199113887720736735ull, 4000u},
+    {"vm", 7ull, 4000u, 15069368938410500506ull, 4000u},
+    {"vm", 8ull, 4000u, 4558736807962956266ull, 4000u},
+    {"tlb", 1ull, 4000u, 3585466602176344134ull, 4000u},
+    {"tlb", 2ull, 4000u, 7480110974605423026ull, 4000u},
+    {"tlb", 3ull, 4000u, 1194973029098713469ull, 4000u},
+    {"tlb", 4ull, 4000u, 15961398935396753117ull, 4000u},
+    {"tlb", 5ull, 4000u, 6746646528952416100ull, 4000u},
+    {"tlb", 6ull, 4000u, 805798702827141589ull, 4000u},
+    {"tlb", 7ull, 4000u, 8100107992367519399ull, 4000u},
+    {"tlb", 8ull, 4000u, 561405217994852731ull, 4000u},
+    {"iceberg", 1ull, 4000u, 547119812015094395ull, 4000u},
+    {"iceberg", 2ull, 4000u, 3782647931651319743ull, 4000u},
+    {"iceberg", 3ull, 4000u, 11630142198054358496ull, 4000u},
+    {"iceberg", 4ull, 4000u, 7199739747051881367ull, 4000u},
+    {"iceberg", 5ull, 4000u, 11314040835214654015ull, 4000u},
+    {"iceberg", 6ull, 4000u, 8667884994603256409ull, 4000u},
+    {"iceberg", 7ull, 4000u, 8462934272405122689ull, 4000u},
+    {"iceberg", 8ull, 4000u, 17430946894940796643ull, 4000u},
+};
+
+std::string
+corpusPath(const char *name)
+{
+    return std::string(MOSAIC_FUZZ_CORPUS_DIR) + "/" + name;
+}
+
+} // namespace
+
+TEST(FuzzEquivalence, GoldenTableCoversWholeCorpus)
+{
+    // A new corpus trace must come with a pinned digest, or this
+    // suite silently stops covering it.
+    std::set<std::string> pinned;
+    for (const CorpusGolden &g : corpusGoldens)
+        pinned.insert(g.name);
+    for (const auto &entry : fs::directory_iterator(MOSAIC_FUZZ_CORPUS_DIR)) {
+        if (entry.path().extension() != ".trace")
+            continue;
+        EXPECT_TRUE(pinned.contains(entry.path().filename().string()))
+            << entry.path().filename().string()
+            << " has no golden digest in test_fuzz_equivalence.cc";
+    }
+}
+
+TEST(FuzzEquivalence, CorpusDigestsMatchGoldens)
+{
+    for (const CorpusGolden &g : corpusGoldens) {
+        const Trace trace = readTraceFile(corpusPath(g.name));
+        const FuzzResult r = runTrace(trace);
+        ASSERT_FALSE(r.divergence.has_value())
+            << g.name << " diverged at op " << r.divergence->opIndex
+            << ": " << r.divergence->message;
+        EXPECT_EQ(r.digest, g.digest) << g.name;
+        EXPECT_EQ(r.opsApplied, g.opsApplied) << g.name;
+    }
+}
+
+TEST(FuzzEquivalence, FreshTraceDigestsMatchGoldens)
+{
+    for (const FreshGolden &g : freshGoldens) {
+        const Trace trace = generateTrace(g.component, g.seed, g.numOps);
+        const FuzzResult r = runTrace(trace);
+        ASSERT_FALSE(r.divergence.has_value())
+            << g.component << " seed " << g.seed << " diverged at op "
+            << r.divergence->opIndex << ": " << r.divergence->message;
+        EXPECT_EQ(r.digest, g.digest)
+            << g.component << " seed " << g.seed;
+        EXPECT_EQ(r.opsApplied, g.opsApplied)
+            << g.component << " seed " << g.seed;
+    }
+}
+
+TEST(FuzzEquivalence, DigestsAreThreadCountInvariant)
+{
+    // The same property the driver checks with MOSAIC_THREADS=1 vs 4:
+    // replaying the whole corpus through explicit 1- and 4-worker
+    // pools must reproduce the serial goldens bit for bit.
+    constexpr std::size_t n = std::size(corpusGoldens);
+    for (const unsigned workers : {1u, 4u}) {
+        ThreadPool pool(workers);
+        std::vector<FuzzResult> results(n);
+        parallelFor(pool, n, [&](std::size_t i) {
+            const Trace trace =
+                readTraceFile(corpusPath(corpusGoldens[i].name));
+            results[i] = runTrace(trace);
+        });
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(results[i].digest, corpusGoldens[i].digest)
+                << corpusGoldens[i].name << " with " << workers
+                << " workers";
+            EXPECT_EQ(results[i].opsApplied, corpusGoldens[i].opsApplied)
+                << corpusGoldens[i].name << " with " << workers
+                << " workers";
+        }
+    }
+}

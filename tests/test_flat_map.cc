@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Differential tests for FlatMap/FlatSet against std::map: randomized
+ * insert/erase/find/iterate schedules must produce identical contents
+ * at every step. The hot paths of the VM and translation simulators
+ * ride on these structures (DESIGN.md §12), so any divergence here
+ * would silently corrupt simulation results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "util/flat_map.hh"
+#include "util/random.hh"
+
+namespace
+{
+
+using mosaic::FlatMap;
+using mosaic::FlatSet;
+using mosaic::Rng;
+
+/** Full-content comparison via unordered iteration. */
+void
+expectSameContents(const FlatMap<std::uint64_t, std::uint64_t> &flat,
+                   const std::map<std::uint64_t, std::uint64_t> &ref)
+{
+    ASSERT_EQ(flat.size(), ref.size());
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> got;
+    for (const auto &[k, v] : flat)
+        got.emplace_back(k, v);
+    std::sort(got.begin(), got.end());
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> want(
+        ref.begin(), ref.end());
+    ASSERT_EQ(got, want);
+}
+
+/**
+ * One randomized schedule: a mix of emplace / operator[] / erase /
+ * find / contains, checked against std::map continuously and fully
+ * compared at the end.
+ *
+ * @param key_space   small spaces force collisions, overwrites, and
+ *                    erase-reinsert cycles on the same slots
+ * @param erase_bias  fraction of operations that erase (high values
+ *                    make the schedule tombstone-heavy)
+ */
+void
+runDifferential(std::uint64_t seed, std::uint64_t key_space,
+                double erase_bias, std::size_t ops)
+{
+    FlatMap<std::uint64_t, std::uint64_t> flat;
+    std::map<std::uint64_t, std::uint64_t> ref;
+    Rng rng(seed);
+
+    for (std::size_t i = 0; i < ops; ++i) {
+        const std::uint64_t key = rng.below(key_space);
+        const double roll = rng.uniform();
+        if (roll < erase_bias) {
+            ASSERT_EQ(flat.erase(key), ref.erase(key) > 0)
+                << "op " << i << " erase key " << key;
+        } else if (roll < erase_bias + 0.3) {
+            const std::uint64_t value = rng();
+            flat[key] = value;
+            ref[key] = value;
+        } else if (roll < erase_bias + 0.4) {
+            // emplace must not overwrite an existing value.
+            auto [slot, inserted] = flat.emplace(key);
+            const auto r = ref.emplace(key, 0);
+            ASSERT_EQ(inserted, r.second) << "op " << i;
+            if (inserted)
+                slot = key * 3;
+            if (r.second)
+                r.first->second = key * 3;
+        } else {
+            const std::uint64_t *found = flat.find(key);
+            const auto it = ref.find(key);
+            ASSERT_EQ(found != nullptr, it != ref.end())
+                << "op " << i << " find key " << key;
+            if (found) {
+                ASSERT_EQ(*found, it->second) << "op " << i;
+            }
+            ASSERT_EQ(flat.contains(key), it != ref.end());
+        }
+        ASSERT_EQ(flat.size(), ref.size()) << "op " << i;
+    }
+    expectSameContents(flat, ref);
+}
+
+/** 24 seeds of mixed operations over a medium key space. */
+TEST(FlatMapDifferential, RandomizedSchedules)
+{
+    for (std::uint64_t seed = 1; seed <= 24; ++seed)
+        runDifferential(seed, 512, 0.25, 4000);
+}
+
+/** Tombstone-heavy schedules: erase dominates, so the map churns
+ *  through tombstones and must rehash in place to reclaim them. */
+TEST(FlatMapDifferential, TombstoneHeavySchedules)
+{
+    for (std::uint64_t seed = 1; seed <= 24; ++seed)
+        runDifferential(seed + 1000, 64, 0.55, 4000);
+}
+
+/** Rehash-boundary schedules: key spaces sized to park the load
+ *  factor right at the growth threshold (7/8 of a power of two), so
+ *  inserts repeatedly straddle rehashes. */
+TEST(FlatMapDifferential, RehashBoundarySchedules)
+{
+    // Capacity 64 grows at 56 live entries; spaces 55..57 pin the
+    // steady-state size to the boundary.
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        runDifferential(seed + 100, 55, 0.1, 3000);
+        runDifferential(seed + 200, 56, 0.1, 3000);
+        runDifferential(seed + 300, 57, 0.1, 3000);
+    }
+}
+
+/** Tombstones must be reclaimed, not accumulate until the map is
+ *  mostly dead slots: steady-state churn keeps capacity bounded. */
+TEST(FlatMap, TombstoneReclamationBoundsCapacity)
+{
+    FlatMap<std::uint64_t, std::uint64_t> flat;
+    Rng rng(9);
+    // 50k erase/insert cycles over 32 live keys.
+    for (std::uint64_t k = 0; k < 32; ++k)
+        flat[k] = k;
+    for (std::size_t i = 0; i < 50000; ++i) {
+        const std::uint64_t k = rng.below(32);
+        flat.erase(k);
+        flat[k] = i;
+    }
+    EXPECT_EQ(flat.size(), 32u);
+    // 32 live entries fit in capacity 64; churn must not have grown
+    // the table past one doubling of that.
+    EXPECT_LE(flat.capacity(), 128u);
+}
+
+TEST(FlatMap, ReserveAvoidsRehash)
+{
+    FlatMap<std::uint64_t, std::uint64_t> flat;
+    flat.reserve(1000);
+    const std::size_t cap = flat.capacity();
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        flat[k] = k;
+    EXPECT_EQ(flat.capacity(), cap);
+    EXPECT_EQ(flat.size(), 1000u);
+}
+
+TEST(FlatMap, ClearKeepsCapacityDropsContents)
+{
+    FlatMap<std::uint64_t, std::uint64_t> flat;
+    for (std::uint64_t k = 0; k < 100; ++k)
+        flat[k] = k;
+    const std::size_t cap = flat.capacity();
+    flat.clear();
+    EXPECT_TRUE(flat.empty());
+    EXPECT_EQ(flat.capacity(), cap);
+    EXPECT_FALSE(flat.contains(7));
+    flat[7] = 1;
+    EXPECT_EQ(flat.size(), 1u);
+}
+
+/** Move-only values (the page-table maps hold unique_ptrs). */
+TEST(FlatMap, MoveOnlyValues)
+{
+    FlatMap<std::uint16_t, std::unique_ptr<int>> flat;
+    for (std::uint16_t k = 0; k < 64; ++k) {
+        auto [slot, inserted] = flat.emplace(k);
+        ASSERT_TRUE(inserted);
+        slot = std::make_unique<int>(k * 2);
+    }
+    for (std::uint16_t k = 0; k < 64; ++k) {
+        auto *slot = flat.find(k);
+        ASSERT_NE(slot, nullptr);
+        ASSERT_NE(slot->get(), nullptr);
+        EXPECT_EQ(**slot, k * 2);
+    }
+    EXPECT_TRUE(flat.erase(10));
+    EXPECT_EQ(flat.find(10), nullptr);
+    EXPECT_EQ(flat.size(), 63u);
+}
+
+TEST(FlatSet, DifferentialAgainstReference)
+{
+    FlatSet<std::uint64_t> flat;
+    std::map<std::uint64_t, bool> ref;
+    Rng rng(77);
+    for (std::size_t i = 0; i < 20000; ++i) {
+        const std::uint64_t key = rng.below(256);
+        if (rng.chance(0.4)) {
+            ASSERT_EQ(flat.erase(key), ref.erase(key) > 0);
+        } else {
+            ASSERT_EQ(flat.insert(key), ref.emplace(key, true).second);
+        }
+        ASSERT_EQ(flat.contains(key), ref.contains(key));
+        ASSERT_EQ(flat.size(), ref.size());
+    }
+}
+
+} // namespace

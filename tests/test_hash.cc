@@ -10,6 +10,7 @@
 #include <array>
 #include <cstring>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "hash/mix.hh"
@@ -157,6 +158,80 @@ TEST(Tabulation, ProbeBalanceOverSequentialKeys)
             EXPECT_LT(counts[b], expected * 1.25) << "probe " << probe;
         }
     }
+}
+
+TEST(Tabulation, ProbeAllMatchesIndividualProbes)
+{
+    // The batched path must be bit-identical to hash()/hashMany()
+    // for every batch width. Keys with bytes >= 249 push the probe
+    // window past index 255 and into the mirrored tail.
+    const std::uint64_t keys[] = {
+        0ull,           1ull,
+        42ull,          0xDEADBEEFull,
+        ~0ull,          0xF9FAFBFCFDFEFF00ull,
+        0xFF00FF00FF00FF00ull, 0x123456789ABCDEF0ull,
+    };
+    for (std::uint64_t seed : {1ull, 5ull, 99ull}) {
+        TabulationHash h(seed);
+        std::array<std::uint32_t, TabulationHash::maxProbes> batched;
+        for (std::uint64_t key : keys) {
+            for (unsigned width = 1;
+                 width <= TabulationHash::maxProbes; ++width) {
+                std::span<std::uint32_t> out(batched.data(), width);
+                h.probeAll(key, out);
+                for (unsigned k = 0; k < width; ++k) {
+                    EXPECT_EQ(out[k], h.hash(key, k))
+                        << "seed " << seed << " key " << key
+                        << " width " << width << " probe " << k;
+                }
+            }
+        }
+    }
+}
+
+TEST(Tabulation, ProbeAllMirroredTailAllByteValues)
+{
+    // Every byte value in every byte position, at the full batch
+    // width: bytes 248..255 wrap through the mirrored tail entries.
+    TabulationHash h(17);
+    std::array<std::uint32_t, TabulationHash::maxProbes> out;
+    for (unsigned pos = 0; pos < 8; ++pos) {
+        for (unsigned byte = 0; byte < 256; ++byte) {
+            const std::uint64_t key = std::uint64_t{byte} << (8 * pos);
+            h.probeAll(key, out);
+            for (unsigned k = 0; k < out.size(); ++k) {
+                ASSERT_EQ(out[k], h.hash(key, k))
+                    << "pos " << pos << " byte " << byte
+                    << " probe " << k;
+            }
+        }
+    }
+}
+
+TEST(Tabulation, ProbeAllReadsExactlyOneWordPerTable)
+{
+    // The hardware claim probeAll models: numTables (8) table reads
+    // per batch, independent of how many probes the batch requests.
+    TabulationHash h(3);
+    std::array<std::uint32_t, TabulationHash::maxProbes> buf;
+    h.resetProbeTableReads();
+    ASSERT_EQ(h.probeTableReads(), 0u);
+
+    std::uint64_t calls = 0;
+    for (unsigned width = 1; width <= TabulationHash::maxProbes;
+         ++width) {
+        for (std::uint64_t key : {0ull, 0xFEDCBA9876543210ull, ~0ull}) {
+            std::span<std::uint32_t> out(buf.data(), width);
+            h.probeAll(key, out);
+            ++calls;
+            EXPECT_EQ(h.probeTableReads(),
+                      calls * TabulationHash::numTables)
+                << "width " << width << " key " << key;
+        }
+    }
+
+    h.resetProbeTableReads();
+    EXPECT_EQ(h.probeTableReads(), 0u);
 }
 
 TEST(Tabulation, TableEntryExposesRom)

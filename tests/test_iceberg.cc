@@ -327,5 +327,114 @@ TEST(Iceberg, ChurnSustainsHighLoad)
     EXPECT_LT(failures, 100u);
 }
 
+/**
+ * Worst-case probe-path words per operation: the whole front yard
+ * (occupancy + fingerprint words) plus every backyard candidate —
+ * a constant of the geometry, independent of buckets and load.
+ */
+unsigned
+probeWordBound(const IcebergConfig &c)
+{
+    const unsigned front = (c.frontSlots + 63) / 64    // occupancy
+                         + (c.frontSlots + 7) / 8;     // fingerprints
+    const unsigned back = (c.backSlots + 63) / 64
+                        + (c.backSlots + 7) / 8;
+    return front + c.backChoices * back;
+}
+
+TEST(IcebergComplexity, LookupWordReadsConstantAcrossLoadAndSize)
+{
+    // Per-lookup word traffic must be bounded by the geometry
+    // constant at every load factor and every table size; a miss
+    // probes all 1 + d yards so it reads *exactly* the bound.
+    for (const std::size_t buckets : {64ul, 2048ul}) {
+        IcebergConfig c;
+        c.buckets = buckets;
+        IcebergTable<int> t(c);
+        const unsigned bound = probeWordBound(c);
+        Rng rng(buckets);
+
+        std::vector<std::uint64_t> live;
+        for (const double load : {0.5, 0.95}) {
+            while (t.loadFactor() < load) {
+                const std::uint64_t k = rng();
+                if (t.insert(k, 1))
+                    live.push_back(k);
+            }
+            for (int i = 0; i < 500; ++i) {
+                // Hit: lazy probing may stop early, never exceed.
+                t.resetProbeCounters();
+                ASSERT_NE(t.find(live[rng.below(live.size())]),
+                          nullptr);
+                EXPECT_LE(t.probeCounters().wordReads, bound)
+                    << "hit at load " << load << ", " << buckets
+                    << " buckets";
+
+                // Miss: all yards probed, exactly the bound.
+                t.resetProbeCounters();
+                const std::uint64_t absent = rng() | (1ull << 63);
+                if (t.find(absent) != nullptr)
+                    continue; // freak collision with a live key
+                EXPECT_EQ(t.probeCounters().wordReads, bound)
+                    << "miss at load " << load << ", " << buckets
+                    << " buckets";
+            }
+        }
+    }
+}
+
+TEST(IcebergComplexity, KeyComparesStayNearOnePerHit)
+{
+    // Fingerprints keep full-key comparisons ~1 per hit even at high
+    // load (false-positive rate ~occupancy/256 per probed yard).
+    IcebergConfig c;
+    c.buckets = 512;
+    IcebergTable<int> t(c);
+    Rng rng(7);
+
+    std::vector<std::uint64_t> live;
+    while (t.loadFactor() < 0.95) {
+        const std::uint64_t k = rng();
+        if (t.insert(k, 1))
+            live.push_back(k);
+    }
+
+    constexpr unsigned lookups = 4000;
+    t.resetProbeCounters();
+    for (unsigned i = 0; i < lookups; ++i)
+        ASSERT_NE(t.find(live[rng.below(live.size())]), nullptr);
+    const auto &hits = t.probeCounters();
+    EXPECT_GE(hits.keyCompares, std::uint64_t{lookups});
+    EXPECT_LE(hits.keyCompares, std::uint64_t{lookups} * 2);
+
+    t.resetProbeCounters();
+    for (unsigned i = 0; i < lookups; ++i)
+        t.find(rng() | (1ull << 63));
+    // A miss costs comparisons only on fingerprint collisions.
+    EXPECT_LE(t.probeCounters().keyCompares,
+              std::uint64_t{lookups} / 2);
+}
+
+TEST(IcebergComplexity, InsertWordReadsConstantPerOp)
+{
+    // Insert's probe traffic (the overwrite check) obeys the same
+    // geometry bound; occupancy popcounts and the free-slot scan
+    // work on the same O(1) words.
+    IcebergConfig c;
+    c.buckets = 1024;
+    IcebergTable<int> t(c);
+    const unsigned bound = probeWordBound(c);
+    Rng rng(99);
+
+    const std::size_t n =
+        static_cast<std::size_t>(t.capacity() * 0.95);
+    for (std::size_t i = 0; i < n; ++i) {
+        t.resetProbeCounters();
+        ASSERT_TRUE(t.insert(rng() | 1, 1));
+        EXPECT_LE(t.probeCounters().wordReads, bound)
+            << "insert " << i << " at load " << t.loadFactor();
+    }
+}
+
 } // namespace
 } // namespace mosaic

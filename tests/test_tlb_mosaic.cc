@@ -163,6 +163,46 @@ TEST(MosaicTlb, ConventionalAndMosaicTagsDoNotAlias)
     EXPECT_EQ(*tlb.lookupConventional(1, 2), 999u);
 }
 
+TEST(MosaicTlb, DuplicateConventionalFillsFirstMatchWins)
+{
+    // fillConventional always allocates, so refilling the same VPN
+    // legitimately creates duplicate tags in a set. Lookups must
+    // resolve to the lowest way (the first fill) in both the way-scan
+    // (ways <= 8) and tag-index (ways > 8) modes, and a flush must
+    // drop every duplicate.
+    for (const unsigned ways : {4u, 16u}) {
+        MosaicTlb tlb({16, ways}, 4);
+        tlb.fillConventional(1, 100, 5);
+        tlb.fillConventional(1, 100, 6); // duplicate tag, higher way
+        const auto pfn = tlb.lookupConventional(1, 100);
+        ASSERT_TRUE(pfn.has_value()) << "ways " << ways;
+        EXPECT_EQ(*pfn, 5u) << "ways " << ways;
+
+        tlb.flushAsid(1);
+        EXPECT_FALSE(tlb.lookupConventional(1, 100).has_value())
+            << "ways " << ways;
+        EXPECT_EQ(tlb.stats().invalidations, 2u) << "ways " << ways;
+    }
+}
+
+TEST(MosaicTlb, IndexedModeClaimsInvalidWaysBeforeEvicting)
+{
+    // ways > 8 switches the array to the tag index; victim selection
+    // must still prefer invalid ways and only evict once the set is
+    // genuinely full.
+    MosaicTlb tlb({16, 16}, 4); // one fully associative set
+    for (unsigned i = 0; i < 16; ++i)
+        tlb.fill(1, i * 4, toc4(1, 2, 3, 4), unmapped);
+    EXPECT_EQ(tlb.stats().evictions, 0u);
+    EXPECT_TRUE(tlb.lookup(1, 0).has_value()); // mvpn 0 now MRU
+
+    tlb.fill(1, 16 * 4, toc4(5, 6, 7, 8), unmapped);
+    EXPECT_EQ(tlb.stats().evictions, 1u);
+    EXPECT_TRUE(tlb.lookup(1, 0).has_value());   // rescued by the touch
+    EXPECT_FALSE(tlb.lookup(1, 4).has_value());  // the LRU victim
+    EXPECT_TRUE(tlb.lookup(1, 16 * 4).has_value());
+}
+
 TEST(MosaicTlb, ReachScalesWithArity)
 {
     // Touch 64 consecutive pages; a mosaic TLB of arity a needs

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "tlb/set_assoc.hh"
 #include "tlb/vanilla_tlb.hh"
 
 namespace mosaic
@@ -250,6 +251,127 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(DiffCase{16, 1, 64}, DiffCase{16, 4, 64},
                       DiffCase{64, 8, 200}, DiffCase{64, 64, 100},
                       DiffCase{128, 2, 300}));
+
+/**
+ * SetAssocArray edge cases, run in both lookup modes: the way scan
+ * (ways <= 8) and the tag index (ways > 8) must agree exactly on
+ * victim selection, duplicate-tag resolution, and eviction order.
+ */
+class SetAssocModeTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SetAssocModeTest, AllInvalidWaysClaimedBeforeAnyEviction)
+{
+    const unsigned ways = GetParam();
+    SetAssocArray<int> arr({ways, ways}); // one set, fully assoc
+    bool evicted = true;
+    for (unsigned i = 0; i < ways; ++i) {
+        arr.allocate(0, 1000 + i, &evicted);
+        EXPECT_FALSE(evicted) << "way " << i;
+    }
+    EXPECT_EQ(arr.validEntries(), ways);
+    arr.allocate(0, 2000, &evicted);
+    EXPECT_TRUE(evicted);
+    EXPECT_EQ(arr.validEntries(), ways);
+}
+
+TEST_P(SetAssocModeTest, InvalidatedWaysReusedLowestFirst)
+{
+    const unsigned ways = GetParam();
+    SetAssocArray<int> arr({ways, ways});
+    bool evicted = true;
+    for (unsigned i = 0; i < ways; ++i)
+        arr.allocate(0, 100 + i, &evicted);
+
+    // Free two middle ways; allocation must claim them in ascending
+    // way order with no eviction, even though older *valid* entries
+    // exist — invalid always beats LRU.
+    ASSERT_TRUE(arr.invalidate(0, 101));
+    ASSERT_TRUE(arr.invalidate(0, 103));
+    auto &a = arr.allocate(0, 200, &evicted);
+    EXPECT_FALSE(evicted);
+    auto &b = arr.allocate(0, 201, &evicted);
+    EXPECT_FALSE(evicted);
+    EXPECT_LT(&a, &b); // lowest invalid way claimed first
+
+    // Set full again: the next allocate evicts the true LRU (the
+    // very first fill), not either of the freshly reused ways.
+    arr.allocate(0, 202, &evicted);
+    EXPECT_TRUE(evicted);
+    EXPECT_EQ(arr.peek(0, 100), nullptr);
+    EXPECT_NE(arr.peek(0, 200), nullptr);
+    EXPECT_NE(arr.peek(0, 201), nullptr);
+}
+
+TEST_P(SetAssocModeTest, DuplicateTagsResolveToLowestWay)
+{
+    const unsigned ways = GetParam();
+    SetAssocArray<int> arr({ways, ways});
+    bool evicted = true;
+    auto &first = arr.allocate(0, 42, &evicted);
+    first.payload = 1;
+    auto &second = arr.allocate(0, 42, &evicted); // duplicate tag
+    second.payload = 2;
+    ASSERT_NE(&first, &second);
+    EXPECT_EQ(arr.validEntries(), 2u);
+
+    // First-match semantics: both find and peek see the lowest way.
+    EXPECT_EQ(arr.peek(0, 42), &first);
+    EXPECT_EQ(arr.find(0, 42), &first);
+
+    // Invalidation drops that one and falls back to the survivor.
+    ASSERT_TRUE(arr.invalidate(0, 42));
+    EXPECT_EQ(arr.peek(0, 42), &second);
+    EXPECT_EQ(arr.find(0, 42)->payload, 2);
+    ASSERT_TRUE(arr.invalidate(0, 42));
+    EXPECT_EQ(arr.peek(0, 42), nullptr);
+    EXPECT_FALSE(arr.invalidate(0, 42));
+}
+
+TEST_P(SetAssocModeTest, EvictingADuplicateFallsBackToSurvivor)
+{
+    const unsigned ways = GetParam();
+    SetAssocArray<int> arr({ways, ways});
+    bool evicted = false;
+    auto &dup0 = arr.allocate(0, 7, &evicted); // way 0, oldest
+    dup0.payload = 1;
+    auto &dup1 = arr.allocate(0, 7, &evicted); // way 1, duplicate
+    dup1.payload = 2;
+    for (unsigned i = 2; i < ways; ++i)
+        arr.allocate(0, 100 + i, &evicted);
+
+    // The set is full; the next allocate evicts way 0 — exactly the
+    // entry duplicate lookups resolved to. The survivor must take
+    // over in both modes (the tag index rescans the set).
+    auto &fresh = arr.allocate(0, 55, &evicted);
+    EXPECT_TRUE(evicted);
+    EXPECT_EQ(&fresh, &dup0);
+    EXPECT_EQ(arr.peek(0, 7), &dup1);
+    EXPECT_EQ(arr.find(0, 7)->payload, 2);
+}
+
+TEST_P(SetAssocModeTest, FlushResetsVictimSelection)
+{
+    const unsigned ways = GetParam();
+    SetAssocArray<int> arr({ways, ways});
+    bool evicted = true;
+    for (unsigned i = 0; i < ways; ++i)
+        arr.allocate(0, 300 + i, &evicted);
+    arr.flush();
+    EXPECT_EQ(arr.validEntries(), 0u);
+    EXPECT_EQ(arr.peek(0, 300), nullptr);
+
+    // Post-flush allocations start from invalid ways again.
+    for (unsigned i = 0; i < ways; ++i) {
+        arr.allocate(0, 400 + i, &evicted);
+        EXPECT_FALSE(evicted) << "way " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, SetAssocModeTest,
+                         ::testing::Values(4u,   // way scan
+                                           16u)); // tag index
 
 } // namespace
 } // namespace mosaic

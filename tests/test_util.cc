@@ -9,6 +9,7 @@
 #include <set>
 #include <sstream>
 
+#include "util/bitvec.hh"
 #include "util/random.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -258,6 +259,73 @@ TEST(Table, TooManyCellsThrows)
     TextTable t({"a"});
     t.beginRow().cell("1");
     EXPECT_THROW(t.cell("2"), std::logic_error);
+}
+
+TEST(BitVec, SetClearTest)
+{
+    BitVec v;
+    v.resize(130); // three words, last one partial
+    EXPECT_EQ(v.size(), 130u);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        EXPECT_FALSE(v.test(i));
+    v.set(0);
+    v.set(63);
+    v.set(64);
+    v.set(129);
+    EXPECT_TRUE(v.test(0));
+    EXPECT_TRUE(v.test(63));
+    EXPECT_TRUE(v.test(64));
+    EXPECT_TRUE(v.test(129));
+    EXPECT_FALSE(v.test(1));
+    EXPECT_FALSE(v.test(128));
+    v.clear(63);
+    EXPECT_FALSE(v.test(63));
+    EXPECT_TRUE(v.test(64));
+}
+
+TEST(BitVec, ResizeZeroesContents)
+{
+    BitVec v;
+    v.resize(64);
+    v.set(5);
+    v.resize(64);
+    EXPECT_FALSE(v.test(5));
+}
+
+TEST(BitVec, WindowMatchesBitByBitExtraction)
+{
+    // Windows at every base and width, including word-straddling
+    // ones, must equal the bits read individually.
+    BitVec v;
+    v.resize(192);
+    Rng rng(42);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (rng.below(2) == 0)
+            v.set(i);
+    }
+    for (std::size_t base = 0; base + 1 <= v.size(); base += 7) {
+        for (const unsigned width : {1u, 8u, 31u, 33u, 56u, 64u}) {
+            if (base + width > v.size())
+                continue;
+            std::uint64_t expected = 0;
+            for (unsigned k = 0; k < width; ++k) {
+                if (v.test(base + k))
+                    expected |= std::uint64_t{1} << k;
+            }
+            EXPECT_EQ(v.window(base, width), expected)
+                << "base " << base << " width " << width;
+        }
+    }
+}
+
+TEST(BitVec, WindowAtTailDoesNotReadPastEnd)
+{
+    BitVec v;
+    v.resize(100); // two words; bits 100..127 are padding
+    v.set(99);
+    // A 64-wide window based at 64 reads only the second word.
+    EXPECT_EQ(v.window(64, 36), std::uint64_t{1} << 35);
+    EXPECT_EQ(v.window(96, 4), std::uint64_t{1} << 3);
 }
 
 } // namespace
