@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Microbenchmarks for the batched translation pipeline (DESIGN.md
+ * §13): scalar/batched pairs over working sets sized well past the
+ * cache hierarchy, where the pipeline's wins live — batched
+ * tabulation sweeps, prefetch-ahead of bucket and frame-table lines,
+ * and multi-key SWAR fingerprint compares. Each pair is gated in CI
+ * by tools/perf_gate --max-ratio so the batched series must stay
+ * decisively faster than its scalar twin.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_gbench.hh"
+
+#include <memory>
+#include <vector>
+
+#include "core/batch_pipeline.hh"
+#include "iceberg/iceberg_table.hh"
+#include "os/mosaic_vm.hh"
+#include "util/random.hh"
+
+namespace
+{
+
+using namespace mosaic;
+
+constexpr unsigned kBlock = 64;
+
+// ------------------------------------------------------- iceberg
+
+/** A table far larger than the last-level cache (8M slots: well over
+ *  100 MB of keys, values, fingerprints) at 0.85 load, queried with a
+ *  70/30 hit/miss mix in random order so every probe is a DRAM miss —
+ *  the regime the prefetch-ahead pipeline is built for. */
+struct BigIceberg
+{
+    IcebergTable<std::uint64_t> table;
+    std::vector<std::uint64_t> queries;
+
+    BigIceberg()
+        : table([] {
+              IcebergConfig c;
+              c.buckets = std::size_t{1} << 17;
+              return c;
+          }())
+    {
+        Rng rng(99);
+        std::vector<std::uint64_t> live;
+        const auto target = static_cast<std::size_t>(
+            0.85 * static_cast<double>(table.capacity()));
+        live.reserve(target);
+        while (table.size() < target) {
+            const std::uint64_t k = rng();
+            if (table.insert(k, k))
+                live.push_back(k);
+        }
+        queries.resize(std::size_t{1} << 20);
+        for (std::uint64_t &q : queries) {
+            q = rng.chance(0.7) ? live[rng.below(live.size())]
+                                : (rng() | (1ull << 63));
+        }
+    }
+};
+
+BigIceberg &
+bigIceberg()
+{
+    static BigIceberg fixture;
+    return fixture;
+}
+
+void
+BM_BatchIcebergFindScalar(benchmark::State &state)
+{
+    BigIceberg &f = bigIceberg();
+    std::size_t pos = 0;
+    for (auto _ : state) {
+        for (unsigned i = 0; i < kBlock; ++i) {
+            benchmark::DoNotOptimize(f.table.find(f.queries[pos]));
+            pos = (pos + 1) % f.queries.size();
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * kBlock);
+}
+BENCHMARK(BM_BatchIcebergFindScalar);
+
+void
+BM_BatchIcebergFindBatched(benchmark::State &state)
+{
+    BigIceberg &f = bigIceberg();
+    std::vector<std::uint64_t *> out(kBlock);
+    std::size_t pos = 0;
+    for (auto _ : state) {
+        // The query buffer length is a multiple of kBlock.
+        f.table.findMany({&f.queries[pos], kBlock}, out.data());
+        benchmark::DoNotOptimize(out.data());
+        pos = (pos + kBlock) % f.queries.size();
+    }
+    state.SetItemsProcessed(state.iterations() * kBlock);
+}
+BENCHMARK(BM_BatchIcebergFindBatched);
+
+// ------------------------------------------------------------ vm
+
+/** A 1M-frame mosaic VM (frame table + page tables tens of MB) with
+ *  a fully resident working set touched in random order: the hot
+ *  resident-touch path under cache pressure. */
+struct BigVm
+{
+    std::unique_ptr<MosaicVm> vm;
+    std::vector<PageTouch> stream;
+
+    BigVm()
+    {
+        MosaicVmConfig c;
+        c.geometry.numFrames = std::size_t{64} << 14; // 1 Mi frames
+        vm = std::make_unique<MosaicVm>(c);
+        const Vpn ws = static_cast<Vpn>(c.geometry.numFrames * 3 / 4);
+        for (Vpn v = 0; v < ws; ++v)
+            vm->touch(1, v, true);
+        Rng rng(1234);
+        stream.resize(std::size_t{1} << 20);
+        for (PageTouch &t : stream)
+            t = PageTouch{1, rng.below(ws), false};
+    }
+};
+
+BigVm &
+bigVm()
+{
+    static BigVm fixture;
+    return fixture;
+}
+
+void
+BM_BatchVmTouchScalar(benchmark::State &state)
+{
+    BigVm &f = bigVm();
+    std::size_t pos = 0;
+    for (auto _ : state) {
+        for (unsigned i = 0; i < kBlock; ++i) {
+            const PageTouch &t = f.stream[pos];
+            benchmark::DoNotOptimize(
+                f.vm->touch(t.asid, t.vpn, t.write));
+            pos = (pos + 1) % f.stream.size();
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * kBlock);
+}
+BENCHMARK(BM_BatchVmTouchScalar);
+
+void
+BM_BatchVmTouchBatched(benchmark::State &state)
+{
+    BigVm &f = bigVm();
+    std::vector<Pfn> out(kBlock);
+    std::size_t pos = 0;
+    for (auto _ : state) {
+        f.vm->touchBatch({&f.stream[pos], kBlock}, out.data());
+        benchmark::DoNotOptimize(out.data());
+        pos = (pos + kBlock) % f.stream.size();
+    }
+    state.SetItemsProcessed(state.iterations() * kBlock);
+}
+BENCHMARK(BM_BatchVmTouchBatched);
+
+// The same pair at twice the pipeline depth: a deeper block sorts
+// and prefetches more frame-table lines per flush, so this series
+// gates the pipeline's scaling, not just its existence.
+constexpr unsigned kDeepBlock = 128;
+
+void
+BM_BatchVmTouchScalar128(benchmark::State &state)
+{
+    BigVm &f = bigVm();
+    std::size_t pos = 0;
+    for (auto _ : state) {
+        for (unsigned i = 0; i < kDeepBlock; ++i) {
+            const PageTouch &t = f.stream[pos];
+            benchmark::DoNotOptimize(
+                f.vm->touch(t.asid, t.vpn, t.write));
+            pos = (pos + 1) % f.stream.size();
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * kDeepBlock);
+}
+BENCHMARK(BM_BatchVmTouchScalar128);
+
+void
+BM_BatchVmTouchBatched128(benchmark::State &state)
+{
+    BigVm &f = bigVm();
+    std::vector<Pfn> out(kDeepBlock);
+    std::size_t pos = 0;
+    for (auto _ : state) {
+        f.vm->touchBatch({&f.stream[pos], kDeepBlock}, out.data());
+        benchmark::DoNotOptimize(out.data());
+        pos = (pos + kDeepBlock) % f.stream.size();
+    }
+    state.SetItemsProcessed(state.iterations() * kDeepBlock);
+}
+BENCHMARK(BM_BatchVmTouchBatched128);
+
+// ---------------------------------------------------------- hash
+
+/** Batched candidate hashing: one probeAllMany sweep per block vs a
+ *  probeAll call per key, at the mapper's probe width. */
+void
+BM_BatchHashProbeScalar(benchmark::State &state)
+{
+    TabulationHash h(42);
+    Rng rng(7);
+    std::vector<std::uint64_t> keys(1 << 16);
+    for (std::uint64_t &k : keys)
+        k = rng();
+    std::array<std::uint32_t, 7> out;
+    std::size_t pos = 0;
+    for (auto _ : state) {
+        for (unsigned i = 0; i < kBlock; ++i) {
+            h.probeAll(keys[pos], out);
+            benchmark::DoNotOptimize(out.data());
+            pos = (pos + 1) % keys.size();
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * kBlock);
+}
+BENCHMARK(BM_BatchHashProbeScalar);
+
+void
+BM_BatchHashProbeBatched(benchmark::State &state)
+{
+    TabulationHash h(42);
+    Rng rng(7);
+    std::vector<std::uint64_t> keys(1 << 16);
+    for (std::uint64_t &k : keys)
+        k = rng();
+    std::vector<std::uint32_t> out(kBlock * 7);
+    std::size_t pos = 0;
+    for (auto _ : state) {
+        h.probeAllMany({&keys[pos], kBlock}, 7, out.data());
+        benchmark::DoNotOptimize(out.data());
+        pos = (pos + kBlock) % keys.size();
+    }
+    state.SetItemsProcessed(state.iterations() * kBlock);
+}
+BENCHMARK(BM_BatchHashProbeBatched);
+
+} // namespace
+
+MOSAIC_GBENCH_MAIN("micro_batch");

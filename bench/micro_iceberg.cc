@@ -69,6 +69,37 @@ BM_IcebergFindHit(benchmark::State &state)
 BENCHMARK(BM_IcebergFindHit);
 
 void
+BM_IcebergFindManyHit(benchmark::State &state)
+{
+    // The batched-pipeline twin of BM_IcebergFindHit: the same hit
+    // stream resolved through findMany in blocks of 64 (DESIGN.md
+    // §13). Time is per lookup, directly comparable to the scalar
+    // series.
+    IcebergTable<std::uint64_t> table(config(1024));
+    Rng rng(7);
+    std::vector<std::uint64_t> keys;
+    while (table.loadFactor() < 0.9) {
+        const std::uint64_t k = rng();
+        if (table.insert(k, 1))
+            keys.push_back(k);
+    }
+    constexpr unsigned block = 64;
+    std::vector<std::uint64_t> queries(block);
+    std::vector<std::uint64_t *> out(block);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        for (unsigned j = 0; j < block; ++j) {
+            queries[j] = keys[i];
+            i = (i + 1) % keys.size();
+        }
+        table.findMany({queries.data(), block}, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * block);
+}
+BENCHMARK(BM_IcebergFindManyHit);
+
+void
 BM_IcebergFindMiss(benchmark::State &state)
 {
     IcebergTable<std::uint64_t> table(config(1024));

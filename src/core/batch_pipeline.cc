@@ -1,0 +1,31 @@
+#include "core/batch_pipeline.hh"
+
+#include <cstdlib>
+#include <memory>
+
+namespace mosaic
+{
+
+unsigned
+batchBlockFromEnv()
+{
+    const char *s = std::getenv("MOSAIC_BATCH");
+    if (!s || !*s)
+        return 0;
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(s, &end, 10);
+    if (end == s || *end != '\0' || v <= 1)
+        return 0; // unset, malformed, 0, or 1: all mean scalar
+    return static_cast<unsigned>(
+        std::min<unsigned long>(v, maxBatchBlock));
+}
+
+std::unique_ptr<AccessSink>
+makeVmTouchSink(VirtualMemory &vm, Asid asid, unsigned block)
+{
+    if (block <= 1)
+        return std::make_unique<VmTouchSink>(vm, asid);
+    return std::make_unique<BatchVmTouchSink>(vm, asid, block);
+}
+
+} // namespace mosaic

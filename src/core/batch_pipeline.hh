@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The batched translation pipeline (ROADMAP item 2): adapters that
+ * buffer a workload's reference stream into blocks and drive the
+ * batched engines — VirtualMemory::touchBatch for the demand-paging
+ * experiments and TranslationSim::accessBatch for the TLB sweeps —
+ * instead of one virtual call per reference.
+ *
+ * Batching never changes results: every batched engine is bit-exact
+ * against its scalar path (stats, placements, digests), enforced by
+ * tests/test_batch_pipeline.cc and the fuzz harness's batched leg.
+ * The block size comes from the MOSAIC_BATCH environment knob (0 or
+ * unset = scalar), so every driver — experiments, benches, replay —
+ * can flip between paths without code changes. See DESIGN.md §13.
+ */
+
+#ifndef MOSAIC_CORE_BATCH_PIPELINE_HH_
+#define MOSAIC_CORE_BATCH_PIPELINE_HH_
+
+#include <algorithm>
+#include <vector>
+
+#include "core/translation_sim.hh"
+#include "core/vm_touch_sink.hh"
+#include "os/virtual_memory.hh"
+#include "workloads/access_sink.hh"
+
+namespace mosaic
+{
+
+/** Upper bound on the batch block size (keeps scratch bounded). */
+constexpr unsigned maxBatchBlock = 4096;
+
+/**
+ * Block size selected by the MOSAIC_BATCH environment variable:
+ * 0 when unset, empty, unparsable, or <= 1 (all meaning "scalar");
+ * otherwise the value clamped to maxBatchBlock.
+ */
+unsigned batchBlockFromEnv();
+
+/**
+ * Buffers page touches into fixed-size blocks and drains them
+ * through VirtualMemory::touchBatch. Deterministic by construction:
+ * the block preserves stream order and touchBatch's contract is
+ * bit-exact equivalence to a scalar touch() loop. flush() (also run
+ * on destruction) drains a partial tail block.
+ */
+class BatchVmTouchSink : public AccessSink
+{
+  public:
+    BatchVmTouchSink(VirtualMemory &vm, Asid asid, unsigned block)
+        : vm_(vm), asid_(asid),
+          block_(std::clamp(block, 2u, maxBatchBlock))
+    {
+        buf_.reserve(block_);
+        pfns_.resize(block_);
+    }
+
+    ~BatchVmTouchSink() override { drain(); }
+
+    void
+    access(Addr vaddr, bool write) override
+    {
+        buf_.push_back(PageTouch{asid_, vpnOf(vaddr), write});
+        if (buf_.size() >= block_)
+            drain();
+    }
+
+    void flush() override { drain(); }
+
+  private:
+    void
+    drain()
+    {
+        if (buf_.empty())
+            return;
+        vm_.touchBatch(buf_, pfns_.data());
+        buf_.clear();
+    }
+
+    VirtualMemory &vm_;
+    Asid asid_;
+    std::size_t block_;
+    std::vector<PageTouch> buf_;
+    std::vector<Pfn> pfns_;
+};
+
+/**
+ * Buffers data references into fixed-size blocks and drains them
+ * through TranslationSim::accessBatch (whose apply loop is the
+ * scalar access() path itself, so stats are identical).
+ */
+class BatchTranslationSink : public AccessSink
+{
+  public:
+    BatchTranslationSink(TranslationSim &sim, unsigned block)
+        : sim_(sim), block_(std::clamp(block, 2u, maxBatchBlock))
+    {
+        buf_.reserve(block_);
+    }
+
+    ~BatchTranslationSink() override { drain(); }
+
+    void
+    access(Addr vaddr, bool write) override
+    {
+        buf_.push_back(MemRef{vaddr, write});
+        if (buf_.size() >= block_)
+            drain();
+    }
+
+    void flush() override { drain(); }
+
+  private:
+    void
+    drain()
+    {
+        if (buf_.empty())
+            return;
+        sim_.accessBatch(buf_);
+        buf_.clear();
+    }
+
+    TranslationSim &sim_;
+    std::size_t block_;
+    std::vector<MemRef> buf_;
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_CORE_BATCH_PIPELINE_HH_

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "core/batch_pipeline.hh"
 #include "core/translation_sim.hh"
 #include "core/vm_touch_sink.hh"
 #include "os/linux_vm.hh"
@@ -61,8 +62,11 @@ runTable3Cell(WorkloadKind kind, const Table3Options &options,
     config.seed = seed;
     MosaicVm vm(config);
 
-    VmTouchSink sink(vm, 1);
-    workload->run(sink);
+    // Scalar or batched per MOSAIC_BATCH; results are identical by
+    // the touchBatch contract (tests/test_batch_pipeline.cc).
+    const auto sink = makeVmTouchSink(vm, 1, batchBlockFromEnv());
+    workload->run(*sink);
+    sink->flush();
 
     Table3Sample sample;
     sample.footprintBytes = workload->info().footprintBytes;
@@ -105,8 +109,10 @@ runTable4Cell(WorkloadKind kind, const Table4Options &options,
     LinuxVmConfig linux_config;
     linux_config.numFrames = options.memFrames;
     LinuxVm linux_vm(linux_config);
-    VmTouchSink linux_sink(linux_vm, 1);
-    workload->run(linux_sink);
+    const unsigned block = batchBlockFromEnv();
+    const auto linux_sink = makeVmTouchSink(linux_vm, 1, block);
+    workload->run(*linux_sink);
+    linux_sink->flush();
     sample.linuxSwapIo =
         static_cast<double>(linux_vm.stats().swapIns +
                             linux_vm.stats().swapOuts);
@@ -116,8 +122,9 @@ runTable4Cell(WorkloadKind kind, const Table4Options &options,
     mosaic_config.geometry.hashSeed = seed ^ 0xA110C;
     mosaic_config.seed = seed;
     MosaicVm mosaic_vm(mosaic_config);
-    VmTouchSink mosaic_sink(mosaic_vm, 1);
-    workload->run(mosaic_sink);
+    const auto mosaic_sink = makeVmTouchSink(mosaic_vm, 1, block);
+    workload->run(*mosaic_sink);
+    mosaic_sink->flush();
     sample.mosaicSwapIo =
         static_cast<double>(mosaic_vm.stats().swapIns +
                             mosaic_vm.stats().swapOuts);
@@ -151,7 +158,13 @@ runFig6Cell(WorkloadKind kind, const Fig6Options &options,
     config.seed = options.seed;
 
     TranslationSim sim(config);
-    workload->run(sim);
+    if (const unsigned block = batchBlockFromEnv(); block > 1) {
+        BatchTranslationSink sink(sim, block);
+        workload->run(sink);
+        sink.flush();
+    } else {
+        workload->run(sim);
+    }
 
     Fig6Cell cell;
     cell.footprintBytes = workload->info().footprintBytes;

@@ -242,6 +242,28 @@ TranslationSim::kernelAccess()
 }
 
 void
+TranslationSim::accessBatch(std::span<const MemRef> block)
+{
+    // The whole TLB grid probes the same VPN per reference, so one
+    // lookahead reference's sets are warmed across every instance
+    // while the current reference translates. The apply loop is the
+    // scalar path itself: equivalence is by identical call sequence.
+    constexpr std::size_t lookahead = 4;
+    for (std::size_t i = 0; i < block.size(); ++i) {
+        if (i + lookahead < block.size()) {
+            const Vpn vpn = vpnOf(block[i + lookahead].vaddr);
+            for (const auto &tlb : vanillaTlbs_)
+                tlb->prefetchSets(vpn);
+            for (const auto &row : mosaicTlbs_) {
+                for (const auto &tlb : row)
+                    tlb->prefetchSets(vpn);
+            }
+        }
+        access(block[i].vaddr, block[i].write);
+    }
+}
+
+void
 TranslationSim::access(Addr vaddr, bool)
 {
     ++accesses_;

@@ -23,6 +23,7 @@
 #define MOSAIC_CORE_TRANSLATION_SIM_HH_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "mem/frame_table.hh"
@@ -108,6 +109,14 @@ class TranslationSim : public AccessSink
 
     /** One workload data reference (AccessSink). */
     void access(Addr vaddr, bool write) override;
+
+    /**
+     * Process a block of data references. Exactly equivalent to
+     * calling access() per reference in order — the batch only adds
+     * a prefetch stage that warms each reference's TLB set lines a
+     * fixed lookahead ahead of the translate that consumes them.
+     */
+    void accessBatch(std::span<const MemRef> block);
 
     /**
      * Switch the address space subsequent accesses run in — a

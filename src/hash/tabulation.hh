@@ -70,6 +70,30 @@ class TabulationHash
      */
     void probeAll(std::uint64_t key, std::span<std::uint32_t> out) const;
 
+    /**
+     * probeAll() over a whole block of keys in one table-by-table
+     * sweep: for each table, every key's probe window is read before
+     * moving to the next table, so the block amortizes the table
+     * working set (8 tables x ~1 KiB) across all keys instead of
+     * re-streaming it per key. Writes key-major output — key i's
+     * probes land at out[i * width .. i * width + width) — and is
+     * bit-identical to calling probeAll() per key. Accounting matches
+     * the scalar bound exactly: numTables reads are charged per key,
+     * so a block of B keys reports 8 * B reads. Requires
+     * width <= maxProbes; width == 0 charges nothing.
+     */
+    void probeAllMany(std::span<const std::uint64_t> keys, unsigned width,
+                      std::uint32_t *out) const;
+
+    /**
+     * Batched single-output hash: out[i] = hash(keys[i], k) for every
+     * key, swept table by table like probeAllMany(). Matches the
+     * scalar hash() accounting (none — hash() models the dedicated
+     * single-port lookup, not the probe port).
+     */
+    void hashKeys(std::span<const std::uint64_t> keys, unsigned k,
+                  std::uint32_t *out) const;
+
     /** Raw table entry, exposed for the Verilog generator. */
     std::uint32_t tableEntry(unsigned table, unsigned index) const;
 

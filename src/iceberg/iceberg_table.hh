@@ -30,11 +30,13 @@
 #ifndef MOSAIC_ICEBERG_ICEBERG_TABLE_HH_
 #define MOSAIC_ICEBERG_ICEBERG_TABLE_HH_
 
+#include <algorithm>
 #include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "hash/mix.hh"
@@ -251,6 +253,40 @@ class IcebergTable
 
     /** True when the key is present. */
     bool contains(std::uint64_t key) const { return find(key) != nullptr; }
+
+    /**
+     * Batched lookup: out[i] receives exactly the pointer
+     * find(keys[i]) would return. The block is software-pipelined:
+     * (1) all h0 hashes in one batched tabulation sweep, (2) a
+     * stable sort by front bucket so keys sharing a bucket form
+     * runs, (3) a prefetch stage that issues the fingerprint /
+     * occupancy cache lines one stage before (4) the multi-key SWAR
+     * compare consumes them, sweeping every key of a run over each
+     * bucket word loaded once. Front-yard misses fall through to
+     * batched backyard probing (probeAllMany) in scalar probe order.
+     * Results land in the caller's original key order and the probe
+     * counters advance exactly as keys.size() scalar find() calls
+     * would — batching shares physical cache traffic, not modeled
+     * per-key cost.
+     */
+    void
+    findMany(std::span<const std::uint64_t> keys, Value **out)
+    {
+        for (std::size_t base = 0; base < keys.size();
+             base += maxProbeBatch) {
+            const std::size_t n =
+                std::min<std::size_t>(maxProbeBatch, keys.size() - base);
+            findChunk(keys.subspan(base, n), out + base);
+        }
+    }
+
+    void
+    findMany(std::span<const std::uint64_t> keys,
+             const Value **out) const
+    {
+        auto *self = const_cast<IcebergTable *>(this);
+        self->findMany(keys, const_cast<Value **>(out));
+    }
 
     /** Remove a key. Returns false when it was absent. */
     bool
@@ -481,6 +517,213 @@ class IcebergTable
                 return Loc{true, true, bkts[k], unsigned(bs)};
         }
         return Loc{};
+    }
+
+    /** Prefetch the probe-path cache lines of one yard of bucket b
+     *  (occupancy word, first fingerprint word, first key line). */
+    void
+    prefetchYard(bool back, std::size_t b) const
+    {
+        if (back) {
+            __builtin_prefetch(&occBack_[b * backWords_]);
+            __builtin_prefetch(&fpBack_[b * backFpWords_]);
+            __builtin_prefetch(&keysBack_[b * config_.backSlots]);
+        } else {
+            __builtin_prefetch(&occFront_[b * frontWords_]);
+            __builtin_prefetch(&fpFront_[b * frontFpWords_]);
+            __builtin_prefetch(&keysFront_[b * config_.frontSlots]);
+        }
+    }
+
+    /**
+     * Multi-key SWAR search: all `run` keys hash to the same bucket
+     * of one yard, so every fingerprint word is loaded once and swept
+     * against each still-unresolved key's pattern. slots[r] gets the
+     * lowest match of keys[r], or -1. The counters advance exactly as
+     * `run` scalar matchIn() calls: each key is charged the occupancy
+     * words up front and one read per fingerprint word it is still
+     * unresolved at, and one key compare per occupied fingerprint hit
+     * up to and including its match — identical early-exit shape.
+     */
+    void
+    matchRunIn(bool back, std::size_t b,
+               const std::uint64_t *run_keys,
+               const std::uint64_t *patterns, std::size_t run,
+               int *slots_out) const
+    {
+        const unsigned fp_words = back ? backFpWords_ : frontFpWords_;
+        const std::uint64_t *fps = back
+            ? &fpBack_[b * backFpWords_]
+            : &fpFront_[b * frontFpWords_];
+        const std::uint64_t *occ = back
+            ? &occBack_[b * backWords_]
+            : &occFront_[b * frontWords_];
+        const std::uint64_t *keys = back
+            ? &keysBack_[b * config_.backSlots]
+            : &keysFront_[b * config_.frontSlots];
+
+        counters_.wordReads +=
+            std::uint64_t{back ? backWords_ : frontWords_} * run;
+        bool done[maxProbeBatch] = {};
+        std::size_t open = run;
+        for (std::size_t r = 0; r < run; ++r)
+            slots_out[r] = -1;
+        for (unsigned w = 0; w < fp_words && open > 0; ++w) {
+            const std::uint64_t fpw = fps[w];
+            const std::uint64_t occ_byte =
+                (occ[w / 8] >> ((w % 8) * 8)) & 0xFF;
+            for (std::size_t r = 0; r < run; ++r) {
+                if (done[r])
+                    continue;
+                ++counters_.wordReads;
+                const std::uint64_t x = fpw ^ patterns[r];
+                const std::uint64_t hit =
+                    (x - lowBytes) & ~x & highBits;
+                if (!hit)
+                    continue;
+                std::uint64_t cand =
+                    ((hit >> 7) * 0x0102040810204080ull) >> 56;
+                cand &= occ_byte;
+                while (cand) {
+                    const unsigned slot =
+                        8 * w + unsigned(std::countr_zero(cand));
+                    cand &= cand - 1;
+                    ++counters_.keyCompares;
+                    if (keys[slot] == run_keys[r]) {
+                        slots_out[r] = int(slot);
+                        done[r] = true;
+                        --open;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /** One <= maxProbeBatch chunk of findMany(). */
+    void
+    findChunk(std::span<const std::uint64_t> keys, Value **out)
+    {
+        const std::size_t n = keys.size();
+        std::uint32_t h0[maxProbeBatch];
+        std::size_t fb[maxProbeBatch];
+        std::uint64_t patterns[maxProbeBatch];
+        std::uint64_t order[maxProbeBatch];
+
+        // Stage 1: batched h0 hashing (same function and accounting
+        // as the scalar locateLoc front probe).
+        hasher_.hashKeys(keys, 0, h0);
+        for (std::size_t i = 0; i < n; ++i) {
+            fb[i] = reduce(h0[i]);
+            patterns[i] = lowBytes * fingerprint(keys[i]);
+            // Pack (bucket, index): sorting the packed words groups
+            // same-bucket keys while staying stable by construction
+            // (the index makes every word distinct). Cheaper than an
+            // indirect stable_sort for these tiny chunks.
+            order[i] = (std::uint64_t{fb[i]} << 8) | i;
+        }
+        std::sort(order, order + n);
+
+        // Stage 2: issue every run's cache lines before any compare
+        // consumes them — the prefetch-ahead stage of the pipeline.
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i == 0 || (order[i] >> 8) != (order[i - 1] >> 8))
+                prefetchYard(false, order[i] >> 8);
+        }
+
+        // Stage 3: multi-key front-yard compares, one run per bucket.
+        // Singleton runs — the common case when the bucket count far
+        // exceeds the chunk — take the scalar compare, which has the
+        // identical counter shape without the run bookkeeping.
+        std::uint64_t run_keys[maxProbeBatch];
+        std::uint64_t run_patterns[maxProbeBatch];
+        int run_slots[maxProbeBatch];
+        std::uint8_t miss[maxProbeBatch];
+        std::size_t misses = 0;
+        for (std::size_t i = 0; i < n;) {
+            std::size_t j = i + 1;
+            while (j < n && (order[j] >> 8) == (order[i] >> 8))
+                ++j;
+            const std::size_t run = j - i;
+            const std::size_t bucket = order[i] >> 8;
+            if (run == 1) {
+                const std::uint8_t idx = order[i] & 0xFF;
+                const int s =
+                    matchIn(false, bucket, keys[idx], patterns[idx]);
+                if (s >= 0)
+                    out[idx] = &valueAt(
+                        Loc{true, false, bucket, unsigned(s)});
+                else
+                    miss[misses++] = idx;
+                i = j;
+                continue;
+            }
+            for (std::size_t r = 0; r < run; ++r) {
+                const std::uint8_t idx = order[i + r] & 0xFF;
+                run_keys[r] = keys[idx];
+                run_patterns[r] = patterns[idx];
+            }
+            matchRunIn(false, bucket, run_keys, run_patterns, run,
+                       run_slots);
+            for (std::size_t r = 0; r < run; ++r) {
+                const std::uint8_t idx = order[i + r] & 0xFF;
+                if (run_slots[r] >= 0)
+                    out[idx] = &valueAt(Loc{true, false, bucket,
+                                            unsigned(run_slots[r])});
+                else
+                    miss[misses++] = idx;
+            }
+            i = j;
+        }
+        if (misses == 0)
+            return;
+
+        // Stage 4: front misses re-probe all d+1 choices in one
+        // batched tabulation sweep (scalar locateLoc does the same
+        // per key via probeBuckets), then walk the backyards in probe
+        // order with the next key's buckets prefetched one key ahead.
+        const unsigned nc = config_.backChoices + 1;
+        std::uint64_t miss_keys[maxProbeBatch];
+        for (std::size_t m = 0; m < misses; ++m)
+            miss_keys[m] = keys[miss[m]];
+        std::uint32_t hbuf[maxProbeBatch * TabulationHash::maxProbes];
+        std::vector<std::uint32_t> hwide;
+        std::uint32_t *h = hbuf;
+        if (nc <= TabulationHash::maxProbes) {
+            hasher_.probeAllMany({miss_keys, misses}, nc, hbuf);
+        } else {
+            hwide.resize(misses * nc);
+            for (std::size_t m = 0; m < misses; ++m)
+                hasher_.hashMany(miss_keys[m], {&hwide[m * nc], nc});
+            h = hwide.data();
+        }
+        // A miss walks d dependent buckets, so the lookahead runs
+        // several keys deep to keep that many lines in flight.
+        constexpr std::size_t lookahead = 4;
+        for (std::size_t m = 0; m < misses && m < lookahead; ++m) {
+            for (unsigned k = 1; k < nc; ++k)
+                prefetchYard(true, reduce(h[m * nc + k]));
+        }
+        for (std::size_t m = 0; m < misses; ++m) {
+            if (m + lookahead < misses) {
+                for (unsigned k = 1; k < nc; ++k) {
+                    prefetchYard(
+                        true, reduce(h[(m + lookahead) * nc + k]));
+                }
+            }
+            const std::uint8_t idx = miss[m];
+            out[idx] = nullptr;
+            for (unsigned k = 1; k < nc; ++k) {
+                const std::size_t bb = reduce(h[m * nc + k]);
+                const int s = matchIn(true, bb, miss_keys[m],
+                                      patterns[idx]);
+                if (s >= 0) {
+                    out[idx] =
+                        &valueAt(Loc{true, true, bb, unsigned(s)});
+                    break;
+                }
+            }
+        }
     }
 
     /** Lowest free slot index per the occupancy words, or -1. */

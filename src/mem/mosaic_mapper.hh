@@ -18,6 +18,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 #include "hash/tabulation.hh"
 #include "mem/cpfn.hh"
@@ -55,6 +56,16 @@ class MosaicMapper
 
     /** Candidate buckets for an arbitrary 64-bit hash input. */
     CandidateSet candidates(std::uint64_t hash_input) const;
+
+    /**
+     * Candidate sets for a whole block of hash inputs, batched
+     * through TabulationHash::probeAllMany so the tabulation tables
+     * are streamed once per chunk instead of once per key.
+     * Bit-identical to candidates() per input, including the
+     * probe-read accounting (numTables reads charged per key).
+     */
+    void candidatesMany(std::span<const std::uint64_t> hash_inputs,
+                        CandidateSet *out) const;
 
     /** Candidate buckets for a page identified by (ASID, VPN). */
     CandidateSet

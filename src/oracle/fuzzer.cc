@@ -6,6 +6,8 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -651,6 +653,52 @@ class TlbHarness
 
 // --------------------------------------------------------- vm harness
 
+/** Trace -> LinuxVmConfig. Shared by the harness and the batched
+ *  pipeline shadow so both paths build identical instances. */
+LinuxVmConfig
+linuxVmCfgFromTrace(const Trace &t, fault::FaultInjector *faults)
+{
+    LinuxVmConfig cfg;
+    cfg.numFrames = t.cfgUint("frames", 128);
+    cfg.watermarkFraction =
+        static_cast<double>(t.cfgUint("watermark_ppm", 8000)) / 1e6;
+    cfg.reclaimBatch = static_cast<unsigned>(t.cfgUint("batch", 32));
+    cfg.faults = faults;
+    return cfg;
+}
+
+/** Trace -> MosaicVmConfig (see linuxVmCfgFromTrace). */
+MosaicVmConfig
+mosaicVmCfgFromTrace(const Trace &t, fault::FaultInjector *faults)
+{
+    MosaicVmConfig cfg;
+    cfg.geometry.frontSlots =
+        static_cast<unsigned>(t.cfgUint("front", 6));
+    cfg.geometry.backSlots =
+        static_cast<unsigned>(t.cfgUint("back", 2));
+    cfg.geometry.backChoices =
+        static_cast<unsigned>(t.cfgUint("d", 2));
+    cfg.geometry.numFrames = t.cfgUint("buckets", 4) *
+        cfg.geometry.slotsPerBucket();
+    cfg.geometry.hashSeed = t.cfgUint("hashseed", 1);
+    cfg.arity = static_cast<unsigned>(t.cfgUint("arity", 4));
+    cfg.seed = t.cfgUint("seed", 12345);
+    cfg.faults = faults;
+    cfg.shrinkDelta =
+        static_cast<double>(t.cfgUint("shrink_ppm", 20000)) / 1e6;
+    cfg.sharing = t.cfgValue("sharing", "pageid") == "locid"
+                      ? SharingMode::LocationId
+                      : SharingMode::PageIdHash;
+    const std::string policy = t.cfgValue("policy", "horizon");
+    if (policy == "horizon")
+        cfg.policy = EvictionPolicy::HorizonLru;
+    else if (policy == "local")
+        cfg.policy = EvictionPolicy::LocalLru;
+    else
+        cfg.policy = EvictionPolicy::ShrunkenCache;
+    return cfg;
+}
+
 class VmHarness
 {
   public:
@@ -660,13 +708,7 @@ class VmHarness
           deep_(t.cfgUint("deep", 512))
     {
         if (kind_ == "linux") {
-            LinuxVmConfig cfg;
-            cfg.numFrames = t.cfgUint("frames", 128);
-            cfg.watermarkFraction =
-                static_cast<double>(t.cfgUint("watermark_ppm", 8000)) / 1e6;
-            cfg.reclaimBatch =
-                static_cast<unsigned>(t.cfgUint("batch", 32));
-            cfg.faults = faults;
+            const LinuxVmConfig cfg = linuxVmCfgFromTrace(t, faults);
             lvm_ = std::make_unique<LinuxVm>(cfg);
             OracleVmConfig ocfg;
             ocfg.numFrames = cfg.numFrames;
@@ -676,31 +718,8 @@ class VmHarness
             return;
         }
         ensure(kind_ == "mosaic", "fuzzer: unknown vm kind");
-        MosaicVmConfig cfg;
-        cfg.geometry.frontSlots =
-            static_cast<unsigned>(t.cfgUint("front", 6));
-        cfg.geometry.backSlots =
-            static_cast<unsigned>(t.cfgUint("back", 2));
-        cfg.geometry.backChoices =
-            static_cast<unsigned>(t.cfgUint("d", 2));
-        cfg.geometry.numFrames = t.cfgUint("buckets", 4) *
-            cfg.geometry.slotsPerBucket();
-        cfg.geometry.hashSeed = t.cfgUint("hashseed", 1);
-        cfg.arity = static_cast<unsigned>(t.cfgUint("arity", 4));
-        cfg.seed = t.cfgUint("seed", 12345);
-        cfg.faults = faults;
-        cfg.shrinkDelta =
-            static_cast<double>(t.cfgUint("shrink_ppm", 20000)) / 1e6;
-        locMode_ = t.cfgValue("sharing", "pageid") == "locid";
-        cfg.sharing = locMode_ ? SharingMode::LocationId
-                               : SharingMode::PageIdHash;
-        const std::string policy = t.cfgValue("policy", "horizon");
-        if (policy == "horizon")
-            cfg.policy = EvictionPolicy::HorizonLru;
-        else if (policy == "local")
-            cfg.policy = EvictionPolicy::LocalLru;
-        else
-            cfg.policy = EvictionPolicy::ShrunkenCache;
+        const MosaicVmConfig cfg = mosaicVmCfgFromTrace(t, faults);
+        locMode_ = cfg.sharing == SharingMode::LocationId;
         policy_ = cfg.policy;
         arity_ = cfg.arity;
         log2Arity_ = ceilLog2(arity_);
@@ -1540,12 +1559,302 @@ class VmHarness
     std::unique_ptr<OracleVm> recency_;
 };
 
+// ------------------------------------- batched pipeline shadows
+
+/** Flattened observable VM state for exact scalar/batched
+ *  comparison: every stats metric plus residency and (for mosaic)
+ *  ghost/horizon/clock state. */
+std::vector<std::pair<std::string, double>>
+vmStateVector(const VirtualMemory &vm, bool is_mosaic)
+{
+    std::vector<std::pair<std::string, double>> out;
+    vm.stats().forEachMetric([&](const char *name,
+                                 const auto &value) {
+        using T = std::decay_t<decltype(value)>;
+        if constexpr (std::is_same_v<T, RunningStat>) {
+            const std::string base = name;
+            out.emplace_back(base + ".count",
+                             static_cast<double>(value.count()));
+            out.emplace_back(base + ".mean", value.mean());
+        } else {
+            out.emplace_back(name, static_cast<double>(value));
+        }
+    });
+    out.emplace_back("residentPages",
+                     static_cast<double>(vm.residentPages()));
+    if (is_mosaic) {
+        const auto &mvm = static_cast<const MosaicVm &>(vm);
+        out.emplace_back("ghostPages",
+                         static_cast<double>(mvm.ghostPages()));
+        out.emplace_back("horizon",
+                         static_cast<double>(mvm.horizon()));
+        out.emplace_back("now", static_cast<double>(mvm.now()));
+    }
+    return out;
+}
+
+/**
+ * Lockstep shadow for the batched VM pipeline (DESIGN.md §13): every
+ * applied vm-trace op is replayed into a scalar-driven VM and a
+ * touchBatch-driven VM, each built from the same trace config with
+ * its own identically seeded fault injector. Touches buffer into
+ * blocks of @p batch; any non-touch mutation and the end of the
+ * trace flush the pipeline. At every flush boundary the per-touch
+ * PFNs and the full observable state must match exactly — the
+ * primary harness (and therefore the digest) is untouched, so
+ * batched runs reproduce scalar goldens by construction.
+ */
+class VmBatchShadow
+{
+  public:
+    VmBatchShadow(const Trace &t, unsigned batch,
+                  const fault::FaultPlan *plan, std::uint64_t iseed)
+        : batch_(std::max(batch, 2u)),
+          scalarInj_(plan, iseed), batchInj_(plan, iseed),
+          linux_(t.cfgValue("kind", "mosaic") == "linux")
+    {
+        fault::FaultInjector *sf =
+            plan->empty() ? nullptr : &scalarInj_;
+        fault::FaultInjector *bf =
+            plan->empty() ? nullptr : &batchInj_;
+        if (linux_) {
+            scalarVm_ =
+                std::make_unique<LinuxVm>(linuxVmCfgFromTrace(t, sf));
+            batchVm_ =
+                std::make_unique<LinuxVm>(linuxVmCfgFromTrace(t, bf));
+        } else {
+            scalarVm_ = std::make_unique<MosaicVm>(
+                mosaicVmCfgFromTrace(t, sf));
+            batchVm_ = std::make_unique<MosaicVm>(
+                mosaicVmCfgFromTrace(t, bf));
+        }
+        pending_.reserve(batch_);
+        expected_.reserve(batch_);
+        got_.resize(batch_);
+    }
+
+    /** Mirror one applied op; non-vm op kinds are ignored. */
+    MaybeDivergence
+    mirror(const TraceOp &op, std::size_t idx)
+    {
+        const Asid asid = static_cast<Asid>(op.arg(0));
+        const Vpn vpn = op.arg(1);
+        switch (op.kind) {
+        case 't': {
+            const bool write = op.arg(2) != 0;
+            pending_.push_back(PageTouch{asid, vpn, write});
+            expected_.push_back(scalarVm_->touch(asid, vpn, write));
+            if (pending_.size() >= batch_)
+                return drain(idx);
+            return std::nullopt;
+        }
+        case 'u': {
+            if (MaybeDivergence bad = drain(idx))
+                return bad;
+            const std::size_t n = op.arg(2);
+            if (linux_) {
+                static_cast<LinuxVm &>(*scalarVm_)
+                    .unmapRange(asid, vpn, n);
+                static_cast<LinuxVm &>(*batchVm_)
+                    .unmapRange(asid, vpn, n);
+            } else {
+                static_cast<MosaicVm &>(*scalarVm_)
+                    .unmapRange(asid, vpn, n);
+                static_cast<MosaicVm &>(*batchVm_)
+                    .unmapRange(asid, vpn, n);
+            }
+            return compare(idx);
+        }
+        case 's': {
+            // The harness only reports valid shares as applied.
+            if (MaybeDivergence bad = drain(idx))
+                return bad;
+            const Asid da = static_cast<Asid>(op.arg(2));
+            const Vpn dv = op.arg(3);
+            const std::size_t n = op.arg(4);
+            static_cast<MosaicVm &>(*scalarVm_)
+                .shareRange(asid, vpn, da, dv, n);
+            static_cast<MosaicVm &>(*batchVm_)
+                .shareRange(asid, vpn, da, dv, n);
+            return compare(idx);
+        }
+        default:
+            return std::nullopt;
+        }
+    }
+
+    /** Flush the tail block and run the final cross-checks. */
+    MaybeDivergence
+    finish(std::size_t idx)
+    {
+        if (MaybeDivergence bad = drain(idx))
+            return bad;
+        if (scalarInj_.totalFired() != batchInj_.totalFired()) {
+            return diverge(idx, "batched pipeline: injected-fault "
+                "count diverged: scalar=" +
+                std::to_string(scalarInj_.totalFired()) + " batched=" +
+                std::to_string(batchInj_.totalFired()));
+        }
+        return std::nullopt;
+    }
+
+  private:
+    MaybeDivergence
+    drain(std::size_t idx)
+    {
+        if (pending_.empty())
+            return std::nullopt;
+        batchVm_->touchBatch(pending_, got_.data());
+        for (std::size_t k = 0; k < pending_.size(); ++k) {
+            if (got_[k] != expected_[k]) {
+                return diverge(idx, "batched pipeline: touch " +
+                    pageStr(pending_[k].asid, pending_[k].vpn) +
+                    " returned pfn " + std::to_string(got_[k]) +
+                    ", scalar returned " +
+                    std::to_string(expected_[k]));
+            }
+        }
+        pending_.clear();
+        expected_.clear();
+        return compare(idx);
+    }
+
+    MaybeDivergence
+    compare(std::size_t idx)
+    {
+        const auto want = vmStateVector(*scalarVm_, !linux_);
+        const auto got = vmStateVector(*batchVm_, !linux_);
+        for (std::size_t k = 0; k < want.size() && k < got.size();
+             ++k) {
+            if (want[k] != got[k]) {
+                return diverge(idx, "batched pipeline: vm metric " +
+                    want[k].first + ": scalar=" +
+                    std::to_string(want[k].second) + " batched=" +
+                    std::to_string(got[k].second));
+            }
+        }
+        if (want.size() != got.size()) {
+            return diverge(idx,
+                "batched pipeline: vm metric sets differ");
+        }
+        return std::nullopt;
+    }
+
+    std::size_t batch_;
+    fault::FaultInjector scalarInj_;
+    fault::FaultInjector batchInj_;
+    bool linux_;
+    std::unique_ptr<VirtualMemory> scalarVm_;
+    std::unique_ptr<VirtualMemory> batchVm_;
+    std::vector<PageTouch> pending_;
+    std::vector<Pfn> expected_;
+    std::vector<Pfn> got_;
+};
+
+/**
+ * Shadow replica for iceberg traces: finds buffer into blocks served
+ * by findMany, which must agree pointer-for-pointer — and in probe
+ * accounting — with scalar find() on the same table. Mutations flush
+ * the pipeline first, exactly like the VM shadow.
+ */
+class IcebergBatchShadow
+{
+  public:
+    IcebergBatchShadow(const Trace &t, unsigned batch)
+        : config_{t.cfgUint("buckets", 8),
+                  static_cast<unsigned>(t.cfgUint("front", 4)),
+                  static_cast<unsigned>(t.cfgUint("back", 2)),
+                  static_cast<unsigned>(t.cfgUint("d", 2)),
+                  t.cfgUint("seed", 1)},
+          table_(config_), pseed_(t.cfgUint("pseed", 7)),
+          batch_(std::max(batch, 2u))
+    {
+        pending_.reserve(batch_);
+    }
+
+    MaybeDivergence
+    mirror(const TraceOp &op, std::size_t idx)
+    {
+        const std::uint64_t key = op.arg(0);
+        switch (op.kind) {
+        case 'f':
+            pending_.push_back(key);
+            if (pending_.size() >= batch_)
+                return drain(idx);
+            return std::nullopt;
+        case 'i':
+            if (MaybeDivergence bad = drain(idx))
+                return bad;
+            table_.insert(key, mix(pseed_, key, 0x1CEBE26));
+            return std::nullopt;
+        case 'e':
+            if (MaybeDivergence bad = drain(idx))
+                return bad;
+            table_.erase(key);
+            return std::nullopt;
+        default:
+            return std::nullopt;
+        }
+    }
+
+    MaybeDivergence finish(std::size_t idx) { return drain(idx); }
+
+  private:
+    MaybeDivergence
+    drain(std::size_t idx)
+    {
+        if (pending_.empty())
+            return std::nullopt;
+        const auto &table = std::as_const(table_);
+        table_.resetProbeCounters();
+        std::vector<const std::uint64_t *> scalar(pending_.size());
+        for (std::size_t k = 0; k < pending_.size(); ++k)
+            scalar[k] = table.find(pending_[k]);
+        const auto want = table_.probeCounters();
+        table_.resetProbeCounters();
+        std::vector<const std::uint64_t *> batched(pending_.size());
+        table.findMany(pending_, batched.data());
+        const auto got = table_.probeCounters();
+        for (std::size_t k = 0; k < pending_.size(); ++k) {
+            if (scalar[k] != batched[k]) {
+                return diverge(idx, "batched pipeline: iceberg "
+                    "findMany of key " +
+                    std::to_string(pending_[k]) +
+                    " disagrees with find");
+            }
+        }
+        if (got.wordReads != want.wordReads ||
+                got.keyCompares != want.keyCompares) {
+            return diverge(idx, "batched pipeline: iceberg findMany "
+                "probe accounting diverges from scalar find: words " +
+                std::to_string(got.wordReads) + " vs " +
+                std::to_string(want.wordReads) + ", compares " +
+                std::to_string(got.keyCompares) + " vs " +
+                std::to_string(want.keyCompares));
+        }
+        pending_.clear();
+        return std::nullopt;
+    }
+
+    IcebergConfig config_;
+    IcebergTable<std::uint64_t> table_;
+    std::uint64_t pseed_;
+    std::size_t batch_;
+    std::vector<std::uint64_t> pending_;
+};
+
 } // namespace
 
 // -------------------------------------------------------- entry points
 
 FuzzResult
 runTrace(const Trace &trace)
+{
+    return runTrace(trace, 0);
+}
+
+FuzzResult
+runTrace(const Trace &trace, unsigned batch)
 {
     FuzzResult res;
     Digest dg;
@@ -1556,34 +1865,54 @@ runTrace(const Trace &trace)
     // outcome. With MOSAIC_FAULTS unset the plan is empty and a null
     // pointer reaches the harnesses: zero behavior change.
     const fault::FaultPlan plan = fault::FaultPlan::fromEnv();
-    fault::FaultInjector injector(
-        &plan, mix(fault::hashString(trace.component),
-                   trace.cfgUint("pseed", 7)));
+    const std::uint64_t iseed = mix(
+        fault::hashString(trace.component), trace.cfgUint("pseed", 7));
+    fault::FaultInjector injector(&plan, iseed);
     fault::FaultInjector *faults = plan.empty() ? nullptr : &injector;
 
-    const auto drive = [&](auto &harness) {
+    // Every op the harness applies is also mirrored into the batched
+    // pipeline shadow (when batch > 1), which flags any scalar /
+    // batched disagreement as a divergence. The primary path — and
+    // therefore the digest — is byte-identical either way.
+    const auto drive = [&](auto &harness, auto *shadow) {
         for (std::size_t i = 0; i < trace.ops.size(); ++i) {
             bool applied = false;
             MaybeDivergence bad =
                 harness.apply(trace.ops[i], i, &applied, dg);
             if (applied)
                 ++res.opsApplied;
+            if (!bad && applied && shadow != nullptr)
+                bad = shadow->mirror(trace.ops[i], i);
             if (bad) {
                 res.divergence = std::move(bad);
-                break;
+                return;
             }
+        }
+        if (shadow != nullptr) {
+            if (MaybeDivergence bad = shadow->finish(trace.ops.size()))
+                res.divergence = std::move(bad);
         }
     };
 
     if (trace.component == "iceberg") {
         IcebergHarness h(trace, faults);
-        drive(h);
+        std::unique_ptr<IcebergBatchShadow> shadow;
+        if (batch > 1)
+            shadow = std::make_unique<IcebergBatchShadow>(trace, batch);
+        drive(h, shadow.get());
     } else if (trace.component == "tlb") {
+        // accessBatch's apply loop is the scalar access path itself;
+        // there is no separate TLB engine to shadow.
         TlbHarness h(trace);
-        drive(h);
+        drive(h, static_cast<VmBatchShadow *>(nullptr));
     } else if (trace.component == "vm") {
         VmHarness h(trace, faults);
-        drive(h);
+        std::unique_ptr<VmBatchShadow> shadow;
+        if (batch > 1) {
+            shadow = std::make_unique<VmBatchShadow>(trace, batch,
+                                                     &plan, iseed);
+        }
+        drive(h, shadow.get());
     } else {
         panic("fuzzer: unknown component '" + trace.component + "'");
     }

@@ -100,6 +100,21 @@ struct FuzzResult
 FuzzResult runTrace(const Trace &trace);
 
 /**
+ * Execute a trace with the batched-pipeline shadow (DESIGN.md §13).
+ * The primary component/oracle/digest path runs exactly as
+ * runTrace(trace) — digests and fault counts are unchanged by
+ * construction — while every applied vm op is additionally mirrored
+ * into a scalar-driven and a touchBatch-driven VM pair (and iceberg
+ * finds through findMany) whose per-op results and full observable
+ * state are compared at every flush boundary: block full, any
+ * mutating non-touch op, and end of trace. Any mismatch surfaces as
+ * a divergence. @p batch <= 1 is the plain scalar run; tlb traces
+ * ignore the knob (the batched TLB apply loop is the scalar path
+ * itself).
+ */
+FuzzResult runTrace(const Trace &trace, unsigned batch);
+
+/**
  * Build a deterministic random trace.
  *
  * @param component "vm", "tlb", or "iceberg".

@@ -256,12 +256,30 @@ MosaicVm::shareRange(Asid src_asid, Vpn src_vpn, Asid dst_asid,
 Pfn
 MosaicVm::touch(Asid asid, Vpn vpn, bool write)
 {
-    ++clock_;
-    MosaicPageTable &pt = pageTable(asid);
     const std::uint64_t hash_input = hashInputFor(asid, vpn);
     const CandidateSet cand = allocator_.mapper().candidates(hash_input);
+    return touchPrepared(asid, vpn, write, hash_input, cand, nullptr,
+                         nullptr);
+}
 
-    if (const MosaicWalkResult walk = pt.walk(vpn); walk.present) {
+Pfn
+MosaicVm::touchPrepared(Asid asid, Vpn vpn, bool write,
+                        std::uint64_t hash_input,
+                        const CandidateSet &cand, const WalkHint *hint,
+                        bool *mutated)
+{
+    ++clock_;
+    MosaicPageTable &pt = pageTable(asid);
+
+    WalkHint walk;
+    if (hint) {
+        walk = *hint;
+    } else {
+        const MosaicWalkResult walked = pt.walk(vpn);
+        walk = WalkHint{walked.cpfn, walked.present};
+    }
+
+    if (walk.present) {
         const Pfn pfn = allocator_.mapper().toPfn(cand, walk.cpfn);
         if (frames_.frame(pfn).lastAccess < horizon_) {
             // A resident ghost was referenced again: a strict global
@@ -280,7 +298,10 @@ MosaicVm::touch(Asid asid, Vpn vpn, bool write)
         return pfn;
     }
 
-    // Page fault.
+    // Page fault. Every path below changes a page->frame mapping, so
+    // batch walk hints captured before this op are no longer current.
+    if (mutated)
+        *mutated = true;
     const bool major = swap_.contains(hash_input);
 
     if (config_.sharing == SharingMode::LocationId) {
@@ -387,6 +408,81 @@ MosaicVm::touch(Asid asid, Vpn vpn, bool write)
         stats_.steadyUtilization.add(frames_.utilization());
     }
     return placement->pfn;
+}
+
+void
+MosaicVm::touchBatch(std::span<const PageTouch> block, Pfn *out)
+{
+    // LocationId hash inputs are derived statefully (binding creation
+    // draws the RNG), so staging them out of order would change
+    // observable state; trivial blocks have nothing to amortize.
+    if (config_.sharing == SharingMode::LocationId || block.size() < 2) {
+        for (std::size_t i = 0; i < block.size(); ++i)
+            out[i] = touch(block[i].asid, block[i].vpn, block[i].write);
+        return;
+    }
+
+    const std::size_t n = block.size();
+    batchInputs_.resize(n);
+    batchCands_.resize(n);
+    batchOrder_.resize(n);
+    batchHints_.assign(n, WalkHint{});
+
+    // Stage 1: batched hashing. packPageId is exactly hashInputFor in
+    // PageIdHash mode, and candidatesMany charges the same per-key
+    // probe reads as the scalar candidates() calls it replaces.
+    for (std::size_t i = 0; i < n; ++i) {
+        batchInputs_[i] =
+            packPageId(PageId{block[i].asid, block[i].vpn});
+        batchOrder_[i] = static_cast<std::uint32_t>(i);
+    }
+    const MosaicMapper &mapper = allocator_.mapper();
+    mapper.candidatesMany(batchInputs_, batchCands_.data());
+
+    // Stage 2: warm pass, visiting the block sorted by frame-table
+    // region so each candidate bucket's metadata is pulled in once,
+    // with the lines prefetched a fixed lookahead ahead of the page
+    // walks that consume them. Walks here are read-only.
+    std::stable_sort(batchOrder_.begin(), batchOrder_.end(),
+                     [this](std::uint32_t a, std::uint32_t b) {
+                         return batchCands_[a].frontBucket <
+                                batchCands_[b].frontBucket;
+                     });
+    constexpr std::size_t lookahead = 8;
+    const unsigned slots_per_bucket =
+        mapper.geometry().slotsPerBucket();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i + lookahead < n) {
+            const CandidateSet &c = batchCands_[batchOrder_[i + lookahead]];
+            frames_.prefetchRange(mapper.frontBase(c),
+                                  slots_per_bucket);
+        }
+        const std::uint32_t idx = batchOrder_[i];
+        // find(), not pageTable(): the warm pass must not create
+        // address spaces — a missing table just means "not present",
+        // which the zero-initialized hint already says.
+        if (auto *table = tables_.find(block[idx].asid)) {
+            const MosaicWalkResult walked =
+                (*table)->walk(block[idx].vpn);
+            batchHints_[idx] = WalkHint{walked.cpfn, walked.present};
+        }
+    }
+
+    // Stage 3: apply in the caller's original order — the determinism
+    // contract. Hints are trusted only until the first mapping
+    // mutation in the block; afterwards the remaining touches re-walk
+    // (a fault may have mapped a page a later hint says is absent).
+    bool hints_valid = true;
+    for (std::size_t i = 0; i < n; ++i) {
+        bool op_mutated = false;
+        out[i] = touchPrepared(block[i].asid, block[i].vpn,
+                               block[i].write, batchInputs_[i],
+                               batchCands_[i],
+                               hints_valid ? &batchHints_[i] : nullptr,
+                               &op_mutated);
+        if (op_mutated)
+            hints_valid = false;
+    }
 }
 
 } // namespace mosaic

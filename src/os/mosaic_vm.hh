@@ -110,6 +110,23 @@ class MosaicVm : public VirtualMemory
     explicit MosaicVm(const MosaicVmConfig &config);
 
     Pfn touch(Asid asid, Vpn vpn, bool write) override;
+
+    /**
+     * Batched touch (ROADMAP item 2): stages the block as (1) batched
+     * tabulation hashing of every page's candidate set, (2) a warm
+     * pass visiting the block sorted by frame-table region with the
+     * candidate buckets' metadata prefetched a fixed lookahead ahead
+     * of the page walks that consume them, then (3) applies every
+     * touch in the caller's original order so results, stats, and
+     * placements are bit-identical to a scalar touch() loop. Walk
+     * hints gathered by the warm pass are trusted only until the
+     * first mapping mutation (fault/eviction) in the block; later
+     * touches re-walk. LocationId sharing derives hash inputs
+     * statefully (binding creation draws the RNG), so that mode —
+     * and trivial blocks — run the scalar loop directly.
+     */
+    void touchBatch(std::span<const PageTouch> block, Pfn *out) override;
+
     std::size_t numFrames() const override;
     std::size_t residentPages() const override;
     const VmStats &stats() const override { return stats_; }
@@ -198,6 +215,24 @@ class MosaicVm : public VirtualMemory
         }
     };
 
+    /** Page-walk outcome captured by touchBatch's warm pass. */
+    struct WalkHint
+    {
+        Cpfn cpfn{};
+        bool present = false;
+    };
+
+    /**
+     * The body of touch() after the hash input and candidate set are
+     * known. @p hint, when given, replaces the page walk (the caller
+     * guarantees it is current). @p mutated, when given, is set when
+     * the touch changed any page->frame mapping — the signal that
+     * invalidates remaining batch walk hints.
+     */
+    Pfn touchPrepared(Asid asid, Vpn vpn, bool write,
+                      std::uint64_t hash_input, const CandidateSet &cand,
+                      const WalkHint *hint, bool *mutated);
+
     /** Placement-hash input for one base page. */
     std::uint64_t hashInputFor(Asid asid, Vpn vpn);
 
@@ -284,6 +319,13 @@ class MosaicVm : public VirtualMemory
     /** LocationId mode: frame -> sharing mappings beyond the owner.
      *  Only frames referenced by shared ToCs appear here. */
     FlatMap<Pfn, std::vector<std::pair<Asid, Vpn>>> sharers_;
+
+    /** touchBatch scratch, kept across calls so steady-state batches
+     *  allocate nothing. MosaicVm is single-threaded by contract. */
+    std::vector<std::uint64_t> batchInputs_;
+    std::vector<CandidateSet> batchCands_;
+    std::vector<std::uint32_t> batchOrder_;
+    std::vector<WalkHint> batchHints_;
 };
 
 } // namespace mosaic

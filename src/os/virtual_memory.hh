@@ -8,6 +8,7 @@
 #define MOSAIC_OS_VIRTUAL_MEMORY_HH_
 
 #include <cstddef>
+#include <span>
 #include <string>
 
 #include "os/vm_stats.hh"
@@ -15,6 +16,14 @@
 
 namespace mosaic
 {
+
+/** One page access of a batched touch block. */
+struct PageTouch
+{
+    Asid asid = 0;
+    Vpn vpn = 0;
+    bool write = false;
+};
 
 /**
  * A demand-paged virtual-memory subsystem over a fixed number of
@@ -31,6 +40,20 @@ class VirtualMemory
      * @return the PFN now backing the page.
      */
     virtual Pfn touch(Asid asid, Vpn vpn, bool write) = 0;
+
+    /**
+     * Access a block of pages. out[i] receives the PFN of block[i].
+     * The contract is exact equivalence: every stat, placement, and
+     * returned PFN must match a scalar touch() loop over the block
+     * in order. The default *is* that loop; models with a batched
+     * fast path (MosaicVm) override it.
+     */
+    virtual void
+    touchBatch(std::span<const PageTouch> block, Pfn *out)
+    {
+        for (std::size_t i = 0; i < block.size(); ++i)
+            out[i] = touch(block[i].asid, block[i].vpn, block[i].write);
+    }
 
     /** Physical frames managed by this instance. */
     virtual std::size_t numFrames() const = 0;

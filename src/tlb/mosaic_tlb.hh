@@ -78,6 +78,14 @@ class MosaicTlb
     /** Install a conventional translation. */
     void fillConventional(Asid asid, Vpn vpn, Pfn pfn);
 
+    /** Warm the cache lines lookup(vpn) will scan. Pure performance
+     *  hint; no stats, no state change. */
+    void
+    prefetchSets(Vpn vpn) const
+    {
+        array_.prefetchSet(mvpnOf(vpn));
+    }
+
     /**
      * Invalidate the sub-entry of one base page; the rest of the
      * mosaic entry's ToC stays cached (paper §3.1).

@@ -39,6 +39,15 @@ class VanillaTlb
      */
     void fillHuge(Asid asid, Vpn vpn, Pfn base_pfn);
 
+    /** Warm the cache lines lookup(vpn) will scan (4 KiB and huge
+     *  sets). Pure performance hint; no stats, no state change. */
+    void
+    prefetchSets(Vpn vpn) const
+    {
+        array_.prefetchSet(vpn);
+        array_.prefetchSet(vpn >> 9);
+    }
+
     /** Drop the translation of one 4 KiB page, if cached. */
     void invalidate(Asid asid, Vpn vpn);
 

@@ -31,6 +31,13 @@ class AccessSink
 
     /** One data reference at a virtual byte address. */
     virtual void access(Addr vaddr, bool write) = 0;
+
+    /**
+     * Drain any buffered references. Workload engines call this (via
+     * the driver) before reading stats off the consumer; sinks that
+     * forward eagerly need not override it.
+     */
+    virtual void flush() {}
 };
 
 /** Counts references and touched pages; useful in tests. */
@@ -88,6 +95,13 @@ class TeeSink : public AccessSink
     {
         for (AccessSink *sink : sinks_)
             sink->access(vaddr, write);
+    }
+
+    void
+    flush() override
+    {
+        for (AccessSink *sink : sinks_)
+            sink->flush();
     }
 
   private:

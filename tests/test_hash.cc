@@ -234,6 +234,87 @@ TEST(Tabulation, ProbeAllReadsExactlyOneWordPerTable)
     EXPECT_EQ(h.probeTableReads(), 0u);
 }
 
+TEST(Tabulation, ProbeAllEmptyBatchReadsNothing)
+{
+    // An empty probe window touches no table words, so it must not
+    // charge any reads (a zero-width batch is not a memory access).
+    TabulationHash h(3);
+    h.resetProbeTableReads();
+    h.probeAll(0xDEADBEEFull, std::span<std::uint32_t>{});
+    EXPECT_EQ(h.probeTableReads(), 0u);
+}
+
+TEST(Tabulation, ProbeAllManyMatchesPerKeyProbeAll)
+{
+    // The table-major batched sweep must be bit-identical to one
+    // probeAll per key — including mirrored-tail keys — and charge
+    // exactly the per-key accounting: batching amortizes physical
+    // table streaming, never the modeled read complexity.
+    const std::uint64_t keys[] = {
+        0ull,           1ull,
+        42ull,          0xDEADBEEFull,
+        ~0ull,          0xF9FAFBFCFDFEFF00ull,
+        0xFF00FF00FF00FF00ull, 0x123456789ABCDEF0ull,
+        7ull,           0xF8F9FAFBFCFDFEFFull,
+    };
+    constexpr std::size_t n = std::size(keys);
+    for (std::uint64_t seed : {1ull, 5ull, 99ull}) {
+        TabulationHash h(seed);
+        for (unsigned width = 1;
+             width <= TabulationHash::maxProbes; ++width) {
+            std::vector<std::uint32_t> batched(n * width);
+            h.resetProbeTableReads();
+            h.probeAllMany(keys, width, batched.data());
+            // Exactly B * numTables: the sum of B scalar calls.
+            EXPECT_EQ(h.probeTableReads(),
+                      n * TabulationHash::numTables)
+                << "seed " << seed << " width " << width;
+
+            std::array<std::uint32_t, TabulationHash::maxProbes> one;
+            for (std::size_t i = 0; i < n; ++i) {
+                std::span<std::uint32_t> out(one.data(), width);
+                h.probeAll(keys[i], out);
+                for (unsigned k = 0; k < width; ++k) {
+                    ASSERT_EQ(batched[i * width + k], out[k])
+                        << "seed " << seed << " width " << width
+                        << " key " << keys[i] << " probe " << k;
+                }
+            }
+        }
+    }
+}
+
+TEST(Tabulation, ProbeAllManyZeroWidthReadsNothing)
+{
+    TabulationHash h(7);
+    const std::uint64_t keys[] = {1ull, 2ull, 3ull};
+    h.resetProbeTableReads();
+    h.probeAllMany(keys, 0, nullptr);
+    EXPECT_EQ(h.probeTableReads(), 0u);
+}
+
+TEST(Tabulation, HashKeysMatchesScalarHashAndChargesNothing)
+{
+    // hashKeys batches the single-output hash; like scalar hash()
+    // it is not a probe and must not touch the probe-read counter.
+    TabulationHash h(23);
+    const std::uint64_t keys[] = {
+        0ull, 42ull, ~0ull, 0xF9FAFBFCFDFEFF00ull,
+        0xCAFEBABE12345678ull,
+    };
+    constexpr std::size_t n = std::size(keys);
+    for (unsigned k : {0u, 1u, 5u, TabulationHash::maxProbes - 1}) {
+        std::array<std::uint32_t, n> out;
+        h.resetProbeTableReads();
+        h.hashKeys(keys, k, out.data());
+        EXPECT_EQ(h.probeTableReads(), 0u) << "k " << k;
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(out[i], h.hash(keys[i], k))
+                << "k " << k << " key " << keys[i];
+        }
+    }
+}
+
 TEST(Tabulation, TableEntryExposesRom)
 {
     TabulationHash h(11);

@@ -342,6 +342,59 @@ probeWordBound(const IcebergConfig &c)
     return front + c.backChoices * back;
 }
 
+TEST(Iceberg, FindManyMatchesScalarFindAndCounters)
+{
+    // The software-pipelined batch lookup must return exactly the
+    // pointers scalar find() returns, in input order, and advance
+    // the probe counters exactly as the same scalar call sequence
+    // would: batching shares physical cache traffic, never the
+    // modeled per-key probe complexity.
+    for (const std::size_t buckets : {64ul, 1024ul}) {
+        IcebergConfig c;
+        c.buckets = buckets;
+        IcebergTable<std::uint64_t> t(c);
+        Rng rng(buckets * 7919);
+
+        std::vector<std::uint64_t> live;
+        while (t.loadFactor() < 0.9) {
+            const std::uint64_t k = rng();
+            if (t.insert(k, k * 3))
+                live.push_back(k);
+        }
+
+        // Query mix: hits, misses, duplicates; sizes cross the
+        // internal chunk boundary (64) and include ragged tails.
+        for (const std::size_t n : {1ul, 7ul, 64ul, 100ul, 257ul}) {
+            std::vector<std::uint64_t> queries(n);
+            for (std::uint64_t &q : queries) {
+                q = rng.chance(0.7) ? live[rng.below(live.size())]
+                                    : (rng() | (1ull << 63));
+            }
+
+            t.resetProbeCounters();
+            std::vector<const std::uint64_t *> scalar(n);
+            for (std::size_t i = 0; i < n; ++i)
+                scalar[i] = t.find(queries[i]);
+            const auto scalar_counters = t.probeCounters();
+
+            t.resetProbeCounters();
+            std::vector<const std::uint64_t *> batched(n);
+            const IcebergTable<std::uint64_t> &ct = t;
+            ct.findMany(queries, batched.data());
+            const auto batch_counters = t.probeCounters();
+
+            ASSERT_EQ(scalar, batched)
+                << buckets << " buckets, n=" << n;
+            EXPECT_EQ(batch_counters.wordReads,
+                      scalar_counters.wordReads)
+                << buckets << " buckets, n=" << n;
+            EXPECT_EQ(batch_counters.keyCompares,
+                      scalar_counters.keyCompares)
+                << buckets << " buckets, n=" << n;
+        }
+    }
+}
+
 TEST(IcebergComplexity, LookupWordReadsConstantAcrossLoadAndSize)
 {
     // Per-lookup word traffic must be bounded by the geometry

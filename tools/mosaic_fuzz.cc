@@ -9,6 +9,13 @@
  * Usage:
  *   mosaic_fuzz [--component vm|tlb|iceberg|all] [--seeds N]
  *               [--first-seed S] [--ops N] [--out DIR] [--emit]
+ *               [--batch N]
+ *
+ * --batch N (default $MOSAIC_BATCH) engages the batched-pipeline
+ * shadow (DESIGN.md §13): every applied vm op also drives a
+ * touchBatch-driven VM pair, and iceberg finds go through findMany,
+ * with scalar/batched state compared at every flush boundary.
+ * Digests are identical to scalar runs by construction.
  *
  * --emit also writes every PASSING trace to the out dir (named
  * <component>_seed<S>.trace) — used to regenerate the seed corpus.
@@ -25,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "core/batch_pipeline.hh"
 #include "oracle/fuzzer.hh"
 #include "oracle/trace.hh"
 #include "util/thread_pool.hh"
@@ -42,6 +50,7 @@ struct Options
     std::size_t ops = 20000;
     std::string outDir = ".";
     bool emit = false;
+    unsigned batch = batchBlockFromEnv();
 };
 
 int
@@ -50,7 +59,7 @@ usage()
     std::cerr <<
         "usage: mosaic_fuzz [--component vm|tlb|iceberg|all]\n"
         "                   [--seeds N] [--first-seed S] [--ops N]\n"
-        "                   [--out DIR]\n";
+        "                   [--out DIR] [--batch N]\n";
     return 2;
 }
 
@@ -89,6 +98,13 @@ parseArgs(int argc, char **argv, Options *opts)
             opts->outDir = v;
         } else if (arg == "--emit") {
             opts->emit = true;
+        } else if (arg == "--batch") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts->batch = static_cast<unsigned>(
+                std::min<unsigned long long>(
+                    std::strtoull(v, nullptr, 10), maxBatchBlock));
         } else {
             return false;
         }
@@ -131,7 +147,7 @@ main(int argc, char **argv)
         const Job &job = jobs[i];
         const Trace trace =
             generateTrace(job.component, job.seed, opts.ops);
-        const FuzzResult result = runTrace(trace);
+        const FuzzResult result = runTrace(trace, opts.batch);
         std::lock_guard<std::mutex> lock(outMutex);
         if (!result.divergence) {
             std::cout << job.component << " seed " << job.seed << ": ok, "

@@ -8,6 +8,13 @@
  *                                   per trace (for determinism
  *                                   comparisons across hosts or
  *                                   MOSAIC_THREADS settings)
+ *   mosaic_replay --batch=N TRACE.. additionally run the batched-
+ *                                   pipeline shadow at block size N
+ *                                   (DESIGN.md §13); a scalar /
+ *                                   batched mismatch reports as a
+ *                                   divergence while digests stay
+ *                                   identical to the scalar run.
+ *                                   Defaults to $MOSAIC_BATCH.
  *
  * Exit status: 0 when every trace passed, 1 when any diverged,
  * 2 on usage errors or unreadable/malformed trace files.
@@ -18,10 +25,12 @@
  * shows how many faults were injected.
  */
 
+#include <algorithm>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "core/batch_pipeline.hh"
 #include "fault/fault.hh"
 #include "oracle/fuzzer.hh"
 #include "oracle/trace.hh"
@@ -32,16 +41,28 @@ int
 main(int argc, char **argv)
 {
     bool digestOnly = false;
+    unsigned batch = batchBlockFromEnv();
     std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--digest")
+        if (arg == "--digest") {
             digestOnly = true;
-        else
+        } else if (arg.rfind("--batch=", 0) == 0) {
+            try {
+                batch = static_cast<unsigned>(std::min(
+                    std::stoul(arg.substr(8)),
+                    static_cast<unsigned long>(maxBatchBlock)));
+            } catch (const std::exception &) {
+                std::cerr << "mosaic_replay: bad " << arg << "\n";
+                return 2;
+            }
+        } else {
             paths.push_back(arg);
+        }
     }
     if (paths.empty()) {
-        std::cerr << "usage: mosaic_replay [--digest] TRACE...\n";
+        std::cerr << "usage: mosaic_replay [--digest] [--batch=N] "
+                     "TRACE...\n";
         return 2;
     }
 
@@ -56,7 +77,7 @@ main(int argc, char **argv)
             status = 2;
             continue;
         }
-        const FuzzResult result = runTrace(read.value());
+        const FuzzResult result = runTrace(read.value(), batch);
         if (digestOnly) {
             std::cout << result.digest << " " << result.opsApplied
                       << "\n";

@@ -31,6 +31,21 @@
  *                                     this run instead of comparing
  *                                     (the refresh recipe, see
  *                                     DESIGN.md §12)
+ *   --max-ratio "BM_a/BM_b:F"         repeatable; assert that the
+ *                                     measured CPU time of BM_a is at
+ *                                     most F times that of BM_b (both
+ *                                     taken from the same min-of-N
+ *                                     run). Machine-relative, so it
+ *                                     holds speedups in place — e.g.
+ *                                     0.67 locks BM_b/BM_a >= 1.5x —
+ *                                     where absolute baselines can't.
+ *                                     A spec whose series never
+ *                                     appear fails the gate (stale
+ *                                     config). Names are split at the
+ *                                     first '/', so arg'd benchmark
+ *                                     names (BM_X/50) can only be the
+ *                                     denominator. Checked in compare
+ *                                     mode only, not under --update.
  *
  * Baseline format (written by --update, deterministic key order):
  *   { "bench": "micro_vm",
@@ -412,6 +427,37 @@ measure(const std::string &binary, unsigned runs,
     return best;
 }
 
+/** One parsed --max-ratio spec: measured[num]/measured[den] <= max. */
+struct RatioSpec
+{
+    std::string num;
+    std::string den;
+    double max = 0;
+    bool checked = false;
+};
+
+/** Parse "BM_a/BM_b:F" (names split at the first '/'). */
+std::optional<RatioSpec>
+parseRatioSpec(const std::string &spec)
+{
+    const std::size_t colon = spec.rfind(':');
+    const std::size_t slash = spec.find('/');
+    if (colon == std::string::npos || slash == std::string::npos ||
+            slash == 0 || slash + 1 >= colon)
+        return std::nullopt;
+    RatioSpec r;
+    r.num = spec.substr(0, slash);
+    r.den = spec.substr(slash + 1, colon - slash - 1);
+    try {
+        r.max = std::stod(spec.substr(colon + 1));
+    } catch (...) {
+        return std::nullopt;
+    }
+    if (!(r.max > 0))
+        return std::nullopt;
+    return r;
+}
+
 struct Options
 {
     fs::path baselineDir = "bench/baselines";
@@ -420,6 +466,7 @@ struct Options
     bool update = false;
     std::string filter;
     std::string minTime;
+    std::vector<RatioSpec> ratios;
     std::vector<std::string> binaries;
 };
 
@@ -428,7 +475,8 @@ usage()
 {
     std::cerr << "usage: perf_gate [--baseline-dir DIR]"
                  " [--tolerance F] [--runs N] [--filter RE]"
-                 " [--min-time S] [--update] <bench_binary>...\n";
+                 " [--min-time S] [--max-ratio BM_a/BM_b:F]..."
+                 " [--update] <bench_binary>...\n";
     return 2;
 }
 
@@ -462,7 +510,16 @@ main(int argc, char **argv)
             opt.filter = next();
         else if (arg == "--min-time")
             opt.minTime = next();
-        else if (arg == "--update")
+        else if (arg == "--max-ratio") {
+            const std::string spec = next();
+            const auto parsed = parseRatioSpec(spec);
+            if (!parsed) {
+                std::cerr << "perf_gate: bad --max-ratio '" << spec
+                          << "' (want BM_a/BM_b:F)\n";
+                return 2;
+            }
+            opt.ratios.push_back(*parsed);
+        } else if (arg == "--update")
             opt.update = true;
         else if (arg == "--help" || arg == "-h")
             return usage();
@@ -550,6 +607,34 @@ main(int argc, char **argv)
                              "--update)\n";
                 failed = true;
             }
+        }
+
+        // Relative gates: both series come from this binary's
+        // min-of-N run, so machine speed cancels out of the ratio.
+        for (RatioSpec &spec : opt.ratios) {
+            const auto num = measured.find(spec.num);
+            const auto den = measured.find(spec.den);
+            if (num == measured.end() || den == measured.end())
+                continue;
+            spec.checked = true;
+            const double ratio = num->second / den->second;
+            const bool bad = ratio > spec.max;
+            char line[256];
+            std::snprintf(line, sizeof line,
+                          "  %-7s %s/%s  %.3f (max %.3f)",
+                          bad ? "RATIO" : "ok", spec.num.c_str(),
+                          spec.den.c_str(), ratio, spec.max);
+            std::cout << line << "\n";
+            failed = failed || bad;
+        }
+    }
+
+    for (const RatioSpec &spec : opt.ratios) {
+        if (!spec.checked && !opt.update) {
+            std::cerr << "perf_gate: --max-ratio " << spec.num << "/"
+                      << spec.den << " matched no measured series "
+                      << "(stale spec?)\n";
+            failed = true;
         }
     }
 
