@@ -142,7 +142,11 @@ main()
         },
         [&](std::size_t i) { return encodeFig6Cell(cells[i]); },
         [&](std::size_t i, const std::string &payload) {
-            return decodeFig6Cell(payload, &cells[i]);
+            const Status s = decodeFig6Cell(payload, &cells[i]);
+            if (!s.ok())
+                std::cerr << "fig6: discarding checkpoint cell " << i
+                          << ": " << s.toString() << "\n";
+            return s.ok();
         });
     bench::recordSweep(report, std::cout, runner, sweep);
 

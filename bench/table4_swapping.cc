@@ -98,7 +98,11 @@ main()
         },
         [&](std::size_t i) { return encodeTable4Row(rows[i]); },
         [&](std::size_t i, const std::string &payload) {
-            return decodeTable4Row(payload, &rows[i]);
+            const Status s = decodeTable4Row(payload, &rows[i]);
+            if (!s.ok())
+                std::cerr << "table4: discarding checkpoint row " << i
+                          << ": " << s.toString() << "\n";
+            return s.ok();
         });
     bench::recordSweep(report, std::cout, runner, sweep);
 

@@ -1,7 +1,10 @@
 #include "core/batch_pipeline.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <memory>
+
+#include "util/parse.hh"
 
 namespace mosaic
 {
@@ -12,12 +15,15 @@ batchBlockFromEnv()
     const char *s = std::getenv("MOSAIC_BATCH");
     if (!s || !*s)
         return 0;
-    char *end = nullptr;
-    const unsigned long v = std::strtoul(s, &end, 10);
-    if (end == s || *end != '\0' || v <= 1)
+    // Strict digits-only parse: "-1" must not wrap to ULONG_MAX (and
+    // then silently clamp to the maximum block), and trailing junk
+    // ("64x") or a sign prefix ("+8") means the knob was mistyped.
+    // Every malformed form falls back to scalar.
+    std::uint64_t v = 0;
+    if (!parseU64(s, &v) || v <= 1)
         return 0; // unset, malformed, 0, or 1: all mean scalar
     return static_cast<unsigned>(
-        std::min<unsigned long>(v, maxBatchBlock));
+        std::min<std::uint64_t>(v, maxBatchBlock));
 }
 
 std::unique_ptr<AccessSink>

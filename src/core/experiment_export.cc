@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "util/parse.hh"
+
 namespace mosaic
 {
 
@@ -83,18 +85,77 @@ parseDouble(const std::string &token, double *out)
     return end != begin && *end == '\0';
 }
 
-/** Read one "key rest-of-line" line; false on EOF or key mismatch. */
-bool
+/** Read one "key rest-of-line" line; DataLoss on EOF or mismatch. */
+Status
 keyedLine(std::istream &in, const char *key, std::string *rest)
 {
     std::string line;
     if (!std::getline(in, line))
-        return false;
+        return Status::dataLoss(std::string("checkpoint truncated "
+                                            "before '") +
+                                key + "' line");
     const std::string prefix = std::string(key) + " ";
     if (line.rfind(prefix, 0) != 0)
-        return false;
+        return Status::dataLoss(std::string("checkpoint line is not '") +
+                                key + " ...': '" + line + "'");
     *rest = line.substr(prefix.size());
-    return true;
+    return Status();
+}
+
+/** keyedLine + strict decimal parse of the whole payload. */
+Status
+keyedU64(std::istream &in, const char *key, std::uint64_t *out)
+{
+    std::string rest;
+    if (Status s = keyedLine(in, key, &rest); !s.ok())
+        return s;
+    if (!parseU64(rest, out))
+        return Status::dataLoss(std::string("checkpoint field '") + key +
+                                "' is not an unsigned integer: '" +
+                                rest + "'");
+    return Status();
+}
+
+/** keyedLine + strict hexfloat parse of the whole payload. */
+Status
+keyedDouble(std::istream &in, const char *key, double *out)
+{
+    std::string rest;
+    if (Status s = keyedLine(in, key, &rest); !s.ok())
+        return s;
+    if (!parseDouble(rest, out))
+        return Status::dataLoss(std::string("checkpoint field '") + key +
+                                "' is not a hexfloat: '" + rest + "'");
+    return Status();
+}
+
+/** keyedLine + RunningStat::decode with a field-naming error. */
+Status
+keyedStat(std::istream &in, const char *key, RunningStat *out)
+{
+    std::string rest;
+    if (Status s = keyedLine(in, key, &rest); !s.ok())
+        return s;
+    if (!out->decode(rest))
+        return Status::dataLoss(std::string("checkpoint field '") + key +
+                                "' is not a RunningStat encoding: '" +
+                                rest + "'");
+    return Status();
+}
+
+/** Decode an encoded WorkloadKind, rejecting out-of-range values. */
+Status
+keyedKind(std::istream &in, WorkloadKind *out)
+{
+    std::uint64_t raw = 0;
+    if (Status s = keyedU64(in, "kind", &raw); !s.ok())
+        return s;
+    if (raw > static_cast<std::uint64_t>(WorkloadKind::KvStore))
+        return Status::dataLoss("checkpoint field 'kind' is not a "
+                                "workload kind: " +
+                                std::to_string(raw));
+    *out = static_cast<WorkloadKind>(raw);
+    return Status();
 }
 
 } // namespace
@@ -115,36 +176,47 @@ encodeFig6Cell(const Fig6Cell &cell)
     return out.str();
 }
 
-bool
+Status
 decodeFig6Cell(const std::string &text, Fig6Cell *out)
 {
     std::istringstream in(text);
     std::string rest;
     Fig6Cell cell;
-    if (!keyedLine(in, "ways", &rest))
-        return false;
-    cell.row.ways = static_cast<unsigned>(std::strtoul(
-        rest.c_str(), nullptr, 10));
-    if (!keyedLine(in, "vanilla", &rest))
-        return false;
-    cell.row.vanillaMisses = std::strtoull(rest.c_str(), nullptr, 10);
-    if (!keyedLine(in, "mosaic", &rest))
-        return false;
+    std::uint64_t ways = 0;
+    if (Status s = keyedU64(in, "ways", &ways); !s.ok())
+        return s;
+    if (ways == 0 || ways > 0xFFFFFFFFull)
+        return Status::dataLoss("checkpoint field 'ways' is out of "
+                                "range: " +
+                                std::to_string(ways));
+    cell.row.ways = static_cast<unsigned>(ways);
+    if (Status s = keyedU64(in, "vanilla", &cell.row.vanillaMisses);
+            !s.ok())
+        return s;
+    if (Status s = keyedLine(in, "mosaic", &rest); !s.ok())
+        return s;
     std::istringstream misses(rest);
-    std::uint64_t m = 0;
-    while (misses >> m)
+    std::string token;
+    while (misses >> token) {
+        std::uint64_t m = 0;
+        if (!parseU64(token, &m))
+            return Status::dataLoss("checkpoint field 'mosaic' has a "
+                                    "non-integer miss count: '" +
+                                    token + "'");
         cell.row.mosaicMisses.push_back(m);
-    if (!keyedLine(in, "footprint", &rest))
-        return false;
-    cell.footprintBytes = std::strtoull(rest.c_str(), nullptr, 10);
-    if (!keyedLine(in, "accesses", &rest))
-        return false;
-    cell.accesses = std::strtoull(rest.c_str(), nullptr, 10);
-    if (!keyedLine(in, "seconds", &rest) ||
-            !parseDouble(rest, &cell.seconds))
-        return false;
+    }
+    if (cell.row.mosaicMisses.empty())
+        return Status::dataLoss("checkpoint field 'mosaic' lists no "
+                                "miss counts");
+    if (Status s = keyedU64(in, "footprint", &cell.footprintBytes);
+            !s.ok())
+        return s;
+    if (Status s = keyedU64(in, "accesses", &cell.accesses); !s.ok())
+        return s;
+    if (Status s = keyedDouble(in, "seconds", &cell.seconds); !s.ok())
+        return s;
     *out = std::move(cell);
-    return true;
+    return Status();
 }
 
 std::string
@@ -159,30 +231,27 @@ encodeTable3Row(const Table3Row &row)
     return out.str();
 }
 
-bool
+Status
 decodeTable3Row(const std::string &text, Table3Row *out)
 {
     std::istringstream in(text);
-    std::string rest;
     Table3Row row;
-    if (!keyedLine(in, "kind", &rest))
-        return false;
-    row.kind = static_cast<WorkloadKind>(
-        std::strtol(rest.c_str(), nullptr, 10));
-    if (!keyedLine(in, "footprint", &rest))
-        return false;
-    row.footprintBytes = std::strtoull(rest.c_str(), nullptr, 10);
-    if (!keyedLine(in, "firstConflictPct", &rest) ||
-            !row.firstConflictPct.decode(rest))
-        return false;
-    if (!keyedLine(in, "steadyPct", &rest) ||
-            !row.steadyPct.decode(rest))
-        return false;
-    if (!keyedLine(in, "seconds", &rest) ||
-            !parseDouble(rest, &row.cellSeconds))
-        return false;
+    if (Status s = keyedKind(in, &row.kind); !s.ok())
+        return s;
+    if (Status s = keyedU64(in, "footprint", &row.footprintBytes);
+            !s.ok())
+        return s;
+    if (Status s = keyedStat(in, "firstConflictPct",
+                             &row.firstConflictPct);
+            !s.ok())
+        return s;
+    if (Status s = keyedStat(in, "steadyPct", &row.steadyPct); !s.ok())
+        return s;
+    if (Status s = keyedDouble(in, "seconds", &row.cellSeconds);
+            !s.ok())
+        return s;
     *out = std::move(row);
-    return true;
+    return Status();
 }
 
 std::string
@@ -197,30 +266,27 @@ encodeTable4Row(const Table4Row &row)
     return out.str();
 }
 
-bool
+Status
 decodeTable4Row(const std::string &text, Table4Row *out)
 {
     std::istringstream in(text);
-    std::string rest;
     Table4Row row;
-    if (!keyedLine(in, "kind", &rest))
-        return false;
-    row.kind = static_cast<WorkloadKind>(
-        std::strtol(rest.c_str(), nullptr, 10));
-    if (!keyedLine(in, "footprint", &rest))
-        return false;
-    row.footprintBytes = std::strtoull(rest.c_str(), nullptr, 10);
-    if (!keyedLine(in, "linuxSwapIo", &rest) ||
-            !row.linuxSwapIo.decode(rest))
-        return false;
-    if (!keyedLine(in, "mosaicSwapIo", &rest) ||
-            !row.mosaicSwapIo.decode(rest))
-        return false;
-    if (!keyedLine(in, "seconds", &rest) ||
-            !parseDouble(rest, &row.cellSeconds))
-        return false;
+    if (Status s = keyedKind(in, &row.kind); !s.ok())
+        return s;
+    if (Status s = keyedU64(in, "footprint", &row.footprintBytes);
+            !s.ok())
+        return s;
+    if (Status s = keyedStat(in, "linuxSwapIo", &row.linuxSwapIo);
+            !s.ok())
+        return s;
+    if (Status s = keyedStat(in, "mosaicSwapIo", &row.mosaicSwapIo);
+            !s.ok())
+        return s;
+    if (Status s = keyedDouble(in, "seconds", &row.cellSeconds);
+            !s.ok())
+        return s;
     *out = std::move(row);
-    return true;
+    return Status();
 }
 
 } // namespace mosaic

@@ -30,6 +30,7 @@
 
 #include "core/experiments.hh"
 #include "telemetry/registry.hh"
+#include "util/status.hh"
 
 namespace mosaic
 {
@@ -51,18 +52,20 @@ void recordTable4(telemetry::Registry &r, const Table4Row &row);
 // Line-oriented text codecs for the sweep checkpoint/resume machinery
 // (fault::SweepRunner, DESIGN.md §11). Doubles travel as hexfloats so
 // a resumed cell's metrics merge byte-identically with freshly
-// computed ones. decode* returns false on malformed payloads (the
-// runner then recomputes the cell); the output is unspecified in that
-// case.
+// computed ones. decode* returns DataLoss naming the corrupt or
+// missing field — numeric fields are parsed strictly, so a truncated
+// or bit-flipped checkpoint row is discarded (the runner then
+// recomputes the cell) instead of silently resuming a zeroed row; the
+// output is unspecified on failure.
 
 std::string encodeFig6Cell(const Fig6Cell &cell);
-bool decodeFig6Cell(const std::string &text, Fig6Cell *out);
+Status decodeFig6Cell(const std::string &text, Fig6Cell *out);
 
 std::string encodeTable3Row(const Table3Row &row);
-bool decodeTable3Row(const std::string &text, Table3Row *out);
+Status decodeTable3Row(const std::string &text, Table3Row *out);
 
 std::string encodeTable4Row(const Table4Row &row);
-bool decodeTable4Row(const std::string &text, Table4Row *out);
+Status decodeTable4Row(const std::string &text, Table4Row *out);
 
 } // namespace mosaic
 

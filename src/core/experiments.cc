@@ -11,10 +11,6 @@
 namespace mosaic
 {
 
-namespace
-{
-
-/** Mosaic memory big enough that Fig 6 never sees conflicts. */
 MemoryGeometry
 ampleGeometry(std::uint64_t footprint_bytes)
 {
@@ -24,6 +20,9 @@ ampleGeometry(std::uint64_t footprint_bytes)
     g.numFrames = (frames / g.slotsPerBucket() + 1) * g.slotsPerBucket();
     return g;
 }
+
+namespace
+{
 
 using Clock = std::chrono::steady_clock;
 

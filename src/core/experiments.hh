@@ -31,12 +31,18 @@
 #include <vector>
 
 #include "hash/mix.hh"
+#include "mem/geometry.hh"
 #include "util/stats.hh"
 #include "util/thread_pool.hh"
 #include "workloads/factory.hh"
 
 namespace mosaic
 {
+
+/** Mosaic memory comfortably larger than @p footprint_bytes, so the
+ *  no-swapping experiments (Figure 6, the bake-off) never see
+ *  associativity conflicts during demand mapping. */
+MemoryGeometry ampleGeometry(std::uint64_t footprint_bytes);
 
 /**
  * The RNG seed of experiment cell @p cell of an experiment seeded

@@ -1,5 +1,6 @@
 #include "core/translation_sim.hh"
 
+#include "tlb/design_registry.hh"
 #include "util/log.hh"
 
 namespace mosaic
@@ -38,6 +39,45 @@ TranslationSim::TranslationSim(const TranslationSimConfig &config)
                 irow.push_back(std::make_unique<MosaicTlb>(g, arity));
         }
     }
+
+    DesignParams defaults;
+    defaults.geometry =
+        TlbGeometry{config_.tlbEntries, config_.designWays};
+    for (const std::string &spec : config_.designSpecs) {
+        Result<std::unique_ptr<TranslationDesign>> design =
+            makeTranslationDesign(spec, defaults);
+        if (!design.ok())
+            fatal("translation_sim: " + design.status().toString());
+        designs_.push_back(std::move(design.value()));
+    }
+}
+
+std::optional<Pfn>
+TranslationSim::DesignWalker::pfnOf(Asid asid, Vpn vpn)
+{
+    const VanillaWalkResult walk = sim_.vanillaPtFor(asid).walk(vpn);
+    if (!walk.present)
+        return std::nullopt;
+    return walk.pfn;
+}
+
+void
+TranslationSim::DesignWalker::tocOf(Asid asid, Vpn vpn, unsigned arity,
+                                    std::span<Cpfn> out)
+{
+    const Cpfn unmapped = unmappedCode();
+    const Vpn first = vpn & ~Vpn{arity - 1};
+    for (unsigned i = 0; i < arity; ++i) {
+        const Cpfn *cpfn =
+            sim_.designCpfns_.find(packPageId(PageId{asid, first + i}));
+        out[i] = cpfn != nullptr ? *cpfn : unmapped;
+    }
+}
+
+Cpfn
+TranslationSim::DesignWalker::unmappedCode() const
+{
+    return sim_.allocator_.mapper().codec().invalid();
 }
 
 VanillaPageTable &
@@ -136,6 +176,12 @@ TranslationSim::ensureMapped(Vpn vpn)
     frames_.map(placement->pfn, PageId{activeAsid_, vpn}, clock_);
     for (auto &pt : mosaicPtsFor(activeAsid_))
         pt->setCpfn(vpn, placement->cpfn);
+    if (!designs_.empty()) {
+        auto [cpfn, inserted] =
+            designCpfns_.emplace(packPageId(PageId{activeAsid_, vpn}));
+        cpfn = placement->cpfn;
+        (void)inserted;
+    }
     ++mappedPages_;
 }
 
@@ -194,6 +240,9 @@ TranslationSim::translate(Vpn vpn, bool kernel)
             }
         }
     }
+
+    for (auto &design : designs_)
+        design->access(asid, vpn, designWalker_);
 }
 
 void
@@ -258,6 +307,8 @@ TranslationSim::accessBatch(std::span<const MemRef> block)
                 for (const auto &tlb : row)
                     tlb->prefetchSets(vpn);
             }
+            for (const auto &design : designs_)
+                design->prefetchSets(vpn);
         }
         access(block[i].vaddr, block[i].write);
     }

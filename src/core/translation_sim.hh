@@ -26,11 +26,14 @@
 #include <span>
 #include <vector>
 
+#include <string>
+
 #include "mem/frame_table.hh"
 #include "mem/mosaic_allocator.hh"
 #include "pt/mosaic_page_table.hh"
 #include "pt/vanilla_page_table.hh"
 #include "tlb/mosaic_tlb.hh"
+#include "tlb/translation_design.hh"
 #include "tlb/vanilla_tlb.hh"
 #include "util/flat_map.hh"
 #include "util/random.hh"
@@ -97,6 +100,20 @@ struct TranslationSimConfig
     KernelConfig kernel{};
     InstrConfig instr{};
 
+    /**
+     * Registry specs (DESIGN.md §14) of pluggable translation designs
+     * driven alongside the builtin grid: every *data* reference is fed
+     * to each design after the grid TLBs (the kernel and instruction
+     * streams stay grid-only, so design stats compare workloads, not
+     * the huge-page artifact). A bad spec is a configuration error
+     * (fatal). Empty = no designs, zero overhead.
+     */
+    std::vector<std::string> designSpecs;
+
+    /** Default associativity for designSpecs entries that do not set
+     *  'ways' explicitly (their entry count defaults to tlbEntries). */
+    unsigned designWays = 8;
+
     Asid asid = 1;
     std::uint64_t seed = 7;
 };
@@ -130,6 +147,14 @@ class TranslationSim : public AccessSink
     std::size_t numWays() const { return config_.waysList.size(); }
     std::size_t numArities() const { return config_.arities.size(); }
 
+    /** Pluggable designs built from config.designSpecs, in order. */
+    std::size_t numDesigns() const { return designs_.size(); }
+    const TranslationDesign &
+    design(std::size_t i) const
+    {
+        return *designs_.at(i);
+    }
+
     const TlbStats &vanillaStats(std::size_t ways_idx) const;
     const TlbStats &mosaicStats(std::size_t ways_idx,
                                 std::size_t arity_idx) const;
@@ -162,6 +187,28 @@ class TranslationSim : public AccessSink
     void instructionFetch();
     void translate(Vpn vpn, bool kernel);
 
+    /**
+     * The designs' window onto this simulator's page tables
+     * (DESIGN.md §14): full PFNs come from the vanilla page table
+     * (whose bump allocation is the contiguity designs' best case),
+     * mosaic ToCs from the per-page CPFN record ensureMapped keeps —
+     * one CPFN per page, valid for every arity, so designs may use
+     * arities the mosaic grid does not instantiate.
+     */
+    class DesignWalker final : public TranslationWalker
+    {
+      public:
+        explicit DesignWalker(TranslationSim &sim) : sim_(sim) {}
+
+        std::optional<Pfn> pfnOf(Asid asid, Vpn vpn) override;
+        void tocOf(Asid asid, Vpn vpn, unsigned arity,
+                   std::span<Cpfn> out) override;
+        Cpfn unmappedCode() const override;
+
+      private:
+        TranslationSim &sim_;
+    };
+
     TranslationSimConfig config_;
 
     // Vanilla side (one page table per address space).
@@ -184,6 +231,12 @@ class TranslationSim : public AccessSink
     // Instruction TLBs (same grid shape, fed by synthetic fetches).
     std::vector<std::unique_ptr<VanillaTlb>> itlbVanilla_;
     std::vector<std::vector<std::unique_ptr<MosaicTlb>>> itlbMosaic_;
+
+    // Pluggable designs (data stream only) and their walker state:
+    // CPFN by packPageId(asid, vpn), recorded only when designs exist.
+    std::vector<std::unique_ptr<TranslationDesign>> designs_;
+    FlatMap<std::uint64_t, Cpfn> designCpfns_;
+    DesignWalker designWalker_{*this};
 
     // Kernel stream state.
     Addr kernelBase_;

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Contiguity-run mining for range-style translation designs
+ * (SVNAPOT / Virtuoso rangelb lineage): given one mapped anchor page,
+ * discover the maximal run of virtually *and* physically contiguous
+ * pages around it. A range TLB caches the run as a single entry, so
+ * its reach is exactly the contiguity the mapper happened to produce
+ * — which is the property the paper's bake-off compares mosaic
+ * against.
+ *
+ * Header-only and mapper-agnostic: the caller passes a pfn_of
+ * callback (one PTE read per probe) and counts the probes into its
+ * modeled walk cost.
+ */
+
+#ifndef MOSAIC_MEM_CONTIGUITY_HH_
+#define MOSAIC_MEM_CONTIGUITY_HH_
+
+#include <cstdint>
+#include <optional>
+
+#include "util/types.hh"
+
+namespace mosaic
+{
+
+/** A run of pages where pfn(first + i) == basePfn + i for all i. */
+struct ContigRun
+{
+    Vpn first = 0;
+    std::uint64_t length = 0;
+    Pfn basePfn = 0;
+
+    bool
+    covers(Vpn vpn) const
+    {
+        return vpn >= first && vpn - first < length;
+    }
+};
+
+/**
+ * Mine the maximal contiguity run containing @p anchor, capped at
+ * @p max_run pages: extend left while the previous page maps to the
+ * previous frame, then right symmetrically. Each neighbour probe
+ * calls @p pfn_of once and increments *probes (the caller charges
+ * them as PTE reads); the anchor's own walk is the caller's.
+ * Returns nullopt when the anchor itself is unmapped.
+ *
+ * Deterministic: probe order is left-down then right-up, so real and
+ * oracle models mining through the same pfn_of agree exactly.
+ */
+template <typename PfnOf>
+std::optional<ContigRun>
+mineContigRun(PfnOf &&pfn_of, Vpn anchor, std::uint64_t max_run,
+              std::uint64_t *probes)
+{
+    const std::optional<Pfn> anchor_pfn = pfn_of(anchor);
+    if (!anchor_pfn)
+        return std::nullopt;
+
+    ContigRun run{anchor, 1, *anchor_pfn};
+    while (run.length < max_run && run.first > 0 && run.basePfn > 0) {
+        ++*probes;
+        const std::optional<Pfn> left = pfn_of(run.first - 1);
+        if (!left || *left != run.basePfn - 1)
+            break;
+        --run.first;
+        --run.basePfn;
+        ++run.length;
+    }
+    Vpn last = anchor;
+    Pfn last_pfn = *anchor_pfn;
+    while (run.length < max_run) {
+        ++*probes;
+        const std::optional<Pfn> right = pfn_of(last + 1);
+        if (!right || *right != last_pfn + 1)
+            break;
+        ++last;
+        ++last_pfn;
+        ++run.length;
+    }
+    return run;
+}
+
+} // namespace mosaic
+
+#endif // MOSAIC_MEM_CONTIGUITY_HH_

@@ -14,14 +14,17 @@
 #include "fault/fault.hh"
 #include "iceberg/iceberg_table.hh"
 #include "mem/geometry.hh"
+#include "oracle/oracle_designs.hh"
 #include "oracle/oracle_iceberg.hh"
 #include "oracle/oracle_tlb.hh"
 #include "oracle/oracle_vm.hh"
 #include "os/linux_vm.hh"
 #include "os/mosaic_vm.hh"
 #include "tlb/coalesced_tlb.hh"
+#include "tlb/design_registry.hh"
 #include "tlb/mosaic_tlb.hh"
 #include "tlb/perforated_tlb.hh"
+#include "tlb/translation_design.hh"
 #include "tlb/vanilla_tlb.hh"
 #include "util/log.hh"
 #include "util/random.hh"
@@ -650,6 +653,202 @@ class TlbHarness
     std::unique_ptr<PerforatedTlb> pReal_;
     std::unique_ptr<OraclePerforatedTlb> pOracle_;
 };
+
+// ----------------------------------------------- design harness (§14)
+
+/**
+ * Deterministic page tables for the pluggable-design harness: one
+ * TranslationWalker whose answers are pure functions of (pseed, asid,
+ * page), shared by the real design and its oracle so both always see
+ * identical walk results. The pfn layout mixes contiguous 8-page runs
+ * (3/4 of mapped blocks) with scattered frames and 1/8 unmapped pages
+ * — enough structure for the range miner and the coalescer to find
+ * runs, enough noise to break them.
+ */
+class FuzzWalker final : public TranslationWalker
+{
+  public:
+    explicit FuzzWalker(std::uint64_t pseed) : pseed_(pseed) {}
+
+    std::optional<Pfn>
+    pfnOf(Asid asid, Vpn v) override
+    {
+        if (mix(pseed_, 0x61, asid, v) % 8 == 0)
+            return std::nullopt;
+        const Vpn block = v / 8;
+        const unsigned off = static_cast<unsigned>(v % 8);
+        if (mix(pseed_, 0x63, asid, block) % 4 != 0) {
+            // The whole block is physically contiguous.
+            const Pfn base =
+                ((mix(pseed_, 0x62, asid, block) & 0xFFFFF) + 1) * 8;
+            return base + off;
+        }
+        return mix(pseed_, 0x64, asid, v) & 0xFFFFF;
+    }
+
+    void
+    tocOf(Asid asid, Vpn vpn, unsigned arity,
+          std::span<Cpfn> out) override
+    {
+        const Mvpn mvpn = vpn / arity;
+        for (unsigned i = 0; i < arity; ++i) {
+            const std::uint64_t m =
+                mix(pseed_, 0x65, asid, (mvpn << 8) | i);
+            out[i] = m % 4 == 0
+                         ? unmappedCode()
+                         : static_cast<Cpfn>((m >> 8) % 0x7F);
+        }
+    }
+
+    Cpfn unmappedCode() const override { return 0x7F; }
+
+  private:
+    std::uint64_t pseed_;
+};
+
+/**
+ * Differential harness for the registry-built designs (stride, pwc,
+ * range): the real side is constructed THROUGH makeTranslationDesign
+ * — so every fuzz run also exercises the registry's spec round trip —
+ * and compared against the recency-list oracle design after every op:
+ * hit/miss result, all TlbStats counters, valid entries, measured
+ * reach, and every DesignCounters field (walk cost, PWC hits,
+ * prefetch accounting, region fills).
+ */
+class DesignHarness
+{
+  public:
+    explicit DesignHarness(const Trace &t)
+        : walker_(t.cfgUint("pseed", 7))
+    {
+        OracleDesignSpec spec;
+        spec.kind = t.cfgValue("kind", "stride");
+        spec.base = t.cfgValue("base", "vanilla");
+        spec.geometry = {static_cast<unsigned>(t.cfgUint("entries", 16)),
+                         static_cast<unsigned>(t.cfgUint("ways", 2))};
+        spec.arity = static_cast<unsigned>(t.cfgUint("arity", 4));
+        spec.arbitrary = t.cfgValue("mode", "fixed") == "arbitrary";
+        spec.degree = static_cast<unsigned>(t.cfgUint("degree", 2));
+        spec.ranges = static_cast<unsigned>(t.cfgUint("ranges", 32));
+        spec.maxRun = t.cfgUint("maxrun", 512);
+        spec.l1 = static_cast<unsigned>(t.cfgUint("l1", 16));
+        spec.l2 = static_cast<unsigned>(t.cfgUint("l2", 8));
+        kind_ = spec.kind;
+        oracle_ = makeOracleDesign(spec);
+
+        std::string rspec;
+        if (spec.kind == "range") {
+            rspec = "range:ranges=" + std::to_string(spec.ranges) +
+                    ",maxrun=" + std::to_string(spec.maxRun);
+        } else {
+            rspec = spec.kind + ":base=" + spec.base +
+                    ",entries=" + std::to_string(spec.geometry.entries) +
+                    ",ways=" + std::to_string(spec.geometry.ways) +
+                    ",arity=" + std::to_string(spec.arity);
+            if (spec.kind == "stride") {
+                rspec += std::string(",mode=") +
+                         (spec.arbitrary ? "arbitrary" : "fixed") +
+                         ",degree=" + std::to_string(spec.degree);
+            } else {
+                rspec += ",l1=" + std::to_string(spec.l1) +
+                         ",l2=" + std::to_string(spec.l2);
+            }
+        }
+        Result<std::unique_ptr<TranslationDesign>> built =
+            makeTranslationDesign(rspec);
+        if (!built.ok())
+            panic("fuzzer: design spec rejected: " +
+                  built.status().toString());
+        real_ = std::move(built.value());
+    }
+
+    MaybeDivergence
+    apply(const TraceOp &op, std::size_t idx, bool *applied, Digest &dg)
+    {
+        *applied = true;
+        const Asid asid = static_cast<Asid>(op.arg(0));
+        const Vpn vpn = op.arg(1);
+        switch (op.kind) {
+        case 'l': {
+            const bool r = real_->access(asid, vpn, walker_);
+            const bool o = oracle_->access(asid, vpn, walker_);
+            dg.mix('l');
+            dg.mix(r ? 1 : 0);
+            if (r != o) {
+                return diverge(idx, kind_ + " design access" +
+                    pageStr(asid, vpn) + ": real=" +
+                    (r ? "hit" : "miss") + " oracle=" +
+                    (o ? "hit" : "miss"));
+            }
+            break;
+        }
+        case 'i':
+            real_->invalidatePage(asid, vpn);
+            oracle_->invalidatePage(asid, vpn);
+            dg.mix('i');
+            break;
+        case 'f':
+            real_->flushAsid(asid);
+            oracle_->flushAsid(asid);
+            dg.mix('f');
+            break;
+        default:
+            *applied = false;
+            return std::nullopt;
+        }
+        return compareState(idx);
+    }
+
+  private:
+    MaybeDivergence
+    compareState(std::size_t idx)
+    {
+        const TlbStats &r = real_->stats();
+        const TlbStats &o = oracle_->stats();
+        if (r.accesses != o.accesses || r.hits != o.hits ||
+                r.misses != o.misses ||
+                r.subEntryFills != o.subEntryFills ||
+                r.evictions != o.evictions ||
+                r.invalidations != o.invalidations) {
+            return diverge(idx, kind_ + " design stats counter "
+                "disagrees with oracle");
+        }
+        if (real_->validEntries() != oracle_->validEntries()) {
+            return diverge(idx, kind_ + " design validEntries: real=" +
+                std::to_string(real_->validEntries()) + " oracle=" +
+                std::to_string(oracle_->validEntries()));
+        }
+        if (real_->reachPages() != oracle_->reachPages()) {
+            return diverge(idx, kind_ + " design reachPages: real=" +
+                std::to_string(real_->reachPages()) + " oracle=" +
+                std::to_string(oracle_->reachPages()));
+        }
+        const DesignCounters rc = real_->counters();
+        const DesignCounters oc = oracle_->counters();
+        if (rc.walkRefs != oc.walkRefs ||
+                rc.pwcLookups != oc.pwcLookups ||
+                rc.pwcHits != oc.pwcHits ||
+                rc.prefetchesIssued != oc.prefetchesIssued ||
+                rc.prefetchFills != oc.prefetchFills ||
+                rc.regionFills != oc.regionFills) {
+            return diverge(idx, kind_ + " design walk/helper counter "
+                "disagrees with oracle");
+        }
+        return std::nullopt;
+    }
+
+    std::string kind_;
+    FuzzWalker walker_;
+    std::unique_ptr<TranslationDesign> real_;
+    std::unique_ptr<OracleDesign> oracle_;
+};
+
+/** Kinds the DesignHarness owns (the rest stay with TlbHarness). */
+bool
+designKind(const std::string &kind)
+{
+    return kind == "stride" || kind == "pwc" || kind == "range";
+}
 
 // --------------------------------------------------------- vm harness
 
@@ -1903,8 +2102,13 @@ runTrace(const Trace &trace, unsigned batch)
     } else if (trace.component == "tlb") {
         // accessBatch's apply loop is the scalar access path itself;
         // there is no separate TLB engine to shadow.
-        TlbHarness h(trace);
-        drive(h, static_cast<VmBatchShadow *>(nullptr));
+        if (designKind(trace.cfgValue("kind", "vanilla"))) {
+            DesignHarness h(trace);
+            drive(h, static_cast<VmBatchShadow *>(nullptr));
+        } else {
+            TlbHarness h(trace);
+            drive(h, static_cast<VmBatchShadow *>(nullptr));
+        }
     } else if (trace.component == "vm") {
         VmHarness h(trace, faults);
         std::unique_ptr<VmBatchShadow> shadow;
@@ -2057,6 +2261,73 @@ generateTlb(Rng &rng, std::size_t numOps)
     return t;
 }
 
+/**
+ * Traces for the registry-built designs ("tlb-stride" / "tlb-pwc" /
+ * "tlb-range" pseudo-components). Kept out of generateTlb so the
+ * existing "tlb" rng stream — and every pinned golden digest derived
+ * from it — is untouched. Accesses follow a drifting strided cursor
+ * most of the time (the pattern a stride prefetcher and a PWC reward)
+ * with random jumps mixed in to break the runs.
+ */
+Trace
+generateDesignTlb(Rng &rng, std::size_t numOps, const char *kind)
+{
+    Trace t;
+    t.component = "tlb";
+    t.setCfg("kind", kind);
+    const bool range = std::string(kind) == "range";
+    if (!range) {
+        static constexpr unsigned entryOptions[] = {16, 32, 64};
+        const unsigned entries = entryOptions[rng.below(3)];
+        const unsigned wayOptions[] = {1, 2, 4, entries};
+        t.setCfgUint("entries", entries);
+        t.setCfgUint("ways", wayOptions[rng.below(4)]);
+        t.setCfg("base", rng.chance(0.5) ? "mosaic" : "vanilla");
+        static constexpr unsigned arityOptions[] = {2, 4, 8};
+        t.setCfgUint("arity", arityOptions[rng.below(3)]);
+    }
+    if (std::string(kind) == "stride") {
+        t.setCfg("mode", rng.chance(0.5) ? "arbitrary" : "fixed");
+        t.setCfgUint("degree", 1 + rng.below(4));
+    } else if (std::string(kind) == "pwc") {
+        t.setCfgUint("l1", 4u << rng.below(3));
+        t.setCfgUint("l2", 2u << rng.below(3));
+    } else if (range) {
+        t.setCfgUint("ranges", 4 + rng.below(28));
+        static constexpr unsigned runOptions[] = {8, 64, 512};
+        t.setCfgUint("maxrun", runOptions[rng.below(3)]);
+    }
+    t.setCfgUint("pseed", rng());
+
+    const std::uint64_t numAsids = 1 + rng.below(3);
+    const std::uint64_t universe = 512;
+    std::uint64_t cursor = rng.below(universe);
+    std::uint64_t stride = 1 + rng.below(4);
+    for (std::size_t i = 0; i < numOps; ++i) {
+        TraceOp op;
+        op.kind = "lif"[rng.pickWeighted({0.86, 0.08, 0.06})];
+        op.nargs = 2;
+        op.args[0] = 1 + rng.below(numAsids);
+        if (op.kind == 'l') {
+            if (rng.chance(0.65)) {
+                cursor = (cursor + stride) % universe;
+            } else if (rng.chance(0.4)) {
+                cursor = rng.below(universe);
+                stride = 1 + rng.below(4);
+            } else {
+                op.args[1] = rng.below(universe);
+                t.ops.push_back(op);
+                continue;
+            }
+            op.args[1] = cursor;
+        } else {
+            op.args[1] = rng.below(universe);
+        }
+        t.ops.push_back(op);
+    }
+    return t;
+}
+
 Trace
 generateLinuxVm(Rng &rng, std::size_t numOps)
 {
@@ -2196,6 +2467,12 @@ generateTrace(const std::string &component, std::uint64_t seed,
         return generateIceberg(rng, numOps);
     if (component == "tlb")
         return generateTlb(rng, numOps);
+    if (component == "tlb-stride")
+        return generateDesignTlb(rng, numOps, "stride");
+    if (component == "tlb-pwc")
+        return generateDesignTlb(rng, numOps, "pwc");
+    if (component == "tlb-range")
+        return generateDesignTlb(rng, numOps, "range");
     if (component == "vm") {
         if (rng.chance(0.25))
             return generateLinuxVm(rng, numOps);

@@ -117,7 +117,10 @@ FuzzResult runTrace(const Trace &trace, unsigned batch);
 /**
  * Build a deterministic random trace.
  *
- * @param component "vm", "tlb", or "iceberg".
+ * @param component "vm", "tlb", or "iceberg"; the pseudo-components
+ *                  "tlb-stride", "tlb-pwc", and "tlb-range" generate
+ *                  "tlb" traces pinned to the registry-built designs
+ *                  (strided access patterns, design-specific cfg).
  * @param seed stream selector; same (component, seed, numOps) always
  *             yields the same trace.
  * @param numOps operations to generate.

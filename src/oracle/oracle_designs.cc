@@ -1,0 +1,591 @@
+#include "oracle/oracle_designs.hh"
+
+#include <algorithm>
+#include <array>
+#include <list>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mem/contiguity.hh"
+#include "oracle/oracle_tlb.hh"
+#include "util/log.hh"
+
+namespace mosaic
+{
+
+namespace
+{
+
+// ------------------------------------------------------- leaf designs
+
+/** OracleVanillaTlb behind the design contract. */
+class OracleVanillaDesign final : public OracleDesign
+{
+  public:
+    explicit OracleVanillaDesign(const TlbGeometry &geometry)
+        : tlb_(geometry)
+    {
+    }
+
+    bool
+    access(Asid asid, Vpn vpn, TranslationWalker &walker) override
+    {
+        if (tlb_.lookup(asid, vpn))
+            return true;
+        fillFromWalk(asid, vpn, walker);
+        return false;
+    }
+
+    bool
+    contains(Asid asid, Vpn vpn) const override
+    {
+        return tlb_.contains(asid, vpn);
+    }
+
+    bool
+    prefetchFill(Asid asid, Vpn vpn, TranslationWalker &walker) override
+    {
+        if (tlb_.contains(asid, vpn))
+            return false;
+        return fillFromWalk(asid, vpn, walker);
+    }
+
+    void
+    invalidatePage(Asid asid, Vpn vpn) override
+    {
+        tlb_.invalidate(asid, vpn);
+    }
+
+    void flushAsid(Asid asid) override { tlb_.flushAsid(asid); }
+    const TlbStats &stats() const override { return tlb_.stats(); }
+    std::uint64_t reachPages() const override { return tlb_.reachPages(); }
+    unsigned validEntries() const override { return tlb_.validEntries(); }
+
+  private:
+    bool
+    fillFromWalk(Asid asid, Vpn vpn, TranslationWalker &walker)
+    {
+        counters_.walkRefs += walker.walkLevels();
+        const std::optional<Pfn> pfn = walker.pfnOf(asid, vpn);
+        if (!pfn)
+            return false;
+        tlb_.fill(asid, vpn, *pfn);
+        return true;
+    }
+
+    OracleVanillaTlb tlb_;
+};
+
+/** OracleMosaicTlb behind the design contract. */
+class OracleMosaicDesign final : public OracleDesign
+{
+  public:
+    OracleMosaicDesign(const TlbGeometry &geometry, unsigned arity)
+        : tlb_(geometry, arity), arity_(arity)
+    {
+    }
+
+    bool
+    access(Asid asid, Vpn vpn, TranslationWalker &walker) override
+    {
+        if (tlb_.lookup(asid, vpn))
+            return true;
+        fillFromWalk(asid, vpn, walker);
+        return false;
+    }
+
+    bool
+    contains(Asid asid, Vpn vpn) const override
+    {
+        return tlb_.contains(asid, vpn);
+    }
+
+    bool
+    prefetchFill(Asid asid, Vpn vpn, TranslationWalker &walker) override
+    {
+        if (tlb_.contains(asid, vpn))
+            return false;
+        return fillFromWalk(asid, vpn, walker);
+    }
+
+    void
+    invalidatePage(Asid asid, Vpn vpn) override
+    {
+        tlb_.invalidateSub(asid, vpn);
+    }
+
+    void flushAsid(Asid asid) override { tlb_.flushAsid(asid); }
+    const TlbStats &stats() const override { return tlb_.stats(); }
+    std::uint64_t reachPages() const override { return tlb_.reachPages(); }
+    unsigned validEntries() const override { return tlb_.validEntries(); }
+
+  private:
+    bool
+    fillFromWalk(Asid asid, Vpn vpn, TranslationWalker &walker)
+    {
+        counters_.walkRefs += walker.walkLevels();
+        std::array<Cpfn, maxArity> toc;
+        const std::span<Cpfn> view(toc.data(), arity_);
+        walker.tocOf(asid, vpn, arity_, view);
+        const Cpfn unmapped = walker.unmappedCode();
+        bool any_mapped = false;
+        for (const Cpfn code : view) {
+            if (code != unmapped) {
+                any_mapped = true;
+                break;
+            }
+        }
+        if (!any_mapped)
+            return false;
+        tlb_.fill(asid, vpn, view, unmapped);
+        return true;
+    }
+
+    OracleMosaicTlb tlb_;
+    unsigned arity_;
+};
+
+// ----------------------------------------------------- stride wrapper
+
+class OracleStrideDesign final : public OracleDesign
+{
+  public:
+    OracleStrideDesign(bool arbitrary, unsigned degree,
+                       std::unique_ptr<OracleDesign> base)
+        : arbitrary_(arbitrary), degree_(degree), base_(std::move(base))
+    {
+    }
+
+    bool
+    access(Asid asid, Vpn vpn, TranslationWalker &walker) override
+    {
+        AsidState &st = state_[asid];
+        std::int64_t stride = 0;
+        bool confirmed = false;
+        if (st.seen > 0) {
+            stride = static_cast<std::int64_t>(vpn) -
+                     static_cast<std::int64_t>(st.lastVpn);
+            confirmed = st.seen > 1 && stride != 0 && stride == st.stride;
+            st.stride = stride;
+            st.seen = 2;
+        } else {
+            st.seen = 1;
+        }
+        st.lastVpn = vpn;
+
+        const bool hit = base_->access(asid, vpn, walker);
+        if (hit)
+            return true;
+
+        if (!arbitrary_) {
+            for (unsigned k = 1; k <= degree_; ++k)
+                issue(asid, vpn + k, walker);
+        } else if (confirmed) {
+            for (unsigned k = 1; k <= degree_; ++k) {
+                const std::int64_t target =
+                    static_cast<std::int64_t>(vpn) +
+                    stride * static_cast<std::int64_t>(k);
+                if (target < 0)
+                    break;
+                issue(asid, static_cast<Vpn>(target), walker);
+            }
+        }
+        return false;
+    }
+
+    bool
+    contains(Asid asid, Vpn vpn) const override
+    {
+        return base_->contains(asid, vpn);
+    }
+
+    bool
+    prefetchFill(Asid asid, Vpn vpn, TranslationWalker &walker) override
+    {
+        return base_->prefetchFill(asid, vpn, walker);
+    }
+
+    void
+    invalidatePage(Asid asid, Vpn vpn) override
+    {
+        base_->invalidatePage(asid, vpn);
+    }
+
+    void
+    flushAsid(Asid asid) override
+    {
+        base_->flushAsid(asid);
+        state_.erase(asid);
+    }
+
+    const TlbStats &stats() const override { return base_->stats(); }
+
+    DesignCounters
+    counters() const override
+    {
+        DesignCounters c = base_->counters();
+        c.prefetchesIssued = counters_.prefetchesIssued;
+        c.prefetchFills = counters_.prefetchFills;
+        return c;
+    }
+
+    std::uint64_t reachPages() const override
+    {
+        return base_->reachPages();
+    }
+    unsigned validEntries() const override
+    {
+        return base_->validEntries();
+    }
+
+  private:
+    struct AsidState
+    {
+        Vpn lastVpn = 0;
+        std::int64_t stride = 0;
+        unsigned seen = 0;
+    };
+
+    void
+    issue(Asid asid, Vpn target, TranslationWalker &walker)
+    {
+        ++counters_.prefetchesIssued;
+        if (base_->prefetchFill(asid, target, walker))
+            ++counters_.prefetchFills;
+    }
+
+    bool arbitrary_;
+    unsigned degree_;
+    std::unique_ptr<OracleDesign> base_;
+    std::map<Asid, AsidState> state_;
+};
+
+// -------------------------------------------------------- pwc wrapper
+
+/** Recency-list mirror of TwoLevelPwc. */
+class OracleTwoLevelPwc
+{
+  public:
+    static constexpr unsigned fanoutBits = 9;
+    static constexpr unsigned walkDepth = 4;
+
+    OracleTwoLevelPwc(unsigned l1_entries, unsigned l2_entries)
+        : l1_(TlbGeometry{l1_entries, l1_entries}),
+          l2_(TlbGeometry{l2_entries, l2_entries})
+    {
+    }
+
+    static Vpn
+    prefix(Vpn vpn, unsigned depth)
+    {
+        return vpn >> ((walkDepth - depth) * fanoutBits);
+    }
+
+    static std::uint64_t
+    tag(Asid asid, unsigned depth, Vpn pfx)
+    {
+        return (std::uint64_t{asid} << 44) |
+               (std::uint64_t{depth} << 40) | pfx;
+    }
+
+    unsigned
+    skippable(Asid asid, Vpn vpn)
+    {
+        const Vpn p3 = prefix(vpn, 3);
+        if (l1_.find(p3, tag(asid, 3, p3)))
+            return 3;
+        const Vpn p2 = prefix(vpn, 2);
+        if (l2_.find(p2, tag(asid, 2, p2)))
+            return 2;
+        return 0;
+    }
+
+    void
+    fill(Asid asid, Vpn vpn)
+    {
+        bool evicted = false;
+        const Vpn p3 = prefix(vpn, 3);
+        if (!l1_.find(p3, tag(asid, 3, p3)))
+            l1_.allocate(p3, tag(asid, 3, p3), &evicted);
+        const Vpn p2 = prefix(vpn, 2);
+        if (!l2_.find(p2, tag(asid, 2, p2)))
+            l2_.allocate(p2, tag(asid, 2, p2), &evicted);
+    }
+
+    void
+    flushAsid(Asid asid)
+    {
+        const auto match = [asid](std::uint64_t t, const Empty &) {
+            return (t >> 44) == asid;
+        };
+        l1_.invalidateIf(match);
+        l2_.invalidateIf(match);
+    }
+
+  private:
+    struct Empty
+    {
+    };
+
+    OracleSetAssoc<Empty> l1_;
+    OracleSetAssoc<Empty> l2_;
+};
+
+class OraclePwcDesign final : public OracleDesign
+{
+  public:
+    OraclePwcDesign(unsigned l1_entries, unsigned l2_entries,
+                    std::unique_ptr<OracleDesign> base)
+        : base_(std::move(base)), pwc_(l1_entries, l2_entries)
+    {
+    }
+
+    bool
+    access(Asid asid, Vpn vpn, TranslationWalker &walker) override
+    {
+        const bool hit = base_->access(asid, vpn, walker);
+        if (hit)
+            return true;
+        ++counters_.pwcLookups;
+        const unsigned skipped = pwc_.skippable(asid, vpn);
+        if (skipped > 0) {
+            ++counters_.pwcHits;
+            discount_ += std::min<std::uint64_t>(
+                skipped, walker.walkLevels() - 1);
+        }
+        pwc_.fill(asid, vpn);
+        return false;
+    }
+
+    bool
+    contains(Asid asid, Vpn vpn) const override
+    {
+        return base_->contains(asid, vpn);
+    }
+
+    bool
+    prefetchFill(Asid asid, Vpn vpn, TranslationWalker &walker) override
+    {
+        return base_->prefetchFill(asid, vpn, walker);
+    }
+
+    void
+    invalidatePage(Asid asid, Vpn vpn) override
+    {
+        base_->invalidatePage(asid, vpn);
+    }
+
+    void
+    flushAsid(Asid asid) override
+    {
+        base_->flushAsid(asid);
+        pwc_.flushAsid(asid);
+    }
+
+    const TlbStats &stats() const override { return base_->stats(); }
+
+    DesignCounters
+    counters() const override
+    {
+        DesignCounters c = base_->counters();
+        c.walkRefs -= discount_;
+        c.pwcLookups = counters_.pwcLookups;
+        c.pwcHits = counters_.pwcHits;
+        return c;
+    }
+
+    std::uint64_t reachPages() const override
+    {
+        return base_->reachPages();
+    }
+    unsigned validEntries() const override
+    {
+        return base_->validEntries();
+    }
+
+  private:
+    std::unique_ptr<OracleDesign> base_;
+    OracleTwoLevelPwc pwc_;
+    std::uint64_t discount_ = 0;
+};
+
+// -------------------------------------------------------- range design
+
+class OracleRangeDesign final : public OracleDesign
+{
+  public:
+    OracleRangeDesign(unsigned entries, std::uint64_t max_run)
+        : capacity_(entries), maxRun_(max_run)
+    {
+    }
+
+    bool
+    access(Asid asid, Vpn vpn, TranslationWalker &walker) override
+    {
+        if (lookup(asid, vpn))
+            return true;
+        fillFromWalk(asid, vpn, walker);
+        return false;
+    }
+
+    bool
+    contains(Asid asid, Vpn vpn) const override
+    {
+        for (const Entry &e : entries_) {
+            if (e.asid == asid && e.run.covers(vpn))
+                return true;
+        }
+        return false;
+    }
+
+    bool
+    prefetchFill(Asid asid, Vpn vpn, TranslationWalker &walker) override
+    {
+        if (contains(asid, vpn))
+            return false;
+        return fillFromWalk(asid, vpn, walker);
+    }
+
+    void
+    invalidatePage(Asid asid, Vpn vpn) override
+    {
+        for (auto it = entries_.begin(); it != entries_.end();) {
+            if (it->asid == asid && it->run.covers(vpn)) {
+                it = entries_.erase(it);
+                ++stats_.invalidations;
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    void
+    flushAsid(Asid asid) override
+    {
+        for (auto it = entries_.begin(); it != entries_.end();) {
+            if (it->asid == asid) {
+                it = entries_.erase(it);
+                ++stats_.invalidations;
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    const TlbStats &stats() const override { return stats_; }
+
+    std::uint64_t
+    reachPages() const override
+    {
+        std::uint64_t pages = 0;
+        for (const Entry &e : entries_)
+            pages += e.run.length;
+        return pages;
+    }
+
+    unsigned validEntries() const override
+    {
+        return static_cast<unsigned>(entries_.size());
+    }
+
+  private:
+    struct Entry
+    {
+        Asid asid = 0;
+        ContigRun run{};
+    };
+
+    bool
+    lookup(Asid asid, Vpn vpn)
+    {
+        ++stats_.accesses;
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (it->asid == asid && it->run.covers(vpn)) {
+                entries_.splice(entries_.begin(), entries_, it);
+                ++stats_.hits;
+                return true;
+            }
+        }
+        ++stats_.misses;
+        return false;
+    }
+
+    bool
+    fillFromWalk(Asid asid, Vpn vpn, TranslationWalker &walker)
+    {
+        counters_.walkRefs += walker.walkLevels();
+        std::uint64_t probes = 0;
+        const std::optional<ContigRun> run = mineContigRun(
+            [&](Vpn page) { return walker.pfnOf(asid, page); }, vpn,
+            maxRun_, &probes);
+        counters_.walkRefs += probes;
+        if (!run)
+            return false;
+        fill(asid, *run);
+        if (run->length > 1)
+            ++counters_.regionFills;
+        return true;
+    }
+
+    void
+    fill(Asid asid, const ContigRun &run)
+    {
+        for (auto it = entries_.begin(); it != entries_.end();) {
+            if (it->asid == asid &&
+                it->run.first < run.first + run.length &&
+                run.first < it->run.first + it->run.length) {
+                it = entries_.erase(it);
+                ++stats_.evictions;
+            } else {
+                ++it;
+            }
+        }
+        if (entries_.size() >= capacity_) {
+            entries_.pop_back(); // true-LRU victim
+            ++stats_.evictions;
+        }
+        entries_.push_front(Entry{asid, run});
+    }
+
+    unsigned capacity_;
+    std::uint64_t maxRun_;
+    std::list<Entry> entries_; // front = most recently used
+    TlbStats stats_;
+};
+
+std::unique_ptr<OracleDesign>
+makeLeaf(const std::string &kind, const OracleDesignSpec &spec)
+{
+    if (kind == "vanilla")
+        return std::make_unique<OracleVanillaDesign>(spec.geometry);
+    if (kind == "mosaic")
+        return std::make_unique<OracleMosaicDesign>(spec.geometry,
+                                                    spec.arity);
+    panic("oracle designs: unknown base kind '" + kind + "'");
+}
+
+} // namespace
+
+std::unique_ptr<OracleDesign>
+makeOracleDesign(const OracleDesignSpec &spec)
+{
+    if (spec.kind == "vanilla" || spec.kind == "mosaic")
+        return makeLeaf(spec.kind, spec);
+    if (spec.kind == "range") {
+        return std::make_unique<OracleRangeDesign>(spec.ranges,
+                                                   spec.maxRun);
+    }
+    if (spec.kind == "stride") {
+        return std::make_unique<OracleStrideDesign>(
+            spec.arbitrary, spec.degree, makeLeaf(spec.base, spec));
+    }
+    if (spec.kind == "pwc") {
+        return std::make_unique<OraclePwcDesign>(
+            spec.l1, spec.l2, makeLeaf(spec.base, spec));
+    }
+    panic("oracle designs: unknown kind '" + spec.kind + "'");
+}
+
+} // namespace mosaic

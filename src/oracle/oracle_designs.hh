@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reference models for the pluggable translation designs (DESIGN.md
+ * §14): the same access/fill/prefetch/invalidate contract as
+ * TranslationDesign, built on the naive recency-list structures of
+ * oracle_tlb.hh instead of the packed arrays the real designs use.
+ *
+ * The wrapper policies (stride trigger conditions, PWC discounting,
+ * contiguity mining) are transcribed op-for-op from the documented
+ * real-side behaviour — the differential value is in the underlying
+ * cache structures, whose LRU order, eviction choices, and counter
+ * accounting are derived independently. Walk payloads come through
+ * the shared TranslationWalker interface, so both sides are always
+ * fed identical page-table answers.
+ */
+
+#ifndef MOSAIC_ORACLE_ORACLE_DESIGNS_HH_
+#define MOSAIC_ORACLE_ORACLE_DESIGNS_HH_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "tlb/set_assoc.hh"
+#include "tlb/tlb_stats.hh"
+#include "tlb/translation_design.hh"
+#include "util/types.hh"
+
+namespace mosaic
+{
+
+/** Reference-side mirror of the TranslationDesign contract. */
+class OracleDesign
+{
+  public:
+    virtual ~OracleDesign() = default;
+
+    virtual bool access(Asid asid, Vpn vpn, TranslationWalker &walker) = 0;
+    virtual bool contains(Asid asid, Vpn vpn) const = 0;
+    virtual bool prefetchFill(Asid asid, Vpn vpn,
+                              TranslationWalker &walker) = 0;
+    virtual void invalidatePage(Asid asid, Vpn vpn) = 0;
+    virtual void flushAsid(Asid asid) = 0;
+    virtual const TlbStats &stats() const = 0;
+    virtual DesignCounters counters() const { return counters_; }
+    virtual std::uint64_t reachPages() const = 0;
+    virtual unsigned validEntries() const = 0;
+
+  protected:
+    DesignCounters counters_;
+};
+
+/** Everything the oracle factory needs to build one design. */
+struct OracleDesignSpec
+{
+    /** "vanilla" | "mosaic" | "stride" | "pwc" | "range". */
+    std::string kind = "vanilla";
+
+    /** Wrapped kind for stride/pwc: "vanilla" | "mosaic". */
+    std::string base = "vanilla";
+
+    TlbGeometry geometry{16, 2};
+    unsigned arity = 4;
+
+    bool arbitrary = false;
+    unsigned degree = 2;
+
+    unsigned ranges = 32;
+    std::uint64_t maxRun = 512;
+
+    unsigned l1 = 16;
+    unsigned l2 = 8;
+};
+
+/** Build an oracle design; panics on an unknown kind (the fuzz
+ *  driver validates specs before reaching here). */
+std::unique_ptr<OracleDesign> makeOracleDesign(const OracleDesignSpec &spec);
+
+} // namespace mosaic
+
+#endif // MOSAIC_ORACLE_ORACLE_DESIGNS_HH_

@@ -97,6 +97,24 @@ OracleVanillaTlb::flushAsid(Asid asid)
         });
 }
 
+bool
+OracleVanillaTlb::contains(Asid asid, Vpn vpn) const
+{
+    return array_.peek(vpn, tag4k(asid, vpn)) ||
+           array_.peek(vpn >> 9, tagHugeVanilla(asid, vpn));
+}
+
+std::uint64_t
+OracleVanillaTlb::reachPages() const
+{
+    std::uint64_t pages = 0;
+    array_.forEach([&](std::uint64_t tag, const Payload &) {
+        // Bit 63 marks the huge tag form (512 base pages).
+        pages += (tag >> 63) ? pagesPerHugePage : 1;
+    });
+    return pages;
+}
+
 // ------------------------------------------------------------- mosaic
 
 std::optional<Cpfn>
@@ -191,6 +209,29 @@ OracleMosaicTlb::flushAsid(Asid asid)
         [&](std::uint64_t tag, const Payload &) {
             return tagHasAsid(tag, asid);
         });
+}
+
+bool
+OracleMosaicTlb::contains(Asid asid, Vpn vpn) const
+{
+    const Mvpn mvpn = mvpnOf(vpn);
+    const auto *p = array_.peek(mvpn, tag4k(asid, mvpn));
+    return p && p->cpfns[offsetOf(vpn)] != MosaicTlb::absentCpfn;
+}
+
+std::uint64_t
+OracleMosaicTlb::reachPages() const
+{
+    std::uint64_t pages = 0;
+    array_.forEach([&](std::uint64_t, const Payload &p) {
+        if (p.conventional) {
+            ++pages;
+            return;
+        }
+        for (unsigned i = 0; i < arity_; ++i)
+            pages += p.cpfns[i] != MosaicTlb::absentCpfn ? 1 : 0;
+    });
+    return pages;
 }
 
 // ---------------------------------------------------------- coalesced
@@ -288,6 +329,40 @@ OracleCoalescedTlb::invalidate(Asid asid, Vpn vpn)
         ++stats_.invalidations;
 }
 
+void
+OracleCoalescedTlb::flushAsid(Asid asid)
+{
+    stats_.invalidations += array_.invalidateIf(
+        [&](std::uint64_t tag, const Payload &) {
+            return tagHasAsid(tag, asid);
+        });
+}
+
+bool
+OracleCoalescedTlb::contains(Asid asid, Vpn vpn) const
+{
+    const Vpn group = vpn / CoalescedTlb::coalesceFactor;
+    const unsigned off = vpn % CoalescedTlb::coalesceFactor;
+    if (const auto *p = array_.peek(group, tag4k(asid, group))) {
+        if (p->mask & (1u << off))
+            return true;
+    }
+    return array_.peek(vpn, tagSecondary(asid, vpn)) != nullptr;
+}
+
+std::uint64_t
+OracleCoalescedTlb::reachPages() const
+{
+    std::uint64_t pages = 0;
+    array_.forEach([&](std::uint64_t tag, const Payload &p) {
+        if (tag >> 63)
+            ++pages;
+        else
+            pages += static_cast<unsigned>(std::popcount(p.mask));
+    });
+    return pages;
+}
+
 // --------------------------------------------------------- perforated
 
 std::optional<Pfn>
@@ -337,11 +412,64 @@ OraclePerforatedTlb::fill4k(Asid asid, Vpn vpn, Pfn pfn)
     p.huge = false;
 }
 
+void
+OraclePerforatedTlb::invalidate(Asid asid, Vpn vpn)
+{
+    const Vpn huge_vpn = vpn >> 9;
+    const unsigned off = vpn & 0x1FF;
+    if (auto *p = array_.find(huge_vpn, tag4k(asid, huge_vpn))) {
+        if (!isHole(p->holes, off)) {
+            setHole(p->holes, off);
+            ++stats_.invalidations;
+        }
+    }
+    if (array_.invalidate(vpn, tagSecondary(asid, vpn)))
+        ++stats_.invalidations;
+}
+
+void
+OraclePerforatedTlb::flushAsid(Asid asid)
+{
+    stats_.invalidations += array_.invalidateIf(
+        [&](std::uint64_t tag, const Payload &) {
+            return tagHasAsid(tag, asid);
+        });
+}
+
 bool
 OraclePerforatedTlb::hasPerforatedEntry(Asid asid, Vpn vpn) const
 {
     const Vpn huge_vpn = vpn >> 9;
     return array_.peek(huge_vpn, tag4k(asid, huge_vpn)) != nullptr;
+}
+
+bool
+OraclePerforatedTlb::contains(Asid asid, Vpn vpn) const
+{
+    const Vpn huge_vpn = vpn >> 9;
+    const unsigned off = vpn & 0x1FF;
+    if (const auto *p = array_.peek(huge_vpn, tag4k(asid, huge_vpn))) {
+        if (!isHole(p->holes, off))
+            return true;
+    }
+    return array_.peek(vpn, tagSecondary(asid, vpn)) != nullptr;
+}
+
+std::uint64_t
+OraclePerforatedTlb::reachPages() const
+{
+    std::uint64_t pages = 0;
+    array_.forEach([&](std::uint64_t, const Payload &p) {
+        if (!p.huge) {
+            ++pages;
+            return;
+        }
+        unsigned holes = 0;
+        for (const std::uint64_t word : p.holes)
+            holes += static_cast<unsigned>(std::popcount(word));
+        pages += pagesPerHugePage - holes;
+    });
+    return pages;
 }
 
 } // namespace mosaic

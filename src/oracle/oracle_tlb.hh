@@ -146,6 +146,17 @@ class OracleSetAssoc
         return static_cast<unsigned>(n);
     }
 
+    /** Visit every entry as fn(tag, payload); no recency effects. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &set : sets_) {
+            for (const auto &entry : set)
+                fn(entry.tag, entry.payload);
+        }
+    }
+
   private:
     unsigned ways_;
     std::vector<std::list<Entry>> sets_;
@@ -165,6 +176,8 @@ class OracleVanillaTlb
     void fillHuge(Asid asid, Vpn vpn, Pfn base_pfn);
     void invalidate(Asid asid, Vpn vpn);
     void flushAsid(Asid asid);
+    bool contains(Asid asid, Vpn vpn) const;
+    std::uint64_t reachPages() const;
 
     const TlbStats &stats() const { return stats_; }
     unsigned validEntries() const { return array_.validEntries(); }
@@ -197,6 +210,8 @@ class OracleMosaicTlb
     void invalidateSub(Asid asid, Vpn vpn);
     void invalidateEntry(Asid asid, Vpn vpn);
     void flushAsid(Asid asid);
+    bool contains(Asid asid, Vpn vpn) const;
+    std::uint64_t reachPages() const;
 
     const TlbStats &stats() const { return stats_; }
     unsigned validEntries() const { return array_.validEntries(); }
@@ -232,6 +247,9 @@ class OracleCoalescedTlb
     void fill(Asid asid, Vpn vpn, Pfn pfn,
               const std::function<std::optional<Pfn>(Vpn)> &pfn_of);
     void invalidate(Asid asid, Vpn vpn);
+    void flushAsid(Asid asid);
+    bool contains(Asid asid, Vpn vpn) const;
+    std::uint64_t reachPages() const;
 
     const TlbStats &stats() const { return stats_; }
     std::uint64_t pagesCoveredByFills() const { return covered_; }
@@ -264,6 +282,10 @@ class OraclePerforatedTlb
     void fillPerforated(Asid asid, Vpn vpn, Pfn base_pfn,
                         const HoleBitmap &holes);
     void fill4k(Asid asid, Vpn vpn, Pfn pfn);
+    void invalidate(Asid asid, Vpn vpn);
+    void flushAsid(Asid asid);
+    bool contains(Asid asid, Vpn vpn) const;
+    std::uint64_t reachPages() const;
 
     /** True when the 2 MiB entry of the region is cached. Does not
      *  refresh recency: the fuzz driver uses it to decide between

@@ -110,4 +110,43 @@ CoalescedTlb::invalidate(Asid asid, Vpn vpn)
         ++stats_.invalidations;
 }
 
+void
+CoalescedTlb::flushAsid(Asid asid)
+{
+    const std::uint64_t asid_bits = std::uint64_t{asid} << 40;
+    const std::uint64_t mask = std::uint64_t{0xFFFF} << 40;
+    stats_.invalidations += array_.invalidateIf(
+        [&](std::uint64_t tag, const Payload &) {
+            return (tag & mask) == asid_bits;
+        });
+}
+
+bool
+CoalescedTlb::contains(Asid asid, Vpn vpn) const
+{
+    const Vpn group = vpn / coalesceFactor;
+    const unsigned off = vpn % coalesceFactor;
+    if (const auto *e = array_.peek(group, tagGroup(asid, group))) {
+        if (e->payload.mask & (1u << off))
+            return true;
+    }
+    return array_.peek(vpn, tagPage(asid, vpn)) != nullptr;
+}
+
+std::uint64_t
+CoalescedTlb::reachPages() const
+{
+    std::uint64_t pages = 0;
+    array_.forEachValid([&](std::uint64_t tag, const Payload &p) {
+        // Bit 63 marks the per-page tag form (always one page). A
+        // group entry reaches its mask popcount — possibly 0 when
+        // invalidations cleared every bit.
+        if (tag >> 63)
+            ++pages;
+        else
+            pages += static_cast<unsigned>(std::popcount(p.mask));
+    });
+    return pages;
+}
+
 } // namespace mosaic

@@ -44,6 +44,16 @@ class CoalescedTlb
     /** Drop the coverage of one page (and only that page). */
     void invalidate(Asid asid, Vpn vpn);
 
+    /** Drop all entries of an address space. */
+    void flushAsid(Asid asid);
+
+    /** Would lookup(asid, vpn) hit right now? No stats, no recency. */
+    bool contains(Asid asid, Vpn vpn) const;
+
+    /** 4 KiB pages translatable without a walk (mask popcount per
+     *  coalesced entry, 1 per per-page entry). */
+    std::uint64_t reachPages() const;
+
     const TlbStats &stats() const { return stats_; }
 
     /** Pages covered summed over all fills (reach accounting). */

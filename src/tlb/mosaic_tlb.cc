@@ -115,4 +115,27 @@ MosaicTlb::flushAsid(Asid asid)
         });
 }
 
+bool
+MosaicTlb::contains(Asid asid, Vpn vpn) const
+{
+    const Mvpn mvpn = mvpnOf(vpn);
+    const auto *e = array_.peek(mvpn, tagMosaic(asid, mvpn));
+    return e && e->payload.cpfns[offsetOf(vpn)] != absentCpfn;
+}
+
+std::uint64_t
+MosaicTlb::reachPages() const
+{
+    std::uint64_t pages = 0;
+    array_.forEachValid([&](std::uint64_t, const Payload &p) {
+        if (p.conventional) {
+            ++pages;
+            return;
+        }
+        for (unsigned i = 0; i < arity_; ++i)
+            pages += p.cpfns[i] != absentCpfn ? 1 : 0;
+    });
+    return pages;
+}
+
 } // namespace mosaic

@@ -98,6 +98,13 @@ class MosaicTlb
     /** Drop all entries of an address space. */
     void flushAsid(Asid asid);
 
+    /** Would lookup(asid, vpn) hit right now? No stats, no recency. */
+    bool contains(Asid asid, Vpn vpn) const;
+
+    /** 4 KiB pages translatable without a walk: present ToC slots
+     *  plus one per conventional entry. */
+    std::uint64_t reachPages() const;
+
     const TlbStats &stats() const { return stats_; }
     TlbStats &stats() { return stats_; }
     const TlbGeometry &geometry() const { return array_.geometry(); }

@@ -61,6 +61,27 @@ class PerforatedTlb
     /** Install the 4 KiB translation of one hole (or plain) page. */
     void fill4k(Asid asid, Vpn vpn, Pfn pfn);
 
+    /**
+     * Drop the coverage of one page: its 4 KiB entry if cached, and —
+     * when a perforated entry covers it — punch a hole so the region
+     * entry stops translating it (the rest of the region stays).
+     */
+    void invalidate(Asid asid, Vpn vpn);
+
+    /** Drop all entries of an address space. */
+    void flushAsid(Asid asid);
+
+    /** Is a perforated entry for vpn's region cached? No stats, no
+     *  recency (fill-policy probe and oracle cross-checks). */
+    bool hasPerforatedEntry(Asid asid, Vpn vpn) const;
+
+    /** Would lookup(asid, vpn) hit right now? No stats, no recency. */
+    bool contains(Asid asid, Vpn vpn) const;
+
+    /** 4 KiB pages translatable without a walk (512 minus holes per
+     *  perforated entry, 1 per 4 KiB entry). */
+    std::uint64_t reachPages() const;
+
     const TlbStats &stats() const { return stats_; }
 
     /** Lookups that hit a perforated entry but landed in a hole and

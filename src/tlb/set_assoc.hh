@@ -237,6 +237,18 @@ class SetAssocArray
         return n;
     }
 
+    /** Visit every valid entry as fn(tag, payload); no recency
+     *  effects. Used to total translation reach across an array. */
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn) const
+    {
+        for (const Entry &e : entries_) {
+            if (e.valid)
+                fn(e.tag, e.payload);
+        }
+    }
+
   private:
     // Below this associativity the way scan beats a hash lookup.
     static constexpr unsigned indexThresholdWays = 8;

@@ -70,4 +70,21 @@ VanillaTlb::flushAsid(Asid asid)
         });
 }
 
+bool
+VanillaTlb::contains(Asid asid, Vpn vpn) const
+{
+    return array_.peek(vpn, tag4k(asid, vpn)) ||
+           array_.peek(vpn >> 9, tagHuge(asid, vpn));
+}
+
+std::uint64_t
+VanillaTlb::reachPages() const
+{
+    std::uint64_t pages = 0;
+    array_.forEachValid([&](std::uint64_t, const Payload &p) {
+        pages += p.huge ? pagesPerHugePage : 1;
+    });
+    return pages;
+}
+
 } // namespace mosaic

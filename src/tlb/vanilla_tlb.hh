@@ -54,6 +54,12 @@ class VanillaTlb
     /** Drop all translations of an address space. */
     void flushAsid(Asid asid);
 
+    /** Would lookup(asid, vpn) hit right now? No stats, no recency. */
+    bool contains(Asid asid, Vpn vpn) const;
+
+    /** 4 KiB pages translatable without a walk (huge entry = 512). */
+    std::uint64_t reachPages() const;
+
     const TlbStats &stats() const { return stats_; }
     TlbStats &stats() { return stats_; }
     const TlbGeometry &geometry() const { return array_.geometry(); }

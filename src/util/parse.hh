@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Strict numeric parsing for external inputs (environment knobs,
+ * command-line arguments, checkpoint fields).
+ *
+ * The strto* family is the wrong tool for validating input: it
+ * silently accepts trailing garbage when the end pointer is ignored,
+ * wraps negative values into huge unsigned ones, and clamps overflow
+ * to a maximum that then looks like a legitimate value. Every parser
+ * here instead accepts exactly one token shape and rejects everything
+ * else, so callers can tell "the user typed 0" apart from "the user
+ * typed nonsense".
+ */
+
+#ifndef MOSAIC_UTIL_PARSE_HH_
+#define MOSAIC_UTIL_PARSE_HH_
+
+#include <cstdint>
+#include <string_view>
+
+namespace mosaic
+{
+
+/**
+ * Parse a non-negative decimal integer. The whole string must be
+ * digits: no sign (so "-1" cannot wrap), no whitespace, no trailing
+ * junk ("64x"), no empty string, and no value above 2^64-1 (overflow
+ * is malformed input, not "the maximum"). Returns false — leaving
+ * *out untouched — on any violation.
+ */
+inline bool
+parseU64(std::string_view s, std::uint64_t *out)
+{
+    if (s.empty())
+        return false;
+    std::uint64_t v = 0;
+    for (const char c : s) {
+        if (c < '0' || c > '9')
+            return false;
+        const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+        if (v > (~std::uint64_t{0} - digit) / 10)
+            return false;
+        v = v * 10 + digit;
+    }
+    *out = v;
+    return true;
+}
+
+/** parseU64 restricted to values representable as unsigned. */
+inline bool
+parseU32(std::string_view s, unsigned *out)
+{
+    std::uint64_t v = 0;
+    if (!parseU64(s, &v) || v > 0xFFFFFFFFull)
+        return false;
+    *out = static_cast<unsigned>(v);
+    return true;
+}
+
+} // namespace mosaic
+
+#endif // MOSAIC_UTIL_PARSE_HH_

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Differential fuzzing of the registry-built translation designs
+ * (stride prefetcher, two-level PWC, range TLB) against their
+ * recency-list oracle models: hit/miss results, every TlbStats
+ * counter, valid entries, measured reach, and all walk-cost/helper
+ * counters must agree after every operation. The real side of each
+ * run is constructed through makeTranslationDesign, so the spec
+ * grammar round trip is exercised on every trace.
+ *
+ * Coverage comes from three directions: fresh generated seeds per
+ * pseudo-component (strided cursors plus random jumps), the checked-in
+ * tlb corpus traces re-pinned to each new kind (arbitrary geometries
+ * and op mixes the generator would rarely produce), and determinism
+ * replays.
+ */
+
+#include "fuzz_test_util.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "oracle/fuzzer.hh"
+#include "oracle/trace.hh"
+
+using namespace mosaic;
+using namespace mosaic::fuzztest;
+namespace fs = std::filesystem;
+
+namespace
+{
+
+constexpr const char *kComponents[] = {"tlb-stride", "tlb-pwc",
+                                       "tlb-range"};
+constexpr const char *kKinds[] = {"stride", "pwc", "range"};
+
+std::vector<fs::path>
+tlbCorpusTraces()
+{
+    std::vector<fs::path> paths;
+    for (const auto &entry : fs::directory_iterator(MOSAIC_FUZZ_CORPUS_DIR))
+        if (entry.path().filename().string().starts_with("tlb_") &&
+            entry.path().extension() == ".trace")
+            paths.push_back(entry.path());
+    std::sort(paths.begin(), paths.end());
+    return paths;
+}
+
+} // namespace
+
+// 8 fresh seeds x 3 design kinds = 24 fresh differential runs at the
+// default budget (MOSAIC_FUZZ_SEEDS raises it in CI).
+TEST(FuzzDesigns, GeneratedSeedsPass)
+{
+    const std::uint64_t seeds = seedBudget(8);
+    const std::uint64_t ops = opBudget();
+    for (const char *component : kComponents)
+        for (std::uint64_t s = 1; s <= seeds; ++s)
+            expectSeedPasses(component, s, ops);
+}
+
+// Every checked-in tlb trace, re-pinned to each design kind: the op
+// sequences and geometries were minimized/curated against the four
+// base variants, which makes them unusual inputs for the wrappers.
+TEST(FuzzDesigns, CorpusRepinnedToEachKind)
+{
+    const std::vector<fs::path> paths = tlbCorpusTraces();
+    ASSERT_GE(paths.size(), 5u);
+    for (const fs::path &path : paths) {
+        for (const char *kind : kKinds) {
+            Trace trace = readTraceFile(path.string());
+            trace.setCfg("kind", kind);
+            const FuzzResult result = runTrace(trace);
+            EXPECT_FALSE(result.divergence.has_value())
+                << path.filename().string() << " pinned to " << kind
+                << " diverged at op " << result.divergence->opIndex
+                << ": " << result.divergence->message;
+            EXPECT_GT(result.opsApplied, 0u);
+        }
+    }
+}
+
+// Both wrapper kinds over both base kinds, plus the stride modes, at
+// a fully associative geometry (hardest LRU-order case).
+TEST(FuzzDesigns, WrapperMatrixPinned)
+{
+    struct Cell
+    {
+        const char *component;
+        const char *base;
+        const char *mode;
+    };
+    static constexpr Cell cells[] = {
+        {"tlb-stride", "vanilla", "fixed"},
+        {"tlb-stride", "mosaic", "arbitrary"},
+        {"tlb-pwc", "vanilla", nullptr},
+        {"tlb-pwc", "mosaic", nullptr},
+    };
+    for (const Cell &cell : cells) {
+        Trace trace = generateTrace(cell.component, 99, opBudget(2000));
+        trace.setCfg("base", cell.base);
+        if (cell.mode != nullptr)
+            trace.setCfg("mode", cell.mode);
+        trace.setCfgUint("entries", 16);
+        trace.setCfgUint("ways", 16);
+        const FuzzResult result = runTrace(trace);
+        EXPECT_FALSE(result.divergence.has_value())
+            << cell.component << " base=" << cell.base << ": "
+            << result.divergence->message;
+    }
+}
+
+TEST(FuzzDesigns, ReplayIsDeterministic)
+{
+    for (const char *component : kComponents) {
+        const Trace trace = generateTrace(component, 3, opBudget(2000));
+        const FuzzResult a = runTrace(trace);
+        const FuzzResult b = runTrace(trace);
+        EXPECT_EQ(a.digest, b.digest) << component;
+        EXPECT_EQ(a.opsApplied, b.opsApplied) << component;
+    }
+}

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The design bake-off and the TranslationSim design wiring: spec
+ * coverage, tiny-run shape, the free differential check that a
+ * registry-built vanilla/mosaic design reproduces the builtin grid's
+ * stats exactly, and scalar-vs-batched equivalence of the design
+ * path (DESIGN.md §13/§14).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/bakeoff.hh"
+#include "core/batch_pipeline.hh"
+#include "core/experiments.hh"
+#include "core/translation_sim.hh"
+#include "hash/mix.hh"
+#include "telemetry/report.hh"
+#include "tlb/design_registry.hh"
+
+using namespace mosaic;
+
+namespace
+{
+
+/** A small sim with a registry vanilla + mosaic design next to an
+ *  identical-geometry builtin grid. */
+TranslationSimConfig
+gridMirrorConfig()
+{
+    TranslationSimConfig config;
+    config.memory = ampleGeometry(std::uint64_t{8} << 20);
+    config.tlbEntries = 64;
+    config.waysList = {4};
+    config.arities = {8};
+    config.kernel.accessEvery = 0;
+    config.designWays = 4;
+    config.designSpecs = {"vanilla", "mosaic:arity=8"};
+    return config;
+}
+
+/** Deterministic reference stream over a 4 MiB region. */
+Addr
+streamAddr(std::uint64_t i)
+{
+    return addrOf(mix64(i) % 1024);
+}
+
+void
+expectStatsEq(const TlbStats &a, const TlbStats &b, const char *what)
+{
+    EXPECT_EQ(a.accesses, b.accesses) << what;
+    EXPECT_EQ(a.hits, b.hits) << what;
+    EXPECT_EQ(a.misses, b.misses) << what;
+    EXPECT_EQ(a.subEntryFills, b.subEntryFills) << what;
+    EXPECT_EQ(a.evictions, b.evictions) << what;
+    EXPECT_EQ(a.invalidations, b.invalidations) << what;
+}
+
+} // namespace
+
+TEST(Bakeoff, SpecsCoverEveryRegisteredKind)
+{
+    const BakeoffOptions options;
+    const std::vector<std::string> specs = bakeoffSpecs(options, 16);
+    ASSERT_EQ(specs.size(), translationDesignKinds().size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const std::string kind = specs[i].substr(0, specs[i].find(':'));
+        EXPECT_EQ(kind, translationDesignKinds()[i]);
+        EXPECT_TRUE(makeTranslationDesign(specs[i]).ok()) << specs[i];
+    }
+    // The mosaic-backed designs really are pinned to the arity.
+    EXPECT_NE(specs[1].find("arity=16"), std::string::npos);
+    EXPECT_NE(specs[4].find("arity=16"), std::string::npos);
+    EXPECT_NE(specs[5].find("arity=16"), std::string::npos);
+}
+
+TEST(Bakeoff, TinyRunHasTheExpectedShape)
+{
+    BakeoffOptions options;
+    options.scale = 0.02;
+    options.kinds = {WorkloadKind::Gups};
+    options.arities = {4};
+    const std::vector<BakeoffCell> cells = runBakeoff(options);
+
+    ASSERT_EQ(cells.size(), 1u);
+    const BakeoffCell &cell = cells[0];
+    EXPECT_EQ(cell.kind, WorkloadKind::Gups);
+    EXPECT_EQ(cell.arity, 4u);
+    EXPECT_GT(cell.accesses, 0u);
+    ASSERT_EQ(cell.designs.size(), translationDesignKinds().size());
+
+    for (std::size_t i = 0; i < cell.designs.size(); ++i) {
+        const BakeoffDesignResult &d = cell.designs[i];
+        EXPECT_EQ(d.kind, translationDesignKinds()[i]);
+        // Kernel stream off: every design sees every data reference.
+        EXPECT_EQ(d.metric("accesses"), cell.accesses) << d.kind;
+        EXPECT_EQ(d.metric("hits") + d.metric("misses"), cell.accesses)
+            << d.kind;
+        EXPECT_GE(d.missRate(), 0.0);
+        EXPECT_LE(d.missRate(), 1.0);
+        EXPECT_GT(d.metric("walkRefs"), 0u) << d.kind;
+        EXPECT_GT(d.metric("reachPages"), 0u) << d.kind;
+    }
+    // The PWC only discounts walk cost; it never changes hit/miss.
+    EXPECT_LT(cell.designs[5].metric("walkRefs"),
+              cell.designs[1].metric("walkRefs"));
+    EXPECT_EQ(cell.designs[5].metric("misses"),
+              cell.designs[1].metric("misses"));
+
+    telemetry::BenchReport report("bakeoff_test");
+    recordBakeoff(report.metrics(), cell);
+    const std::string json = report.metricsJson();
+    EXPECT_NE(json.find("bakeoff.gups.arity4.vanilla.misses"),
+              std::string::npos);
+    EXPECT_NE(json.find("bakeoff.gups.arity4.range.walkRefs"),
+              std::string::npos);
+    EXPECT_NE(json.find("bakeoff.gups.arity4.pwc.pwcHits"),
+              std::string::npos);
+}
+
+// The free differential test the wiring is designed around: a
+// registry-built "vanilla"/"mosaic" design fed by TranslationSim's
+// walker must reproduce the identically-shaped builtin grid instance
+// stat for stat (same lookups, same walks, same fills).
+TEST(Bakeoff, RegistryDesignsMatchBuiltinGrid)
+{
+    TranslationSim sim(gridMirrorConfig());
+    ASSERT_EQ(sim.numDesigns(), 2u);
+    for (std::uint64_t i = 0; i < 8000; ++i)
+        sim.access(streamAddr(i), false);
+
+    expectStatsEq(sim.design(0).stats(), sim.vanillaStats(0),
+                  "vanilla design vs grid");
+    expectStatsEq(sim.design(1).stats(), sim.mosaicStats(0, 0),
+                  "mosaic design vs grid");
+    EXPECT_GT(sim.design(0).stats().misses, 0u);
+    EXPECT_GT(sim.design(0).stats().hits, 0u);
+    // Every miss cost one full radix walk, nothing more.
+    EXPECT_EQ(sim.design(0).counters().walkRefs,
+              sim.design(0).stats().misses * 4);
+}
+
+TEST(Bakeoff, BatchedDesignPathMatchesScalar)
+{
+    TranslationSim scalar(gridMirrorConfig());
+    TranslationSim batched(gridMirrorConfig());
+
+    std::vector<MemRef> refs;
+    for (std::uint64_t i = 0; i < 6000; ++i)
+        refs.push_back(MemRef{streamAddr(i), false});
+
+    for (const MemRef &ref : refs)
+        scalar.access(ref.vaddr, ref.write);
+    for (std::size_t i = 0; i < refs.size(); i += 7) {
+        const std::size_t n = std::min<std::size_t>(7, refs.size() - i);
+        batched.accessBatch({refs.data() + i, n});
+    }
+
+    ASSERT_EQ(scalar.numDesigns(), batched.numDesigns());
+    for (std::size_t d = 0; d < scalar.numDesigns(); ++d) {
+        expectStatsEq(scalar.design(d).stats(), batched.design(d).stats(),
+                      scalar.design(d).name().c_str());
+        EXPECT_EQ(scalar.design(d).counters().walkRefs,
+                  batched.design(d).counters().walkRefs);
+        EXPECT_EQ(scalar.design(d).validEntries(),
+                  batched.design(d).validEntries());
+        EXPECT_EQ(scalar.design(d).reachPages(),
+                  batched.design(d).reachPages());
+    }
+}

@@ -341,6 +341,17 @@ TEST(BatchPipeline, EnvKnobParsesAndClamps)
     EXPECT_EQ(with("junk"), 0u);
     EXPECT_EQ(with("64k"), 0u);
     EXPECT_EQ(with("1000000"), maxBatchBlock);
+    // Regression: strtoul wrapped "-1" to ULONG_MAX, which then
+    // silently clamped to the maximum block size. Signs, trailing
+    // junk after digits, embedded spaces, and values past 2^64-1 are
+    // all malformed and mean scalar.
+    EXPECT_EQ(with("-1"), 0u);
+    EXPECT_EQ(with("-64"), 0u);
+    EXPECT_EQ(with("+8"), 0u);
+    EXPECT_EQ(with("64x"), 0u);
+    EXPECT_EQ(with("6 4"), 0u);
+    EXPECT_EQ(with(" 64"), 0u);
+    EXPECT_EQ(with("18446744073709551616"), 0u); // 2^64 overflows
     with(saved ? saved_copy.c_str() : nullptr);
 }
 

@@ -292,7 +292,7 @@ TEST(ExperimentCodecs, Fig6CellRoundTrips)
     cell.seconds = 3.14159265358979;
 
     Fig6Cell back;
-    ASSERT_TRUE(decodeFig6Cell(encodeFig6Cell(cell), &back));
+    ASSERT_TRUE(decodeFig6Cell(encodeFig6Cell(cell), &back).ok());
     EXPECT_EQ(back.row.ways, cell.row.ways);
     EXPECT_EQ(back.row.vanillaMisses, cell.row.vanillaMisses);
     EXPECT_EQ(back.row.mosaicMisses, cell.row.mosaicMisses);
@@ -313,7 +313,7 @@ TEST(ExperimentCodecs, Table3RowRoundTrips)
     row.cellSeconds = 0.25;
 
     Table3Row back;
-    ASSERT_TRUE(decodeTable3Row(encodeTable3Row(row), &back));
+    ASSERT_TRUE(decodeTable3Row(encodeTable3Row(row), &back).ok());
     EXPECT_EQ(back.kind, row.kind);
     EXPECT_EQ(back.footprintBytes, row.footprintBytes);
     EXPECT_EQ(back.firstConflictPct.encode(),
@@ -333,7 +333,7 @@ TEST(ExperimentCodecs, Table4RowRoundTrips)
     row.cellSeconds = 1.75;
 
     Table4Row back;
-    ASSERT_TRUE(decodeTable4Row(encodeTable4Row(row), &back));
+    ASSERT_TRUE(decodeTable4Row(encodeTable4Row(row), &back).ok());
     EXPECT_EQ(back.kind, row.kind);
     EXPECT_EQ(back.footprintBytes, row.footprintBytes);
     EXPECT_EQ(back.linuxSwapIo.encode(), row.linuxSwapIo.encode());
@@ -344,15 +344,75 @@ TEST(ExperimentCodecs, Table4RowRoundTrips)
 TEST(ExperimentCodecs, MalformedPayloadsRejected)
 {
     Fig6Cell cell;
-    EXPECT_FALSE(decodeFig6Cell("", &cell));
-    EXPECT_FALSE(decodeFig6Cell("garbage\n", &cell));
-    EXPECT_FALSE(decodeFig6Cell("ways 4\nvanilla 1\n", &cell));
+    EXPECT_FALSE(decodeFig6Cell("", &cell).ok());
+    EXPECT_FALSE(decodeFig6Cell("garbage\n", &cell).ok());
+    EXPECT_FALSE(decodeFig6Cell("ways 4\nvanilla 1\n", &cell).ok());
     Table3Row t3;
-    EXPECT_FALSE(decodeTable3Row("kind 0\nfootprint 1\n", &t3));
+    EXPECT_FALSE(decodeTable3Row("kind 0\nfootprint 1\n", &t3).ok());
     EXPECT_FALSE(decodeTable3Row(
-        "kind 0\nfootprint 1\nfirstConflictPct nonsense\n", &t3));
+        "kind 0\nfootprint 1\nfirstConflictPct nonsense\n", &t3).ok());
     Table4Row t4;
-    EXPECT_FALSE(decodeTable4Row("not a row", &t4));
+    EXPECT_FALSE(decodeTable4Row("not a row", &t4).ok());
+}
+
+// A corrupt numeric field used to strtoull into 0 and "decode"
+// successfully, resuming a bogus row. Every such field must now be
+// rejected as DataLoss naming the field, so the sweep runner
+// recomputes the cell instead.
+TEST(ExperimentCodecs, CorruptNumericFieldsAreDataLoss)
+{
+    Fig6Cell cell;
+    cell.row.ways = 4;
+    cell.row.vanillaMisses = 123;
+    cell.row.mosaicMisses = {1, 2, 3};
+    cell.footprintBytes = 1 << 20;
+    cell.accesses = 42;
+    cell.seconds = 0.5;
+    const std::string good = encodeFig6Cell(cell);
+
+    const auto corrupt = [&](const std::string &from,
+                             const std::string &to) {
+        std::string text = good;
+        const std::size_t pos = text.find(from);
+        EXPECT_NE(pos, std::string::npos);
+        text.replace(pos, from.size(), to);
+        return text;
+    };
+
+    Fig6Cell back;
+    const Status hexWays =
+        decodeFig6Cell(corrupt("ways 4", "ways 0x4"), &back);
+    EXPECT_EQ(hexWays.code(), StatusCode::DataLoss);
+    EXPECT_NE(hexWays.message().find("ways"), std::string::npos);
+
+    const Status negVanilla =
+        decodeFig6Cell(corrupt("vanilla 123", "vanilla -123"), &back);
+    EXPECT_EQ(negVanilla.code(), StatusCode::DataLoss);
+
+    const Status junkMosaic =
+        decodeFig6Cell(corrupt("mosaic 1 2 3", "mosaic 1 2x 3"), &back);
+    EXPECT_EQ(junkMosaic.code(), StatusCode::DataLoss);
+    EXPECT_NE(junkMosaic.message().find("mosaic"), std::string::npos);
+
+    const Status junkAccesses =
+        decodeFig6Cell(corrupt("accesses 42", "accesses 42 extra"),
+                       &back);
+    EXPECT_EQ(junkAccesses.code(), StatusCode::DataLoss);
+
+    Table3Row t3;
+    const Status badKind = decodeTable3Row(
+        "kind 99\nfootprint 1\nfirstConflictPct 0\nsteadyPct 0\n"
+        "seconds 0x0p+0\n",
+        &t3);
+    EXPECT_EQ(badKind.code(), StatusCode::DataLoss);
+    EXPECT_NE(badKind.message().find("kind"), std::string::npos);
+
+    Table4Row t4;
+    const Status badFootprint = decodeTable4Row(
+        "kind 0\nfootprint 12junk\n", &t4);
+    EXPECT_EQ(badFootprint.code(), StatusCode::DataLoss);
+    EXPECT_NE(badFootprint.message().find("footprint"),
+              std::string::npos);
 }
 
 } // namespace

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "util/bitvec.hh"
+#include "util/parse.hh"
 #include "util/random.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -326,6 +327,41 @@ TEST(BitVec, WindowAtTailDoesNotReadPastEnd)
     // A 64-wide window based at 64 reads only the second word.
     EXPECT_EQ(v.window(64, 36), std::uint64_t{1} << 35);
     EXPECT_EQ(v.window(96, 4), std::uint64_t{1} << 3);
+}
+
+TEST(Parse, U64AcceptsOnlyPlainDecimal)
+{
+    std::uint64_t v = 99;
+    EXPECT_TRUE(parseU64("0", &v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(parseU64("42", &v));
+    EXPECT_EQ(v, 42u);
+    EXPECT_TRUE(parseU64("18446744073709551615", &v)); // 2^64-1
+    EXPECT_EQ(v, ~std::uint64_t{0});
+
+    v = 99;
+    EXPECT_FALSE(parseU64("", &v));
+    EXPECT_FALSE(parseU64("-1", &v));
+    EXPECT_FALSE(parseU64("+1", &v));
+    EXPECT_FALSE(parseU64("1x", &v));
+    EXPECT_FALSE(parseU64("x1", &v));
+    EXPECT_FALSE(parseU64("1 ", &v));
+    EXPECT_FALSE(parseU64(" 1", &v));
+    EXPECT_FALSE(parseU64("0x10", &v));
+    EXPECT_FALSE(parseU64("1.5", &v));
+    EXPECT_FALSE(parseU64("18446744073709551616", &v)); // 2^64
+    EXPECT_FALSE(parseU64("99999999999999999999999", &v));
+    EXPECT_EQ(v, 99u) << "failed parses must not write *out";
+}
+
+TEST(Parse, U32RejectsValuesAboveUnsignedRange)
+{
+    unsigned v = 7;
+    EXPECT_TRUE(parseU32("4294967295", &v));
+    EXPECT_EQ(v, 4294967295u);
+    EXPECT_FALSE(parseU32("4294967296", &v));
+    EXPECT_FALSE(parseU32("-2", &v));
+    EXPECT_EQ(v, 4294967295u);
 }
 
 } // namespace

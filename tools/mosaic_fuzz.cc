@@ -7,9 +7,9 @@
  * can re-execute.
  *
  * Usage:
- *   mosaic_fuzz [--component vm|tlb|iceberg|all] [--seeds N]
- *               [--first-seed S] [--ops N] [--out DIR] [--emit]
- *               [--batch N]
+ *   mosaic_fuzz [--component vm|tlb|iceberg|tlb-stride|tlb-pwc|
+ *                tlb-range|all] [--seeds N] [--first-seed S] [--ops N]
+ *               [--out DIR] [--emit] [--batch N]
  *
  * --batch N (default $MOSAIC_BATCH) engages the batched-pipeline
  * shadow (DESIGN.md §13): every applied vm op also drives a
@@ -35,6 +35,7 @@
 #include "core/batch_pipeline.hh"
 #include "oracle/fuzzer.hh"
 #include "oracle/trace.hh"
+#include "util/parse.hh"
 #include "util/thread_pool.hh"
 
 using namespace mosaic;
@@ -57,10 +58,45 @@ int
 usage()
 {
     std::cerr <<
-        "usage: mosaic_fuzz [--component vm|tlb|iceberg|all]\n"
+        "usage: mosaic_fuzz [--component vm|tlb|iceberg|tlb-stride|\n"
+        "                    tlb-pwc|tlb-range|all]\n"
         "                   [--seeds N] [--first-seed S] [--ops N]\n"
         "                   [--out DIR] [--batch N]\n";
     return 2;
+}
+
+bool
+componentKnown(const std::string &c)
+{
+    static const char *known[] = {"all",        "vm",      "tlb",
+                                  "iceberg",    "tlb-stride",
+                                  "tlb-pwc",    "tlb-range"};
+    for (const char *k : known) {
+        if (c == k)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Strict numeric option parse. strtoull-with-nullptr used to turn a
+ * typo'd value ("1O" for "10") into 0, and a sweep with --seeds 0
+ * "passed" having run nothing; malformed values are now a usage
+ * error that names the flag.
+ */
+bool
+parseCount(const char *flag, const char *v, std::uint64_t *out)
+{
+    if (!v) {
+        std::cerr << "mosaic_fuzz: missing value for " << flag << "\n";
+        return false;
+    }
+    if (!parseU64(v, out)) {
+        std::cerr << "mosaic_fuzz: malformed value for " << flag
+                  << ": '" << v << "'\n";
+        return false;
+    }
+    return true;
 }
 
 bool
@@ -77,20 +113,16 @@ parseArgs(int argc, char **argv, Options *opts)
                 return false;
             opts->component = v;
         } else if (arg == "--seeds") {
-            const char *v = next();
-            if (!v)
+            if (!parseCount("--seeds", next(), &opts->seeds))
                 return false;
-            opts->seeds = std::strtoull(v, nullptr, 10);
         } else if (arg == "--first-seed") {
-            const char *v = next();
-            if (!v)
+            if (!parseCount("--first-seed", next(), &opts->firstSeed))
                 return false;
-            opts->firstSeed = std::strtoull(v, nullptr, 10);
         } else if (arg == "--ops") {
-            const char *v = next();
-            if (!v)
+            std::uint64_t ops = 0;
+            if (!parseCount("--ops", next(), &ops))
                 return false;
-            opts->ops = std::strtoull(v, nullptr, 10);
+            opts->ops = static_cast<std::size_t>(ops);
         } else if (arg == "--out") {
             const char *v = next();
             if (!v)
@@ -99,20 +131,22 @@ parseArgs(int argc, char **argv, Options *opts)
         } else if (arg == "--emit") {
             opts->emit = true;
         } else if (arg == "--batch") {
-            const char *v = next();
-            if (!v)
+            std::uint64_t batch = 0;
+            if (!parseCount("--batch", next(), &batch))
                 return false;
             opts->batch = static_cast<unsigned>(
-                std::min<unsigned long long>(
-                    std::strtoull(v, nullptr, 10), maxBatchBlock));
+                std::min<std::uint64_t>(batch, maxBatchBlock));
         } else {
             return false;
         }
     }
-    if (opts->component != "all" && opts->component != "vm" &&
-            opts->component != "tlb" && opts->component != "iceberg")
+    if (!componentKnown(opts->component))
         return false;
-    return opts->seeds > 0 && opts->ops > 0;
+    if (opts->seeds == 0 || opts->ops == 0) {
+        std::cerr << "mosaic_fuzz: --seeds and --ops must be > 0\n";
+        return false;
+    }
+    return true;
 }
 
 } // namespace
@@ -126,7 +160,8 @@ main(int argc, char **argv)
 
     std::vector<std::string> components;
     if (opts.component == "all")
-        components = {"vm", "tlb", "iceberg"};
+        components = {"vm",         "tlb",     "iceberg",
+                      "tlb-stride", "tlb-pwc", "tlb-range"};
     else
         components = {opts.component};
 
