@@ -88,6 +88,34 @@ BM_KvStoreStream(benchmark::State &state)
 BENCHMARK(BM_KvStoreStream)->Unit(benchmark::kMillisecond);
 
 void
+BM_WarpStream(benchmark::State &state)
+{
+    runKind(state, WorkloadKind::WarpGpu);
+}
+BENCHMARK(BM_WarpStream)->Unit(benchmark::kMillisecond);
+
+void
+BM_KvServerStream(benchmark::State &state)
+{
+    runKind(state, WorkloadKind::KvServer);
+}
+BENCHMARK(BM_KvServerStream)->Unit(benchmark::kMillisecond);
+
+void
+BM_WebSessionStream(benchmark::State &state)
+{
+    runKind(state, WorkloadKind::WebSession);
+}
+BENCHMARK(BM_WebSessionStream)->Unit(benchmark::kMillisecond);
+
+void
+BM_ScanAnalyticsStream(benchmark::State &state)
+{
+    runKind(state, WorkloadKind::ScanAnalytics);
+}
+BENCHMARK(BM_ScanAnalyticsStream)->Unit(benchmark::kMillisecond);
+
+void
 BM_TraceRecordReplay(benchmark::State &state)
 {
     const auto workload =

@@ -44,10 +44,13 @@ struct BakeoffOptions
     /** Mosaic arities to pin the mosaic-backed designs to. */
     std::vector<unsigned> arities{4, 16, 64};
 
-    /** Workloads to sweep. */
+    /** Workloads to sweep: the four paper workloads plus the
+     *  scenario-diversity engines (DESIGN.md §15). */
     std::vector<WorkloadKind> kinds{
-        WorkloadKind::Graph500, WorkloadKind::BTree, WorkloadKind::Gups,
-        WorkloadKind::XsBench};
+        WorkloadKind::Graph500,   WorkloadKind::BTree,
+        WorkloadKind::Gups,       WorkloadKind::XsBench,
+        WorkloadKind::WarpGpu,    WorkloadKind::KvServer,
+        WorkloadKind::WebSession, WorkloadKind::ScanAnalytics};
 
     std::uint64_t seed = 1;
 };

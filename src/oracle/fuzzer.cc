@@ -28,6 +28,11 @@
 #include "tlb/vanilla_tlb.hh"
 #include "util/log.hh"
 #include "util/random.hh"
+#include "workloads/access_sink.hh"
+#include "workloads/kv_server.hh"
+#include "workloads/scan_analytics.hh"
+#include "workloads/warp.hh"
+#include "workloads/web_session.hh"
 
 namespace mosaic
 {
@@ -2456,6 +2461,149 @@ generateMosaicVm(Rng &rng, std::size_t numOps)
     return t;
 }
 
+/** A tiny randomized instance of one scenario engine (DESIGN.md
+ *  §15); the config knobs come from the trace's rng so each seed
+ *  exercises a different engine shape. */
+std::unique_ptr<Workload>
+makeTinyEngine(std::string_view kind, Rng &rng)
+{
+    if (kind == "warp") {
+        WarpConfig c;
+        static constexpr unsigned widths[] = {8, 16, 32};
+        c.warpWidth = widths[rng.below(3)];
+        c.numWarps = 1 + static_cast<unsigned>(rng.below(4));
+        c.bufferBytes = (std::uint64_t{256} << 10) << rng.below(3);
+        c.laneStrideBytes = rng.chance(0.5) ? 8192 : 4096;
+        c.coalesceFactor = 0.25 * static_cast<double>(rng.below(4));
+        c.divergenceRate = 0.05 * static_cast<double>(rng.below(3));
+        c.numInstructions = 4000;
+        c.seed = rng();
+        return std::make_unique<WarpGpu>(c);
+    }
+    if (kind == "kv") {
+        KvServerConfig c;
+        c.numKeys = std::uint64_t{1024} << rng.below(3);
+        c.zipfTheta = 0.6 + 0.1 * static_cast<double>(rng.below(4));
+        c.hotKeyFraction = 0.1 + 0.2 * static_cast<double>(rng.below(3));
+        c.getFraction = 0.5 + 0.1 * static_cast<double>(rng.below(5));
+        c.numOps = 8000;
+        c.includeLoadPhase = rng.chance(0.5);
+        c.seed = rng();
+        return std::make_unique<KvServer>(c);
+    }
+    if (kind == "session") {
+        WebSessionConfig c;
+        c.maxSessions = std::uint64_t{64} << rng.below(3);
+        c.arrivalEvery = 4 + rng.below(12);
+        c.meanLifetimeRequests = 500 * (1 + rng.below(4));
+        c.numRequests = 8000;
+        c.seed = rng();
+        return std::make_unique<WebSession>(c);
+    }
+    ensure(kind == "scan", "makeTinyEngine: unknown engine kind");
+    ScanAnalyticsConfig c;
+    c.rowCount = 8000 * (1 + rng.below(3));
+    c.numColumns = 1 + static_cast<unsigned>(rng.below(3));
+    c.dimRows = 512;
+    c.aggBytes = 64 << 10;
+    c.lookupEvery = std::uint64_t{16} << rng.below(3);
+    c.passes = 1 + static_cast<unsigned>(rng.below(2));
+    c.seed = rng();
+    return std::make_unique<ScanAnalytics>(c);
+}
+
+/**
+ * VM trace driven by a scenario engine's real reference stream
+ * (DESIGN.md §15): the engine's page stream is folded onto a small
+ * mosaic/linux VM universe (modulo keeps stride and locality
+ * structure intact), with one engine instance per ASID switched
+ * every 256 ops and ~5 % random unmaps so eviction and refill run
+ * under the engines' access shapes rather than uniform noise.
+ */
+Trace
+generateWorkloadVm(Rng &rng, std::size_t numOps, std::string_view kind)
+{
+    Trace t;
+    t.component = "vm";
+    std::uint64_t universe;
+    std::uint64_t unmapSpan = 4;
+    if (rng.chance(0.35)) {
+        t.setCfg("kind", "linux");
+        const std::uint64_t frames = 96 + rng.below(160);
+        t.setCfgUint("frames", frames);
+        t.setCfgUint("watermark_ppm", 8000);
+        static constexpr unsigned batches[] = {1, 8, 32};
+        t.setCfgUint("batch", batches[rng.below(3)]);
+        t.setCfgUint("deep", 512);
+        universe = frames * (120 + rng.below(200)) / 100;
+    } else {
+        t.setCfg("kind", "mosaic");
+        struct Shape
+        {
+            unsigned f, b, d;
+        };
+        static constexpr Shape shapes[] = {
+            {6, 2, 2}, {12, 4, 3}, {56, 8, 6}};
+        const Shape shape = shapes[rng.pickWeighted({0.45, 0.35, 0.2})];
+        const std::uint64_t buckets = shape.d + 1 + rng.below(4);
+        t.setCfgUint("buckets", buckets);
+        t.setCfgUint("front", shape.f);
+        t.setCfgUint("back", shape.b);
+        t.setCfgUint("d", shape.d);
+        static constexpr unsigned arities[] = {1, 2, 4, 8};
+        const unsigned arity = arities[rng.below(4)];
+        t.setCfgUint("arity", arity);
+        t.setCfg("sharing", "pageid");
+        static constexpr const char *policies[] = {"horizon", "local",
+                                                   "shrunken"};
+        t.setCfg("policy", policies[rng.pickWeighted({0.6, 0.2, 0.2})]);
+        t.setCfgUint("shrink_ppm", 20000);
+        t.setCfgUint("seed", rng());
+        t.setCfgUint("hashseed", rng());
+        t.setCfgUint("deep", 512);
+        const std::uint64_t frames = buckets * (shape.f + shape.b);
+        const std::uint64_t numTocs = std::max<std::uint64_t>(
+            2, frames * (120 + rng.below(180)) / 100 / arity);
+        universe = numTocs * arity;
+        unmapSpan = arity;
+    }
+
+    const unsigned numAsids = 1 + static_cast<unsigned>(rng.below(2));
+    std::vector<std::vector<MemRef>> streams;
+    for (unsigned a = 0; a < numAsids; ++a) {
+        const auto engine = makeTinyEngine(kind, rng);
+        VectorSink sink;
+        engine->run(sink);
+        streams.push_back(sink.trace());
+        ensure(!streams.back().empty(), "engine emitted no accesses");
+    }
+    std::vector<std::size_t> cursor(numAsids, 0);
+
+    for (std::size_t i = 0; i < numOps; ++i) {
+        const unsigned a =
+            static_cast<unsigned>((i / 256) % numAsids);
+        TraceOp op;
+        if (rng.chance(0.05)) {
+            op.kind = 'u';
+            op.nargs = 3;
+            op.args[0] = a + 1;
+            op.args[1] = rng.below(universe);
+            op.args[2] = 1 + rng.below(2 * unmapSpan);
+        } else {
+            const std::vector<MemRef> &s = streams[a];
+            const MemRef ref = s[cursor[a]];
+            cursor[a] = (cursor[a] + 1) % s.size();
+            op.kind = 't';
+            op.nargs = 3;
+            op.args[0] = a + 1;
+            op.args[1] = vpnOf(ref.vaddr) % universe;
+            op.args[2] = ref.write ? 1 : 0;
+        }
+        t.ops.push_back(op);
+    }
+    return t;
+}
+
 } // namespace
 
 Trace
@@ -2478,6 +2626,14 @@ generateTrace(const std::string &component, std::uint64_t seed,
             return generateLinuxVm(rng, numOps);
         return generateMosaicVm(rng, numOps);
     }
+    if (component == "wl-warp")
+        return generateWorkloadVm(rng, numOps, "warp");
+    if (component == "wl-kv")
+        return generateWorkloadVm(rng, numOps, "kv");
+    if (component == "wl-session")
+        return generateWorkloadVm(rng, numOps, "session");
+    if (component == "wl-scan")
+        return generateWorkloadVm(rng, numOps, "scan");
     panic("generateTrace: unknown component '" + component + "'");
 }
 

@@ -120,7 +120,11 @@ FuzzResult runTrace(const Trace &trace, unsigned batch);
  * @param component "vm", "tlb", or "iceberg"; the pseudo-components
  *                  "tlb-stride", "tlb-pwc", and "tlb-range" generate
  *                  "tlb" traces pinned to the registry-built designs
- *                  (strided access patterns, design-specific cfg).
+ *                  (strided access patterns, design-specific cfg),
+ *                  and "wl-warp"/"wl-kv"/"wl-session"/"wl-scan"
+ *                  generate "vm" traces whose touch streams come
+ *                  from real scenario-engine runs (DESIGN.md §15)
+ *                  folded onto a small VM universe.
  * @param seed stream selector; same (component, seed, numOps) always
  *             yields the same trace.
  * @param numOps operations to generate.

@@ -6,7 +6,11 @@
 #include "workloads/btree.hh"
 #include "workloads/graph500.hh"
 #include "workloads/gups.hh"
+#include "workloads/kv_server.hh"
 #include "workloads/kvstore.hh"
+#include "workloads/scan_analytics.hh"
+#include "workloads/warp.hh"
+#include "workloads/web_session.hh"
 #include "workloads/xsbench.hh"
 
 namespace mosaic
@@ -26,6 +30,14 @@ workloadName(WorkloadKind kind)
         return "XSBench";
       case WorkloadKind::KvStore:
         return "KVStore";
+      case WorkloadKind::WarpGpu:
+        return "WarpGPU";
+      case WorkloadKind::KvServer:
+        return "KVServer";
+      case WorkloadKind::WebSession:
+        return "WebSession";
+      case WorkloadKind::ScanAnalytics:
+        return "ScanAnalytics";
     }
     panic("factory: unknown workload kind");
 }
@@ -76,6 +88,38 @@ makeFig6Workload(WorkloadKind kind, double scale, std::uint64_t seed)
         c.numOps = scaled(500'000);
         c.seed = seed;
         return std::make_unique<KvStore>(c);
+      }
+      case WorkloadKind::WarpGpu: {
+        WarpConfig c;
+        c.bufferBytes = scaled(std::uint64_t{64} << 20);
+        c.numInstructions = scaled(200'000);
+        c.seed = seed;
+        return std::make_unique<WarpGpu>(c);
+      }
+      case WorkloadKind::KvServer: {
+        KvServerConfig c;
+        c.numKeys = scaled(std::uint64_t{1} << 19);
+        c.numOps = scaled(400'000);
+        c.seed = seed;
+        return std::make_unique<KvServer>(c);
+      }
+      case WorkloadKind::WebSession: {
+        WebSessionConfig c;
+        c.maxSessions = std::max<std::uint64_t>(2, scaled(4096));
+        c.numRequests = scaled(400'000);
+        c.meanLifetimeRequests = static_cast<unsigned>(
+            std::max<std::uint64_t>(2, scaled(20'000)));
+        c.seed = seed;
+        return std::make_unique<WebSession>(c);
+      }
+      case WorkloadKind::ScanAnalytics: {
+        ScanAnalyticsConfig c;
+        c.rowCount = scaled(2'000'000);
+        c.dimRows = scaled(16'384);
+        c.aggBytes =
+            std::max<std::uint64_t>(4096, scaled(std::uint64_t{1} << 20));
+        c.seed = seed;
+        return std::make_unique<ScanAnalytics>(c);
       }
     }
     panic("factory: unknown workload kind");
@@ -141,6 +185,61 @@ makeFootprintWorkload(WorkloadKind kind, std::uint64_t footprint_bytes,
         c.includeLoadPhase = true;
         c.seed = seed;
         return std::make_unique<KvStore>(c);
+      }
+      case WorkloadKind::WarpGpu: {
+        // footprint == buffer; the init sweep covers it, the kernel
+        // re-references roughly one more buffer's worth of elements.
+        WarpConfig c;
+        c.bufferBytes = footprint_bytes;
+        c.numInstructions =
+            footprint_bytes /
+            (std::uint64_t{c.warpWidth} * c.elemBytes);
+        c.includeInitSweep = true;
+        c.seed = seed;
+        return std::make_unique<WarpGpu>(c);
+      }
+      case WorkloadKind::KvServer: {
+        // footprint ~= keys * (16 * slotsPerKey + E[valueBytes]);
+        // class counts are hash-assigned, so the realized footprint
+        // deviates from the expectation by well under a percent at
+        // these key counts.
+        KvServerConfig c;
+        std::uint64_t weighted = 0;
+        for (const KvValueClass &cls : c.classes)
+            weighted += std::uint64_t{cls.bytes} * cls.weightPct;
+        const double per_key =
+            16 * c.indexSlotsPerKey +
+            static_cast<double>(weighted) / 100.0;
+        c.numKeys = static_cast<std::uint64_t>(
+            static_cast<double>(footprint_bytes) / per_key);
+        c.numOps = c.numKeys;
+        c.includeLoadPhase = true;
+        c.seed = seed;
+        return std::make_unique<KvServer>(c);
+      }
+      case WorkloadKind::WebSession: {
+        // footprint ~= sessions * (64-byte table entry + working set).
+        WebSessionConfig c;
+        c.maxSessions = footprint_bytes / (64 + c.sessionBytes);
+        c.numRequests = c.maxSessions * 16;
+        c.meanLifetimeRequests = static_cast<unsigned>(
+            std::max<std::uint64_t>(2, c.numRequests / 8));
+        c.includeInitSweep = true;
+        c.seed = seed;
+        return std::make_unique<WebSession>(c);
+      }
+      case WorkloadKind::ScanAnalytics: {
+        // Dimension and aggregation areas each take 1/32 of the
+        // footprint; the rest is split across the fact columns.
+        ScanAnalyticsConfig c;
+        c.dimRows = footprint_bytes / 32 / 64;
+        c.aggBytes = footprint_bytes / 32;
+        const std::uint64_t column_bytes =
+            footprint_bytes - c.dimRows * 64 - c.aggBytes;
+        c.rowCount = column_bytes /
+                     (std::uint64_t{c.numColumns} * c.columnBytes);
+        c.seed = seed;
+        return std::make_unique<ScanAnalytics>(c);
       }
     }
     panic("factory: unknown workload kind");

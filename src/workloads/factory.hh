@@ -18,9 +18,22 @@
 namespace mosaic
 {
 
-/** The four paper workloads (Table 2), plus the Redis-style
- *  key-value store the paper's introduction motivates with. */
-enum class WorkloadKind { Graph500, BTree, Gups, XsBench, KvStore };
+/** The four paper workloads (Table 2), the Redis-style key-value
+ *  store the paper's introduction motivates with, and the scenario-
+ *  diversity engines (DESIGN.md §15): warp-style GPU streams, a
+ *  size-classed KV server mix, web-session churn, and scan-heavy
+ *  analytics. */
+enum class WorkloadKind {
+    Graph500,
+    BTree,
+    Gups,
+    XsBench,
+    KvStore,
+    WarpGpu,
+    KvServer,
+    WebSession,
+    ScanAnalytics,
+};
 
 /** Printable name matching the paper's tables. */
 std::string workloadName(WorkloadKind kind);

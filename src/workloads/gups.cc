@@ -14,6 +14,10 @@ Gups::Gups(const GupsConfig &config)
 void
 Gups::run(AccessSink &sink)
 {
+    // Sampling audit (PR 8): below() is Lemire-rejection uniform (no
+    // modulo bias), and the single phase means there is no cross-phase
+    // seed reuse to untangle. Do not reseed or split this stream — the
+    // fig6 golden table pins it.
     Rng rng(config_.seed ^ 0x60B5u);
     for (std::uint64_t i = 0; i < config_.numUpdates; ++i) {
         const std::uint64_t idx = rng.below(config_.tableEntries);

@@ -1,0 +1,155 @@
+#include "workloads/kv_server.hh"
+
+#include <algorithm>
+
+#include "hash/mix.hh"
+#include "util/log.hh"
+
+namespace mosaic
+{
+
+namespace
+{
+
+/** Unbiased map of a 64-bit hash onto [0, n): the multiply-shift
+ *  range mapping (Lemire). A plain `hash % n` over-weights the low
+ *  residues whenever n does not divide 2^64. */
+std::uint64_t
+mapToRange(std::uint64_t hash, std::uint64_t n)
+{
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(hash) * n) >> 64);
+}
+
+std::uint64_t
+hotKeysOf(const KvServerConfig &config)
+{
+    return std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               static_cast<double>(config.numKeys) *
+               config.hotKeyFraction));
+}
+
+} // namespace
+
+KvServer::KvServer(const KvServerConfig &config)
+    : config_(config), zipf_(hotKeysOf(config), config.zipfTheta)
+{
+    ensure(config.numKeys >= 1, "kvserver: need at least one key");
+    ensure(config.indexSlotsPerKey > 1.05,
+           "kvserver: index must have slack");
+    ensure(!config.classes.empty(), "kvserver: need a value class");
+    unsigned weight_sum = 0;
+    for (const KvValueClass &c : config.classes) {
+        ensure(c.bytes >= 1, "kvserver: empty value class");
+        weight_sum += c.weightPct;
+    }
+    ensure(weight_sum == 100, "kvserver: class weights must sum to 100");
+
+    const auto slots = static_cast<std::uint64_t>(
+        static_cast<double>(config.numKeys) * config.indexSlotsPerKey);
+    index_.resize(slots);
+
+    // Assign each key a size class (hash-weighted) and a slot in its
+    // class heap, then insert it into the open-addressing index.
+    keyClass_.resize(config.numKeys);
+    keySlot_.resize(config.numKeys);
+    std::vector<std::uint32_t> classCount(config.classes.size(), 0);
+    const std::uint64_t class_salt = mix64(config.seed ^ 0xC1A5'5E5Full);
+    for (std::uint64_t key = 0; key < config.numKeys; ++key) {
+        const std::uint64_t draw =
+            mapToRange(mix64(key ^ class_salt), 100);
+        unsigned cls = 0;
+        for (std::uint64_t cum = 0; cls + 1 < config.classes.size();
+             ++cls) {
+            cum += config.classes[cls].weightPct;
+            if (draw < cum)
+                break;
+        }
+        keyClass_[key] = static_cast<std::uint8_t>(cls);
+        keySlot_[key] = classCount[cls]++;
+
+        std::size_t slot = startSlot(key);
+        while (index_[slot].used)
+            slot = (slot + 1) % index_.size();
+        index_[slot] = Slot{key, true};
+    }
+
+    indexRegion_ = arena_.allocate("kvs_index", slots * 16);
+    classRegions_.reserve(config.classes.size());
+    for (std::size_t c = 0; c < config.classes.size(); ++c) {
+        classRegions_.push_back(arena_.allocate(
+            "kvs_class" + std::to_string(c),
+            std::max<std::uint64_t>(1, classCount[c]) *
+                config.classes[c].bytes));
+    }
+    info_.name = "kvserver";
+    info_.footprintBytes = arena_.footprintBytes();
+}
+
+std::size_t
+KvServer::startSlot(std::uint64_t key) const
+{
+    return static_cast<std::size_t>(
+        mapToRange(mix64(key), index_.size()));
+}
+
+std::size_t
+KvServer::probe(std::uint64_t key, AccessSink &sink) const
+{
+    std::size_t slot = startSlot(key);
+    while (true) {
+        sink.access(indexRegion_.element(slot, 16), false);
+        if (!index_[slot].used ||
+            (index_[slot].used && index_[slot].key == key))
+            return slot;
+        slot = (slot + 1) % index_.size();
+    }
+}
+
+void
+KvServer::touchValue(std::uint64_t key, bool write,
+                     AccessSink &sink) const
+{
+    const unsigned cls = keyClass_[key];
+    const unsigned bytes = config_.classes[cls].bytes;
+    const Addr base = classRegions_[cls].element(keySlot_[key], bytes);
+    for (Addr offset = 0; offset < bytes; offset += 64)
+        sink.access(base + offset, write);
+}
+
+void
+KvServer::run(AccessSink &sink)
+{
+    opCounts_.assign(config_.numKeys, 0);
+
+    if (config_.includeLoadPhase) {
+        for (std::uint64_t slot = 0; slot < index_.size(); ++slot) {
+            if ((indexRegion_.element(slot, 16) & 63) == 0 || slot == 0)
+                sink.access(indexRegion_.element(slot, 16), true);
+        }
+        for (std::uint64_t key = 0; key < config_.numKeys; ++key)
+            touchValue(key, true, sink);
+    }
+
+    // Per-phase streams: key identity, hot/cold routing, and the
+    // GET/SET decision each own a generator, so changing the skew (or
+    // the mix) of one axis cannot shift the draws of another.
+    Rng keyRng(mix64(config_.seed ^ 0x4B53'4B45ull));
+    Rng routeRng(mix64(config_.seed ^ 0x4B53'4D49ull));
+    Rng opRng(mix64(config_.seed ^ 0x4B53'4F50ull));
+
+    for (std::uint64_t op = 0; op < config_.numOps; ++op) {
+        const std::uint64_t key = routeRng.chance(config_.hotOpFraction)
+                                      ? zipf_.sample(keyRng)
+                                      : keyRng.below(config_.numKeys);
+        ++opCounts_[key];
+        const bool isGet = opRng.chance(config_.getFraction);
+        const std::size_t slot = probe(key, sink);
+        ensure(index_[slot].used && index_[slot].key == key,
+               "kvserver: loaded key must be present");
+        touchValue(key, !isGet, sink);
+    }
+}
+
+} // namespace mosaic

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * A server-shaped key-value GET/SET engine layered on the kvstore
+ * arena pattern (hash index over value heaps): Zipf-skewed key
+ * popularity over a scalable hot working set, plus hash-assigned
+ * value-size classes, so the emitted heap has the mixed-object-size,
+ * contiguity-rich layout the subregion-contiguity line of work (Yu
+ * et al., PAPERS.md) motivates. Unlike the single-heap KvStore, each
+ * size class is its own virtually contiguous region, and all
+ * sampling runs on per-phase RNG streams (key identity, hot/cold
+ * routing, and GET/SET choice never share a generator).
+ */
+
+#ifndef MOSAIC_WORKLOADS_KV_SERVER_HH_
+#define MOSAIC_WORKLOADS_KV_SERVER_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hh"
+#include "util/zipf.hh"
+#include "workloads/virtual_arena.hh"
+#include "workloads/workload.hh"
+
+namespace mosaic
+{
+
+/** One value-size class: objects of @p bytes, @p weightPct percent
+ *  of the keys (weights must sum to 100). */
+struct KvValueClass
+{
+    unsigned bytes = 256;
+    unsigned weightPct = 100;
+};
+
+/** Parameters of the KV server engine. */
+struct KvServerConfig
+{
+    /** Distinct keys loaded. */
+    std::uint64_t numKeys = std::uint64_t{1} << 19;
+
+    /** Index slots per key (load factor = 1/slotsPerKey). */
+    double indexSlotsPerKey = 1.5;
+
+    /** Value-size classes (Redis-style small/medium/large mix). */
+    std::vector<KvValueClass> classes{{64, 50}, {256, 40}, {4096, 10}};
+
+    /** Zipf skew of hot-set key popularity (YCSB default). */
+    double zipfTheta = 0.99;
+
+    /** Working-set scaling: the hot set is the first
+     *  hotKeyFraction * numKeys keys (Zipf ranks map into it). */
+    double hotKeyFraction = 0.25;
+
+    /** Fraction of operations routed to the hot set; the rest pick a
+     *  uniform key from the whole store. */
+    double hotOpFraction = 0.9;
+
+    /** Fraction of operations that are GETs (the rest are SETs). */
+    double getFraction = 0.9;
+
+    /** GET/SET operations to execute. */
+    std::uint64_t numOps = 500'000;
+
+    /** Emit the load phase (index sweep + every value written). */
+    bool includeLoadPhase = false;
+
+    std::uint64_t seed = 1;
+};
+
+/** Hash index + per-class value heaps under skewed GET/SET traffic. */
+class KvServer : public Workload
+{
+  public:
+    explicit KvServer(const KvServerConfig &config);
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    void run(AccessSink &sink) override;
+
+    /** Index slots. */
+    std::uint64_t indexSlots() const { return index_.size(); }
+
+    /** Size class of @p key (index into config classes). */
+    unsigned classOf(std::uint64_t key) const { return keyClass_[key]; }
+
+    /** Operations that landed on each key during the last run();
+     *  the Zipf rank-frequency tests read this. */
+    const std::vector<std::uint32_t> &keyOpCounts() const
+    {
+        return opCounts_;
+    }
+
+  private:
+    struct Slot
+    {
+        std::uint64_t key = 0;
+        bool used = false;
+    };
+
+    /** Unbiased start slot of @p key (multiply-shift range mapping,
+     *  not a modulo — see DESIGN.md §15). */
+    std::size_t startSlot(std::uint64_t key) const;
+
+    /** Probe the index to the slot holding @p key; one access per
+     *  probed slot. */
+    std::size_t probe(std::uint64_t key, AccessSink &sink) const;
+
+    /** Touch every cacheline of @p key's value. */
+    void touchValue(std::uint64_t key, bool write, AccessSink &sink) const;
+
+    KvServerConfig config_;
+    WorkloadInfo info_;
+    VirtualArena arena_;
+    ArenaRegion indexRegion_;
+    std::vector<ArenaRegion> classRegions_;
+    std::vector<Slot> index_;
+    std::vector<std::uint8_t> keyClass_;   // class index per key
+    std::vector<std::uint32_t> keySlot_;   // slot within its class heap
+    ZipfSampler zipf_;
+    std::vector<std::uint32_t> opCounts_;
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_WORKLOADS_KV_SERVER_HH_

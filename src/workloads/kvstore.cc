@@ -6,6 +6,23 @@
 namespace mosaic
 {
 
+namespace
+{
+
+/** Lemire multiply-shift: maps a 64-bit hash onto [0, n) without the
+ *  modulo bias of `hash % n` (and matches the idiom every other
+ *  sampling site in the workloads uses). */
+std::size_t
+mapToRange(std::uint64_t hash, std::size_t n)
+{
+    return static_cast<std::size_t>(
+        (static_cast<unsigned __int128>(hash) *
+         static_cast<unsigned __int128>(n)) >>
+        64);
+}
+
+} // namespace
+
 KvStore::KvStore(const KvStoreConfig &config)
     : config_(config),
       zipf_(config.numKeys, config.zipfTheta)
@@ -21,8 +38,7 @@ KvStore::KvStore(const KvStoreConfig &config)
     // Load phase (host side): insert keys 0..numKeys-1. Values are
     // placed in key order — the layout a load phase produces.
     for (std::uint64_t key = 0; key < config.numKeys; ++key) {
-        std::size_t slot =
-            static_cast<std::size_t>(mix64(key) % index_.size());
+        std::size_t slot = mapToRange(mix64(key), index_.size());
         while (index_[slot].used)
             slot = (slot + 1) % index_.size();
         index_[slot] = Slot{key, key, true};
@@ -38,8 +54,7 @@ KvStore::KvStore(const KvStoreConfig &config)
 std::size_t
 KvStore::probe(std::uint64_t key, AccessSink &sink) const
 {
-    std::size_t slot =
-        static_cast<std::size_t>(mix64(key) % index_.size());
+    std::size_t slot = mapToRange(mix64(key), index_.size());
     ++lookups_;
     while (true) {
         ++probes_;
@@ -95,10 +110,15 @@ KvStore::run(AccessSink &sink)
             touchValue(key, true, sink);
     }
 
-    Rng rng(config_.seed ^ 0x4B56u);
+    // Per-phase RNG streams: the key draw and the GET/SET choice use
+    // independent generators, so changing zipfTheta (whose sampler
+    // consumes a varying number of draws) cannot perturb the op mix,
+    // and changing getFraction cannot perturb the key sequence.
+    Rng keyRng(mix64(config_.seed ^ 0x4B56'4B45ull));
+    Rng opRng(mix64(config_.seed ^ 0x4B56'4F50ull));
     for (std::uint64_t op = 0; op < config_.numOps; ++op) {
-        const std::uint64_t key = zipf_.sample(rng);
-        if (rng.chance(config_.getFraction))
+        const std::uint64_t key = zipf_.sample(keyRng);
+        if (opRng.chance(config_.getFraction))
             get(key, sink);
         else
             set(key, sink);

@@ -1,0 +1,69 @@
+#include "workloads/scan_analytics.hh"
+
+#include <algorithm>
+
+#include "hash/mix.hh"
+#include "util/log.hh"
+
+namespace mosaic
+{
+
+ScanAnalytics::ScanAnalytics(const ScanAnalyticsConfig &config)
+    : config_(config)
+{
+    ensure(config.numColumns >= 1, "scan: need a column");
+    ensure(config.rowCount >= 1, "scan: need rows");
+    ensure(config.columnBytes >= 1, "scan: bad element width");
+    ensure(config.dimRows >= 1, "scan: need dimension rows");
+    ensure(config.aggBytes >= 64, "scan: aggregation area too small");
+    ensure(config.lookupEvery >= 1, "scan: bad lookup cadence");
+    ensure(config.passes >= 1, "scan: need at least one pass");
+
+    columns_.reserve(config.numColumns);
+    for (unsigned c = 0; c < config.numColumns; ++c)
+        columns_.push_back(arena_.allocate(
+            "scan_col" + std::to_string(c),
+            config.rowCount * config.columnBytes));
+    dim_ = arena_.allocate("scan_dim", config.dimRows * 64);
+    agg_ = arena_.allocate("scan_agg", config.aggBytes);
+    info_.name = "scananalytics";
+    info_.footprintBytes = arena_.footprintBytes();
+}
+
+void
+ScanAnalytics::run(AccessSink &sink)
+{
+    linesScanned_ = 0;
+    lookups_ = 0;
+
+    // Build phases: the dimension table is written sequentially (the
+    // hash-build side of the join), the aggregation area initialized.
+    for (std::uint64_t off = 0; off < dim_.bytes; off += 64)
+        sink.access(dim_.at(off), true);
+    for (std::uint64_t off = 0; off < agg_.bytes; off += 64)
+        sink.access(agg_.at(off), true);
+
+    Rng probeRng(mix64(config_.seed ^ 0x5343'4C4Bull));
+    const std::uint64_t aggLines = agg_.bytes / 64;
+
+    for (unsigned pass = 0; pass < config_.passes; ++pass) {
+        for (const ArenaRegion &column : columns_) {
+            std::uint64_t sinceLookup = 0;
+            for (std::uint64_t off = 0; off < column.bytes; off += 64) {
+                sink.access(column.at(off), false);
+                ++linesScanned_;
+                if (++sinceLookup < config_.lookupEvery)
+                    continue;
+                sinceLookup = 0;
+                sink.access(
+                    dim_.element(probeRng.below(config_.dimRows), 64),
+                    false);
+                sink.access(agg_.element(probeRng.below(aggLines), 64),
+                            true);
+                ++lookups_;
+            }
+        }
+    }
+}
+
+} // namespace mosaic

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A scan-heavy analytics engine: sequential full-column scans over a
+ * columnar table, with a periodic random dimension-table lookup and
+ * aggregation-table update riding along (the hash-join/group-by
+ * shape). The scans are long virtually contiguous runs — the stream
+ * the coalesced, range, and perforated designs are built for and
+ * that the paper's four batch workloads barely produce.
+ */
+
+#ifndef MOSAIC_WORKLOADS_SCAN_ANALYTICS_HH_
+#define MOSAIC_WORKLOADS_SCAN_ANALYTICS_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hh"
+#include "workloads/virtual_arena.hh"
+#include "workloads/workload.hh"
+
+namespace mosaic
+{
+
+/** Parameters of the scan-analytics engine. */
+struct ScanAnalyticsConfig
+{
+    /** Fact-table columns (each a contiguous region). */
+    unsigned numColumns = 4;
+
+    /** Rows per column. */
+    std::uint64_t rowCount = 2'000'000;
+
+    /** Bytes per column element. */
+    unsigned columnBytes = 8;
+
+    /** Dimension-table rows (64 bytes each), probed randomly. */
+    std::uint64_t dimRows = 16'384;
+
+    /** Aggregation hash-table bytes, updated randomly. */
+    std::uint64_t aggBytes = std::uint64_t{1} << 20;
+
+    /** One random dim probe + agg update per this many scanned
+     *  cachelines. */
+    unsigned lookupEvery = 64;
+
+    /** Full passes over all columns. */
+    unsigned passes = 2;
+
+    std::uint64_t seed = 1;
+};
+
+/** Sequential column scans with periodic random lookups. */
+class ScanAnalytics : public Workload
+{
+  public:
+    explicit ScanAnalytics(const ScanAnalyticsConfig &config);
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    void run(AccessSink &sink) override;
+
+    /** Cachelines scanned sequentially during the last run(). */
+    std::uint64_t linesScanned() const { return linesScanned_; }
+
+    /** Random dim probes (== agg updates) during the last run(). */
+    std::uint64_t lookupsIssued() const { return lookups_; }
+
+  private:
+    ScanAnalyticsConfig config_;
+    WorkloadInfo info_;
+    VirtualArena arena_;
+    std::vector<ArenaRegion> columns_;
+    ArenaRegion dim_;
+    ArenaRegion agg_;
+
+    std::uint64_t linesScanned_ = 0;
+    std::uint64_t lookups_ = 0;
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_WORKLOADS_SCAN_ANALYTICS_HH_

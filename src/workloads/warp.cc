@@ -1,0 +1,99 @@
+#include "workloads/warp.hh"
+
+#include <algorithm>
+
+#include "hash/mix.hh"
+#include "util/log.hh"
+
+namespace mosaic
+{
+
+WarpGpu::WarpGpu(const WarpConfig &config)
+    : config_(config)
+{
+    ensure(config.warpWidth >= 1, "warp: need at least one lane");
+    ensure(config.numWarps >= 1, "warp: need at least one warp");
+    ensure(config.elemBytes >= 1, "warp: element size must be positive");
+    ensure(config.laneStrideBytes >= 1,
+           "warp: lane stride must be positive");
+
+    buffer_ = arena_.allocate("warp_buffer", config.bufferBytes);
+    sliceBytes_ = std::max<std::uint64_t>(
+        config.elemBytes * config.warpWidth,
+        config.bufferBytes / config.numWarps);
+    info_.name = "warp";
+    info_.footprintBytes = arena_.footprintBytes();
+}
+
+void
+WarpGpu::run(AccessSink &sink)
+{
+    instructions_ = 0;
+    transactions_ = 0;
+    divergent_ = 0;
+
+    if (config_.includeInitSweep) {
+        for (std::uint64_t off = 0; off < config_.bufferBytes; off += 64)
+            sink.access(buffer_.at(off), true);
+    }
+
+    // One independent stream per warp: instruction classification and
+    // divergent targets are a pure function of (seed, warp), so the
+    // interleaving never couples the warps' randomness.
+    std::vector<Rng> warpRng;
+    warpRng.reserve(config_.numWarps);
+    for (unsigned w = 0; w < config_.numWarps; ++w)
+        warpRng.emplace_back(mix64(config_.seed ^ (0x57A0'0000ull + w)));
+
+    std::vector<std::uint64_t> cursor(config_.numWarps, 0);
+    const std::uint64_t bufferElems =
+        std::max<std::uint64_t>(1, config_.bufferBytes / config_.elemBytes);
+
+    // Distinct-128B-segment dedup scratch (warpWidth is small).
+    std::vector<std::uint64_t> segments;
+    segments.reserve(config_.warpWidth);
+
+    for (std::uint64_t i = 0; i < config_.numInstructions; ++i) {
+        const unsigned w = static_cast<unsigned>(i % config_.numWarps);
+        Rng &rng = warpRng[w];
+        const std::uint64_t sliceBase =
+            static_cast<std::uint64_t>(w) * sliceBytes_;
+
+        const bool diverge = rng.chance(config_.divergenceRate);
+        const bool coalesce =
+            !diverge && rng.chance(config_.coalesceFactor);
+        const bool write = rng.chance(config_.storeFraction);
+
+        segments.clear();
+        for (unsigned lane = 0; lane < config_.warpWidth; ++lane) {
+            std::uint64_t off;
+            if (diverge) {
+                off = rng.below(bufferElems) * config_.elemBytes;
+            } else {
+                const std::uint64_t laneStride =
+                    coalesce ? config_.elemBytes : config_.laneStrideBytes;
+                off = sliceBase +
+                      (cursor[w] + lane * laneStride) % sliceBytes_;
+            }
+            if (off + config_.elemBytes > config_.bufferBytes)
+                off = config_.bufferBytes - config_.elemBytes;
+            const Addr addr = buffer_.at(off);
+            const std::uint64_t segment = addr >> 7;
+            if (std::find(segments.begin(), segments.end(), segment) ==
+                segments.end())
+                segments.push_back(segment);
+            sink.access(addr, write);
+        }
+
+        ++instructions_;
+        transactions_ += segments.size();
+        divergent_ += diverge ? 1 : 0;
+        if (!diverge)
+            cursor[w] = (cursor[w] +
+                         std::uint64_t{config_.elemBytes} *
+                             config_.warpWidth) %
+                        sliceBytes_;
+    }
+}
+
+} // namespace mosaic

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * A warp-style GPU access engine, after the Mosaic-for-GPUs line of
+ * work (Ausavarungnirun et al., PAPERS.md): many warps execute in
+ * round-robin, and each warp instruction issues one memory reference
+ * per lane. Three instruction shapes cover the canonical GPU access
+ * patterns:
+ *
+ *  - coalesced: lane l reads cursor + l*elemBytes — all lanes land in
+ *    one or two cache segments (and almost always one page);
+ *  - strided: lane l reads cursor + l*laneStrideBytes — the
+ *    column-of-a-pitched-matrix pattern; with a page-crossing lane
+ *    stride, consecutive lane references step the VPN by a constant,
+ *    which is exactly the food a stride prefetcher confirms on;
+ *  - divergent: every lane references an independent random element.
+ *
+ * The buffer is partitioned into per-warp slices (a grid-stride
+ * loop's block mapping), and warps interleave instruction by
+ * instruction, so the emitted stream is the interleaving of numWarps
+ * structured lane streams.
+ */
+
+#ifndef MOSAIC_WORKLOADS_WARP_HH_
+#define MOSAIC_WORKLOADS_WARP_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hh"
+#include "workloads/virtual_arena.hh"
+#include "workloads/workload.hh"
+
+namespace mosaic
+{
+
+/** Parameters of the warp engine. */
+struct WarpConfig
+{
+    /** Lanes per warp (one memory reference each per instruction). */
+    unsigned warpWidth = 32;
+
+    /** Warps scheduled round-robin (interleaved lane streams). */
+    unsigned numWarps = 8;
+
+    /** Element size of coalesced accesses. */
+    unsigned elemBytes = 8;
+
+    /** Per-lane stride of strided instructions. Defaults to two
+     *  pages (an 8 KiB-pitch matrix column), so lane references walk
+     *  the VPN space at a constant non-zero stride. */
+    std::uint64_t laneStrideBytes = 8192;
+
+    /** Of the non-divergent instructions, the fraction that are
+     *  coalesced (the rest are strided). */
+    double coalesceFactor = 0.6;
+
+    /** Probability an instruction diverges (random per-lane). */
+    double divergenceRate = 0.05;
+
+    /** Fraction of instructions that are stores. */
+    double storeFraction = 0.3;
+
+    /** Device buffer size (the engine's footprint). */
+    std::uint64_t bufferBytes = std::uint64_t{64} << 20;
+
+    /** Warp instructions to execute (references = this * warpWidth). */
+    std::uint64_t numInstructions = 300'000;
+
+    /** Write the whole buffer once before the kernel (models the
+     *  host-side initialization / cudaMemset); the memory-pressure
+     *  experiments need the whole footprint touched. */
+    bool includeInitSweep = false;
+
+    std::uint64_t seed = 1;
+};
+
+/** Interleaved warp lane streams over a partitioned device buffer. */
+class WarpGpu : public Workload
+{
+  public:
+    explicit WarpGpu(const WarpConfig &config);
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    void run(AccessSink &sink) override;
+
+    /** Warp instructions issued during the last run(). */
+    std::uint64_t instructionsIssued() const { return instructions_; }
+
+    /** 128-byte memory transactions those instructions generated
+     *  (distinct segments per instruction, summed). The coalescing
+     *  ratio is transactions/instructions: 1–2 when fully coalesced,
+     *  warpWidth when fully scattered. */
+    std::uint64_t memoryTransactions() const { return transactions_; }
+
+    /** Divergent instructions during the last run(). */
+    std::uint64_t divergentInstructions() const { return divergent_; }
+
+  private:
+    WarpConfig config_;
+    WorkloadInfo info_;
+    VirtualArena arena_;
+    ArenaRegion buffer_;
+    std::uint64_t sliceBytes_ = 0;
+
+    std::uint64_t instructions_ = 0;
+    std::uint64_t transactions_ = 0;
+    std::uint64_t divergent_ = 0;
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_WORKLOADS_WARP_HH_

@@ -1,0 +1,149 @@
+#include "workloads/web_session.hh"
+
+#include <algorithm>
+
+#include "hash/mix.hh"
+#include "util/log.hh"
+
+namespace mosaic
+{
+
+namespace
+{
+
+/** 64-byte session-table entry per slot. */
+constexpr unsigned tableEntryBytes = 64;
+
+/** Bytes initialized on session creation (header pages). */
+constexpr std::uint64_t initBytes = 4096;
+
+} // namespace
+
+WebSession::WebSession(const WebSessionConfig &config)
+    : config_(config)
+{
+    ensure(config.maxSessions >= 2, "websession: need session slots");
+    ensure(config.sessionBytes >= 64,
+           "websession: session working set too small");
+    ensure(config.arrivalEvery >= 1, "websession: bad arrival rate");
+    ensure(config.meanLifetimeRequests >= 2,
+           "websession: lifetime too short");
+    ensure(config.requestTouchBytes >= 64 &&
+               config.requestTouchBytes <= config.sessionBytes,
+           "websession: request touch must fit a session");
+
+    table_ = arena_.allocate("ws_table",
+                             config.maxSessions * tableEntryBytes);
+    slab_ = arena_.allocate("ws_slab",
+                            config.maxSessions * config.sessionBytes);
+    info_.name = "websession";
+    info_.footprintBytes = arena_.footprintBytes();
+}
+
+void
+WebSession::createSession(std::uint64_t slot, std::uint64_t expiry,
+                          AccessSink &sink)
+{
+    sink.access(table_.element(slot, tableEntryBytes), true);
+    const Addr base = slab_.element(slot, config_.sessionBytes);
+    const std::uint64_t init =
+        std::min<std::uint64_t>(initBytes, config_.sessionBytes);
+    for (Addr off = 0; off < init; off += 64)
+        sink.access(base + off, true);
+
+    active_.push_back(slot);
+    expiryHeap_.emplace_back(expiry, slot);
+    std::push_heap(expiryHeap_.begin(), expiryHeap_.end(),
+                   std::greater<>());
+    ++created_;
+    peakActive_ = std::max<std::uint64_t>(peakActive_, active_.size());
+}
+
+void
+WebSession::run(AccessSink &sink)
+{
+    created_ = 0;
+    expired_ = 0;
+    peakActive_ = 0;
+    active_.clear();
+    expiryHeap_.clear();
+    freeSlots_.clear();
+    for (std::uint64_t s = config_.maxSessions; s > 0; --s)
+        freeSlots_.push_back(s - 1); // pop order: slot 0 first
+
+    if (config_.includeInitSweep) {
+        for (std::uint64_t off = 0; off < table_.bytes; off += 64)
+            sink.access(table_.at(off), true);
+        for (std::uint64_t off = 0; off < slab_.bytes; off += 64)
+            sink.access(slab_.at(off), true);
+    }
+
+    // Per-phase streams: arrivals, lifetimes, session picks, and
+    // within-session offsets are independent generators.
+    Rng arriveRng(mix64(config_.seed ^ 0x5753'4152ull));
+    Rng lifeRng(mix64(config_.seed ^ 0x5753'4C49ull));
+    Rng pickRng(mix64(config_.seed ^ 0x5753'5049ull));
+    Rng offsetRng(mix64(config_.seed ^ 0x5753'4F46ull));
+
+    const auto drawLifetime = [&]() -> std::uint64_t {
+        const std::uint64_t mean = config_.meanLifetimeRequests;
+        return mean / 2 + lifeRng.below(std::max<std::uint64_t>(1, mean));
+    };
+
+    // Warm-up: a quarter of the slots start occupied, with staggered
+    // lifetimes so expiries begin immediately rather than in a burst.
+    const std::uint64_t warm = std::max<std::uint64_t>(
+        1, config_.maxSessions / 4);
+    for (std::uint64_t i = 0; i < warm; ++i) {
+        const std::uint64_t slot = freeSlots_.back();
+        freeSlots_.pop_back();
+        createSession(slot, drawLifetime() * (i + 1) / warm, sink);
+    }
+
+    for (std::uint64_t tick = 0; tick < config_.numRequests; ++tick) {
+        // Expiries first: tear down every session past its deadline
+        // (a header write models the free), recycling its slot.
+        while (!expiryHeap_.empty() && expiryHeap_.front().first <= tick) {
+            std::pop_heap(expiryHeap_.begin(), expiryHeap_.end(),
+                          std::greater<>());
+            const std::uint64_t slot = expiryHeap_.back().second;
+            expiryHeap_.pop_back();
+            sink.access(table_.element(slot, tableEntryBytes), true);
+            const auto it =
+                std::find(active_.begin(), active_.end(), slot);
+            ensure(it != active_.end(), "websession: expiring dead slot");
+            *it = active_.back();
+            active_.pop_back();
+            freeSlots_.push_back(slot);
+            ++expired_;
+        }
+
+        // Arrival?
+        if (!freeSlots_.empty() &&
+            arriveRng.chance(1.0 / config_.arrivalEvery)) {
+            const std::uint64_t slot = freeSlots_.back();
+            freeSlots_.pop_back();
+            createSession(slot, tick + drawLifetime(), sink);
+        }
+
+        if (active_.empty())
+            continue;
+
+        // Serve one request against a recency-skewed session pick
+        // (min of two uniforms — triangular skew, integer math only).
+        const std::uint64_t a = pickRng.below(active_.size());
+        const std::uint64_t b = pickRng.below(active_.size());
+        const std::uint64_t slot = active_[std::min(a, b)];
+
+        sink.access(table_.element(slot, tableEntryBytes), false);
+        const Addr base = slab_.element(slot, config_.sessionBytes);
+        const std::uint64_t window =
+            config_.sessionBytes - config_.requestTouchBytes;
+        const Addr start =
+            window == 0 ? 0 : (offsetRng.below(window / 64 + 1)) * 64;
+        for (Addr off = 0; off < config_.requestTouchBytes; off += 64)
+            sink.access(base + start + off, off == 0);
+    }
+}
+
+} // namespace mosaic

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * A web-session engine: sessions arrive, serve skewed request
+ * traffic against a private working set, and expire, so the live
+ * footprint churns through a fixed slab of session slots. This is
+ * the server-heap lifecycle (allocate, age, free, reuse) that drives
+ * the fragmentation the paper motivates with — and that the
+ * interference sweep uses as its "stateful service" tenant.
+ *
+ * Determinism: arrivals are a Bernoulli stream, lifetimes are
+ * uniform integers (integer math only), and expiries pop from a
+ * min-heap keyed on (expiry tick, slot) — every run of a config is
+ * byte-identical.
+ */
+
+#ifndef MOSAIC_WORKLOADS_WEB_SESSION_HH_
+#define MOSAIC_WORKLOADS_WEB_SESSION_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hh"
+#include "workloads/virtual_arena.hh"
+#include "workloads/workload.hh"
+
+namespace mosaic
+{
+
+/** Parameters of the web-session engine. */
+struct WebSessionConfig
+{
+    /** Session slots (the slab holds this many working sets). */
+    std::uint64_t maxSessions = 4096;
+
+    /** Per-session working-set bytes. */
+    std::uint64_t sessionBytes = std::uint64_t{32} << 10;
+
+    /** Mean requests between session arrivals (Bernoulli stream of
+     *  rate 1/arrivalEvery). */
+    unsigned arrivalEvery = 12;
+
+    /** Session lifetime in requests, drawn uniformly from
+     *  [meanLifetimeRequests/2, 3*meanLifetimeRequests/2). */
+    unsigned meanLifetimeRequests = 20'000;
+
+    /** Bytes of a session's working set touched per request. */
+    unsigned requestTouchBytes = 2048;
+
+    /** Requests to serve. */
+    std::uint64_t numRequests = 400'000;
+
+    /** Write the whole slab + session table before serving (the
+     *  memory-pressure experiments need the footprint touched). */
+    bool includeInitSweep = false;
+
+    std::uint64_t seed = 1;
+};
+
+/** Session create/serve/expire churn over a slotted slab. */
+class WebSession : public Workload
+{
+  public:
+    explicit WebSession(const WebSessionConfig &config);
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    void run(AccessSink &sink) override;
+
+    /** Sessions created during the last run() (incl. warm-up). */
+    std::uint64_t sessionsCreated() const { return created_; }
+
+    /** Sessions expired during the last run(). */
+    std::uint64_t sessionsExpired() const { return expired_; }
+
+    /** Peak concurrently-live sessions during the last run(). */
+    std::uint64_t peakActiveSessions() const { return peakActive_; }
+
+  private:
+    void createSession(std::uint64_t slot, std::uint64_t expiry,
+                       AccessSink &sink);
+
+    WebSessionConfig config_;
+    WorkloadInfo info_;
+    VirtualArena arena_;
+    ArenaRegion table_;
+    ArenaRegion slab_;
+
+    std::uint64_t created_ = 0;
+    std::uint64_t expired_ = 0;
+    std::uint64_t peakActive_ = 0;
+
+    // Per-run scheduling state (rebuilt by run()).
+    std::vector<std::uint64_t> freeSlots_;
+    std::vector<std::uint64_t> active_;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> expiryHeap_;
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_WORKLOADS_WEB_SESSION_HH_

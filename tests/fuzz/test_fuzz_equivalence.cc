@@ -60,6 +60,14 @@ constexpr CorpusGolden corpusGoldens[] = {
     {"vm_seed2.trace", 17829253315784731889ull, 2000},
     {"vm_seed3.trace", 11893999554279364395ull, 2000},
     {"vm_seed4.trace", 16836882967811444107ull, 2000},
+    {"wl-kv_seed1.trace", 7206186565797812130ull, 3000},
+    {"wl-kv_seed2.trace", 4800170624497574997ull, 3000},
+    {"wl-scan_seed1.trace", 3037950596104393952ull, 3000},
+    {"wl-scan_seed2.trace", 17902444696638005138ull, 3000},
+    {"wl-session_seed1.trace", 17810837658771123040ull, 3000},
+    {"wl-session_seed2.trace", 12679606475150892030ull, 3000},
+    {"wl-warp_seed1.trace", 14271401641184361194ull, 3000},
+    {"wl-warp_seed2.trace", 12439652432580806755ull, 3000},
 };
 
 struct FreshGolden

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Golden-result regression for the multiprogrammed interference
+ * sweep: a reduced-scale run of every default mix must reproduce
+ * this checked-in per-tenant table exactly, on any thread count.
+ * Locks down the scenario engines (warp GPU, KV server, web
+ * sessions, scan analytics), the quantum scheduler's per-tenant
+ * delta attribution, and the solo baselines in one shot. If a
+ * deliberate change (new RNG stream, different engine shape, ...)
+ * moves these numbers, regenerate the table and explain why in the
+ * commit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/interference.hh"
+#include "util/thread_pool.hh"
+
+namespace mosaic
+{
+namespace
+{
+
+struct GoldenTenant
+{
+    std::uint64_t accesses;
+    std::uint64_t sharedVanillaMisses;
+    std::uint64_t sharedMosaicMisses;
+    std::uint64_t soloMosaicMisses;
+    std::uint64_t meanReachPages;
+};
+
+struct GoldenMix
+{
+    const char *name;
+    std::vector<GoldenTenant> tenants;
+};
+
+// Generated with goldenOptions() below. The shared-vs-solo vanilla
+// gap (e.g. 7867 vs 256 misses for the full_stack warp tenant) is
+// the capacity interference the sweep exists to measure; mosaic's
+// multi-page entries keep the shared numbers near solo.
+const std::vector<GoldenMix> goldenMixes = {
+    {"gpu_kv",
+     {
+         {100000, 3834, 256, 256, 610},
+         {42987, 2194, 410, 410, 547},
+     }},
+    {"server_mix",
+     {
+         {77400, 1477, 434, 434, 732},
+         {241400, 1942, 319, 319, 904},
+         {32744, 594, 256, 256, 580},
+     }},
+    {"gpu_scan",
+     {
+         {100000, 1548, 256, 256, 484},
+         {32744, 583, 256, 256, 436},
+     }},
+    {"full_stack",
+     {
+         {100000, 7867, 256, 256, 1086},
+         {52957, 3037, 418, 417, 981},
+         {242595, 3684, 305, 305, 1165},
+         {32744, 746, 257, 256, 876},
+     }},
+};
+
+InterferenceOptions
+goldenOptions()
+{
+    InterferenceOptions o;
+    o.scale = 1.0 / 64;
+    o.tlbEntries = 256; // capacity pressure makes interference visible
+    o.quantum = 1024;
+    o.seed = 1;
+    return o;
+}
+
+void
+expectGolden(const std::vector<InterferenceCell> &cells)
+{
+    ASSERT_EQ(cells.size(), goldenMixes.size());
+    for (std::size_t m = 0; m < goldenMixes.size(); ++m) {
+        const InterferenceCell &cell = cells[m];
+        const GoldenMix &golden = goldenMixes[m];
+        EXPECT_EQ(cell.mixName, golden.name);
+        ASSERT_EQ(cell.tenants.size(), golden.tenants.size())
+            << "mix " << golden.name;
+        std::uint64_t accesses = 0;
+        for (std::size_t t = 0; t < golden.tenants.size(); ++t) {
+            const InterferenceTenantResult &res = cell.tenants[t];
+            const GoldenTenant &g = golden.tenants[t];
+            EXPECT_EQ(res.accesses, g.accesses)
+                << "mix " << golden.name << " tenant " << t;
+            EXPECT_EQ(res.shared.vanillaMisses, g.sharedVanillaMisses)
+                << "mix " << golden.name << " tenant " << t;
+            EXPECT_EQ(res.shared.mosaicMisses, g.sharedMosaicMisses)
+                << "mix " << golden.name << " tenant " << t;
+            EXPECT_EQ(res.solo.mosaicMisses, g.soloMosaicMisses)
+                << "mix " << golden.name << " tenant " << t;
+            EXPECT_EQ(res.meanReachPages(), g.meanReachPages)
+                << "mix " << golden.name << " tenant " << t;
+            // Capacity sharing can only add misses to a tenant.
+            EXPECT_GE(res.shared.vanillaMisses,
+                      res.solo.vanillaMisses);
+            EXPECT_GE(res.shared.mosaicMisses, res.solo.mosaicMisses);
+            accesses += res.accesses;
+        }
+        EXPECT_EQ(cell.accesses, accesses) << "mix " << golden.name;
+    }
+}
+
+TEST(GoldenInterference, SerialRunMatchesCheckedInTable)
+{
+    ThreadPool one(1);
+    expectGolden(runInterference(goldenOptions(), one));
+}
+
+TEST(GoldenInterference, ParallelRunMatchesCheckedInTable)
+{
+    ThreadPool many(
+        std::max(4u, std::thread::hardware_concurrency()));
+    expectGolden(runInterference(goldenOptions(), many));
+}
+
+} // namespace
+} // namespace mosaic

@@ -153,6 +153,78 @@ TEST(KvStore, LoadPhaseCoversValues)
     EXPECT_GT(covered, 0.95);
 }
 
+/** First address of the value region: the index region is the
+ *  arena's first allocation (base 1 GiB), padded to regionAlign. */
+Addr
+valueRegionBase(const KvStoreConfig &config)
+{
+    const auto slots = static_cast<std::uint64_t>(
+        static_cast<double>(config.numKeys) * config.indexSlotsPerKey);
+    const std::uint64_t indexBytes = slots * 16;
+    const std::uint64_t align = VirtualArena::regionAlign;
+    return (Addr{1} << 30) + (indexBytes + align - 1) / align * align;
+}
+
+/** Extracts the per-op GET/SET decisions from a run trace: every op
+ *  ends in a burst of value-region lines whose write flag is the
+ *  SET bit (index probes are reads in the lower region). */
+std::vector<bool>
+opKinds(const KvStoreConfig &config)
+{
+    KvStore store(config);
+    VectorSink sink;
+    store.run(sink);
+    const Addr valueBase = valueRegionBase(config);
+    std::vector<bool> kinds;
+    bool inValueBurst = false;
+    for (const MemRef &ref : sink.trace()) {
+        const bool valueLine = ref.vaddr >= valueBase;
+        if (valueLine && !inValueBurst)
+            kinds.push_back(ref.write);
+        inValueBurst = valueLine;
+    }
+    return kinds;
+}
+
+// Regression for the shared-RNG bug: the Zipf sampler consumes a
+// theta-dependent number of draws, so with one stream for both the
+// key draw and the GET/SET coin, changing zipfTheta silently
+// reshuffled the op mix. With per-phase streams the decision
+// sequence is theta-invariant.
+TEST(KvStore, GetSetChoiceIndependentOfZipfTheta)
+{
+    KvStoreConfig a = tinyStore();
+    a.numOps = 2'000;
+    a.zipfTheta = 0.5;
+    KvStoreConfig b = a;
+    b.zipfTheta = 0.99;
+    const std::vector<bool> ka = opKinds(a);
+    const std::vector<bool> kb = opKinds(b);
+    ASSERT_GT(ka.size(), 1'000u);
+    ASSERT_EQ(ka.size(), kb.size());
+    EXPECT_EQ(ka, kb);
+}
+
+// And the mirror image: changing the GET fraction must not change
+// which keys are sampled. GET and SET probe and touch the identical
+// addresses — only the value-line write flag differs — so the two
+// traces must match address for address.
+TEST(KvStore, KeySequenceIndependentOfGetFraction)
+{
+    KvStoreConfig a = tinyStore();
+    a.numOps = 2'000;
+    a.getFraction = 0.9;
+    KvStoreConfig b = a;
+    b.getFraction = 0.2;
+    KvStore sa(a), sb(b);
+    VectorSink ta, tb;
+    sa.run(ta);
+    sb.run(tb);
+    ASSERT_EQ(ta.trace().size(), tb.trace().size());
+    for (std::size_t i = 0; i < ta.trace().size(); ++i)
+        ASSERT_EQ(ta.trace()[i].vaddr, tb.trace()[i].vaddr) << i;
+}
+
 TEST(KvStore, FactoryIntegration)
 {
     EXPECT_EQ(workloadName(WorkloadKind::KvStore), "KVStore");

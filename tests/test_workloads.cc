@@ -8,14 +8,25 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
 #include <set>
+#include <vector>
 
+#include "core/batch_pipeline.hh"
+#include "core/experiments.hh"
+#include "core/translation_sim.hh"
 #include "workloads/access_sink.hh"
 #include "workloads/btree.hh"
 #include "workloads/factory.hh"
 #include "workloads/graph500.hh"
 #include "workloads/gups.hh"
+#include "workloads/kv_server.hh"
+#include "workloads/scan_analytics.hh"
 #include "workloads/virtual_arena.hh"
+#include "workloads/warp.hh"
+#include "workloads/web_session.hh"
 #include "workloads/xsbench.hh"
 
 namespace mosaic
@@ -367,6 +378,273 @@ TEST(Factory, NamesMatchPaper)
     EXPECT_EQ(workloadName(WorkloadKind::BTree), "BTree");
     EXPECT_EQ(workloadName(WorkloadKind::Gups), "GUPS");
     EXPECT_EQ(workloadName(WorkloadKind::XsBench), "XSBench");
+    EXPECT_EQ(workloadName(WorkloadKind::WarpGpu), "WarpGPU");
+    EXPECT_EQ(workloadName(WorkloadKind::KvServer), "KVServer");
+    EXPECT_EQ(workloadName(WorkloadKind::WebSession), "WebSession");
+    EXPECT_EQ(workloadName(WorkloadKind::ScanAnalytics),
+              "ScanAnalytics");
+}
+
+// ---------------------------------------------------------------
+// Scenario-diversity engines (DESIGN.md §15): determinism
+// contracts, batch-vs-scalar equality, and distribution sanity.
+// ---------------------------------------------------------------
+
+class ScenarioEngineTest : public ::testing::TestWithParam<WorkloadKind>
+{
+  protected:
+    /** A small fig6-shaped instance of the engine under test. */
+    static std::unique_ptr<Workload>
+    make()
+    {
+        return makeFig6Workload(GetParam(), 1.0 / 64, 7);
+    }
+};
+
+// Same config ⇒ byte-identical reference stream, across fresh
+// instances and across re-runs of one instance.
+TEST_P(ScenarioEngineTest, DeterministicTrace)
+{
+    const auto a = make();
+    const auto b = make();
+    VectorSink sa, sb, sa2;
+    a->run(sa);
+    b->run(sb);
+    a->run(sa2); // run() must be re-executable from scratch
+    ASSERT_GT(sa.trace().size(), 1000u) << workloadName(GetParam());
+    ASSERT_EQ(sa.trace().size(), sb.trace().size());
+    ASSERT_EQ(sa.trace().size(), sa2.trace().size());
+    for (std::size_t i = 0; i < sa.trace().size(); ++i) {
+        ASSERT_EQ(sa.trace()[i].vaddr, sb.trace()[i].vaddr) << i;
+        ASSERT_EQ(sa.trace()[i].write, sb.trace()[i].write) << i;
+        ASSERT_EQ(sa.trace()[i].vaddr, sa2.trace()[i].vaddr) << i;
+        ASSERT_EQ(sa.trace()[i].write, sa2.trace()[i].write) << i;
+    }
+}
+
+TEST_P(ScenarioEngineTest, SeedChangesStream)
+{
+    const auto a = makeFig6Workload(GetParam(), 1.0 / 64, 7);
+    const auto b = makeFig6Workload(GetParam(), 1.0 / 64, 8);
+    VectorSink sa, sb;
+    a->run(sa);
+    b->run(sb);
+    bool differs = sa.trace().size() != sb.trace().size();
+    for (std::size_t i = 0; !differs && i < sa.trace().size(); ++i)
+        differs = sa.trace()[i].vaddr != sb.trace()[i].vaddr;
+    EXPECT_TRUE(differs) << workloadName(GetParam());
+}
+
+TEST_P(ScenarioEngineTest, AccessesStayInsideArena)
+{
+    const auto w = make();
+    RangeSink sink;
+    w->run(sink);
+    EXPECT_GE(sink.min_, Addr{1} << 30);
+    EXPECT_LT(sink.max_, (Addr{1} << 30) + (Addr{1} << 30));
+    EXPECT_GT(sink.writes_, 0u) << workloadName(GetParam());
+    EXPECT_LT(sink.writes_, sink.count_) << workloadName(GetParam());
+}
+
+// The batched translation path must be bit-exact against scalar for
+// the new engines' streams at every block size, including partial
+// tail blocks (7) and the bench defaults (64, 128).
+TEST_P(ScenarioEngineTest, BatchedTranslationMatchesScalar)
+{
+    const auto w = make();
+    VectorSink recorded;
+    w->run(recorded);
+
+    TranslationSimConfig config;
+    config.memory = ampleGeometry(w->info().footprintBytes);
+    config.tlbEntries = 128;
+    config.waysList = {4};
+    config.arities = {8};
+    config.kernel.accessEvery = 0;
+    config.designWays = 4;
+    config.designSpecs = {"vanilla", "mosaic:arity=8",
+                          "stride:base=mosaic,arity=8,mode=arbitrary"};
+
+    TranslationSim scalar(config);
+    for (const MemRef &ref : recorded.trace())
+        scalar.access(ref.vaddr, ref.write);
+
+    for (const unsigned block : {1u, 7u, 64u, 128u}) {
+        TranslationSim batched(config);
+        {
+            BatchTranslationSink sink(batched, block);
+            for (const MemRef &ref : recorded.trace())
+                sink.access(ref.vaddr, ref.write);
+            sink.flush();
+        }
+        ASSERT_EQ(scalar.numDesigns(), batched.numDesigns());
+        for (std::size_t d = 0; d < scalar.numDesigns(); ++d) {
+            const auto &s = scalar.design(d);
+            const auto &b = batched.design(d);
+            EXPECT_EQ(s.stats().hits, b.stats().hits)
+                << workloadName(GetParam()) << " block " << block
+                << " design " << s.name();
+            EXPECT_EQ(s.stats().misses, b.stats().misses)
+                << workloadName(GetParam()) << " block " << block
+                << " design " << s.name();
+            EXPECT_EQ(s.counters().walkRefs, b.counters().walkRefs)
+                << workloadName(GetParam()) << " block " << block;
+            EXPECT_EQ(s.reachPages(), b.reachPages())
+                << workloadName(GetParam()) << " block " << block;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, ScenarioEngineTest,
+    ::testing::Values(WorkloadKind::WarpGpu, WorkloadKind::KvServer,
+                      WorkloadKind::WebSession,
+                      WorkloadKind::ScanAnalytics));
+
+TEST(WarpGpu, CoalescingCollapsesTransactions)
+{
+    WarpConfig c;
+    c.warpWidth = 32;
+    c.numWarps = 4;
+    c.bufferBytes = 4 << 20;
+    c.numInstructions = 20'000;
+    c.divergenceRate = 0.0;
+    c.coalesceFactor = 1.0; // every instruction fully coalesced
+    WarpGpu coalesced(c);
+    CountingSink sink;
+    coalesced.run(sink);
+    ASSERT_EQ(coalesced.instructionsIssued(), c.numInstructions);
+    EXPECT_EQ(coalesced.divergentInstructions(), 0u);
+    // 32 lanes * 8 B = 256 B per instruction: at most 3 segments of
+    // 128 B each (wraparound can split the run once).
+    const double ratio =
+        static_cast<double>(coalesced.memoryTransactions()) /
+        static_cast<double>(coalesced.instructionsIssued());
+    EXPECT_GE(ratio, 1.0);
+    EXPECT_LE(ratio, 3.0);
+
+    // Page-strided lanes can never share a 128 B segment.
+    c.coalesceFactor = 0.0;
+    WarpGpu strided(c);
+    strided.run(sink);
+    const double strided_ratio =
+        static_cast<double>(strided.memoryTransactions()) /
+        static_cast<double>(strided.instructionsIssued());
+    EXPECT_EQ(strided_ratio, static_cast<double>(c.warpWidth));
+}
+
+TEST(WarpGpu, DivergenceIsCountedAndBounded)
+{
+    WarpConfig c;
+    c.numWarps = 4;
+    c.bufferBytes = 4 << 20;
+    c.numInstructions = 50'000;
+    c.divergenceRate = 0.2;
+    WarpGpu w(c);
+    CountingSink sink;
+    w.run(sink);
+    const double rate =
+        static_cast<double>(w.divergentInstructions()) /
+        static_cast<double>(w.instructionsIssued());
+    EXPECT_GT(rate, 0.15);
+    EXPECT_LT(rate, 0.25);
+}
+
+// Rank-frequency of the KV key stream must follow the configured
+// Zipf skew: on a log-log plot, frequency(rank) has slope ~ -theta.
+TEST(KvServer, ZipfRankFrequencySlope)
+{
+    KvServerConfig c;
+    c.numKeys = 16'384;
+    c.hotKeyFraction = 1.0; // Zipf over the whole key space
+    c.hotOpFraction = 1.0;  // every op drawn from the Zipf sampler
+    c.zipfTheta = 0.99;
+    c.numOps = 400'000;
+    KvServer kv(c);
+    CountingSink sink;
+    kv.run(sink);
+
+    std::vector<std::uint32_t> counts = kv.keyOpCounts();
+    std::sort(counts.begin(), counts.end(),
+              std::greater<std::uint32_t>());
+    ASSERT_GT(counts[0], 1000u); // rank 1 dominates
+    // Least-squares slope of log(freq) vs log(rank) over the head.
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    const int n = 100;
+    for (int r = 1; r <= n; ++r) {
+        const double x = std::log(static_cast<double>(r));
+        const double y = std::log(static_cast<double>(counts[r - 1]));
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    EXPECT_LT(slope, -0.85);
+    EXPECT_GT(slope, -1.15);
+}
+
+TEST(KvServer, GetSetMixMatchesConfig)
+{
+    KvServerConfig c;
+    c.numKeys = 8192;
+    c.numOps = 100'000;
+    c.getFraction = 0.7;
+    KvServer kv(c);
+    VectorSink sink;
+    kv.run(sink);
+    // SETs write every value line; GETs only read the value. Count
+    // value-region writes as a proxy for the op mix.
+    std::uint64_t writes = 0;
+    for (const MemRef &ref : sink.trace())
+        writes += ref.write ? 1 : 0;
+    EXPECT_GT(writes, 0u);
+    EXPECT_LT(writes, sink.trace().size() / 2);
+}
+
+TEST(WebSession, ChurnStaysWithinBounds)
+{
+    WebSessionConfig c;
+    c.maxSessions = 512;
+    c.arrivalEvery = 8;
+    c.meanLifetimeRequests = 2'000;
+    c.numRequests = 100'000;
+    WebSession w(c);
+    CountingSink sink;
+    w.run(sink);
+
+    // Warm-up seeds maxSessions/4; arrivals are Bernoulli(1/8) per
+    // request, capped by table capacity.
+    EXPECT_GE(w.sessionsCreated(), c.maxSessions / 4);
+    EXPECT_LE(w.sessionsCreated(),
+              c.maxSessions / 4 + c.numRequests / 4);
+    EXPECT_GT(w.sessionsExpired(), 0u);
+    EXPECT_LE(w.sessionsExpired(), w.sessionsCreated());
+    EXPECT_LE(w.peakActiveSessions(), c.maxSessions);
+    EXPECT_GE(w.peakActiveSessions(), c.maxSessions / 4);
+}
+
+TEST(ScanAnalytics, ScansDominateAndLookupsRecur)
+{
+    ScanAnalyticsConfig c;
+    c.rowCount = 200'000;
+    c.numColumns = 3;
+    c.passes = 2;
+    c.lookupEvery = 64;
+    ScanAnalytics s(c);
+    CountingSink sink;
+    s.run(sink);
+    EXPECT_GT(s.linesScanned(), 0u);
+    // One dim+agg lookup pair every lookupEvery scanned lines; the
+    // cadence counter resets per column scan, so the remainder of
+    // each column is truncated.
+    const std::uint64_t lines_per_column =
+        c.rowCount * c.columnBytes / 64;
+    EXPECT_EQ(s.lookupsIssued(), std::uint64_t{c.passes} *
+                                     c.numColumns *
+                                     (lines_per_column / c.lookupEvery));
+    // Sequential scans are the bulk of the stream.
+    EXPECT_GT(s.linesScanned(), 2 * s.lookupsIssued());
 }
 
 TEST(Factory, Fig6ScaleShrinksFootprint)
@@ -395,11 +673,13 @@ TEST_P(FactoryFootprintTest, FootprintWithinFivePercentOfTarget)
     EXPECT_LT(ratio, 1.07) << workloadName(GetParam());
 }
 
-INSTANTIATE_TEST_SUITE_P(Kinds, FactoryFootprintTest,
-                         ::testing::Values(WorkloadKind::Graph500,
-                                           WorkloadKind::BTree,
-                                           WorkloadKind::Gups,
-                                           WorkloadKind::XsBench));
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, FactoryFootprintTest,
+    ::testing::Values(WorkloadKind::Graph500, WorkloadKind::BTree,
+                      WorkloadKind::Gups, WorkloadKind::XsBench,
+                      WorkloadKind::WarpGpu, WorkloadKind::KvServer,
+                      WorkloadKind::WebSession,
+                      WorkloadKind::ScanAnalytics));
 
 TEST_P(FactoryFootprintTest, TouchesNearlyWholeFootprint)
 {

@@ -8,7 +8,8 @@
  *
  * Usage:
  *   mosaic_fuzz [--component vm|tlb|iceberg|tlb-stride|tlb-pwc|
- *                tlb-range|all] [--seeds N] [--first-seed S] [--ops N]
+ *                tlb-range|wl-warp|wl-kv|wl-session|wl-scan|all]
+ *               [--seeds N] [--first-seed S] [--ops N]
  *               [--out DIR] [--emit] [--batch N]
  *
  * --batch N (default $MOSAIC_BATCH) engages the batched-pipeline
@@ -59,7 +60,8 @@ usage()
 {
     std::cerr <<
         "usage: mosaic_fuzz [--component vm|tlb|iceberg|tlb-stride|\n"
-        "                    tlb-pwc|tlb-range|all]\n"
+        "                    tlb-pwc|tlb-range|wl-warp|wl-kv|\n"
+        "                    wl-session|wl-scan|all]\n"
         "                   [--seeds N] [--first-seed S] [--ops N]\n"
         "                   [--out DIR] [--batch N]\n";
     return 2;
@@ -68,9 +70,10 @@ usage()
 bool
 componentKnown(const std::string &c)
 {
-    static const char *known[] = {"all",        "vm",      "tlb",
-                                  "iceberg",    "tlb-stride",
-                                  "tlb-pwc",    "tlb-range"};
+    static const char *known[] = {
+        "all",     "vm",         "tlb",     "iceberg",
+        "tlb-stride", "tlb-pwc", "tlb-range",
+        "wl-warp", "wl-kv",      "wl-session", "wl-scan"};
     for (const char *k : known) {
         if (c == k)
             return true;
@@ -161,7 +164,9 @@ main(int argc, char **argv)
     std::vector<std::string> components;
     if (opts.component == "all")
         components = {"vm",         "tlb",     "iceberg",
-                      "tlb-stride", "tlb-pwc", "tlb-range"};
+                      "tlb-stride", "tlb-pwc", "tlb-range",
+                      "wl-warp",    "wl-kv",   "wl-session",
+                      "wl-scan"};
     else
         components = {opts.component};
 
