@@ -11,12 +11,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "fault/sweep.hh"
 #include "telemetry/report.hh"
+#include "util/parse.hh"
 #include "util/table.hh"
 #include "util/thread_pool.hh"
 
@@ -181,20 +183,30 @@ recordSweep(telemetry::BenchReport &report, std::ostream &os,
            << runner.options().resumeDir << "\n";
 }
 
-/** Read a double knob from the environment. */
+/**
+ * Read a double knob from the environment. Malformed values exit
+ * with a quoted-offender InvalidArgument via util/parse.hh — a
+ * typo'd MOSAIC_FIG6_SCALE=0.5x must not silently run the default.
+ */
 inline double
 envDouble(const char *name, double fallback)
 {
-    const char *value = std::getenv(name);
-    return value ? std::atof(value) : fallback;
+    return envFinite(name, fallback);
 }
 
-/** Read an integer knob from the environment. */
+/** Read a non-negative integer knob from the environment (strict:
+ *  set-but-malformed values are fatal, never the fallback). */
 inline long
 envLong(const char *name, long fallback)
 {
-    const char *value = std::getenv(name);
-    return value ? std::atol(value) : fallback;
+    const std::uint64_t v = envUnsigned(
+        name, static_cast<std::uint64_t>(fallback));
+    if (v > static_cast<std::uint64_t>(
+            std::numeric_limits<long>::max())) {
+        fatal(std::string(name) + ": value " + std::to_string(v) +
+              " does not fit in a long");
+    }
+    return static_cast<long>(v);
 }
 
 } // namespace mosaic::bench

@@ -1,0 +1,241 @@
+#include "core/request_log.hh"
+
+#include <array>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace mosaic
+{
+
+namespace
+{
+
+constexpr const char *logMagic = "mosaic-request-log v1";
+
+constexpr std::size_t payloadBytes = 20;
+
+std::uint32_t
+fnv1a32(const unsigned char *data, std::size_t n)
+{
+    std::uint32_t h = 2166136261u;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= data[i];
+        h *= 16777619u;
+    }
+    return h;
+}
+
+void
+putU16(unsigned char *out, std::uint16_t v)
+{
+    out[0] = static_cast<unsigned char>(v);
+    out[1] = static_cast<unsigned char>(v >> 8);
+}
+
+void
+putU32(unsigned char *out, std::uint32_t v)
+{
+    for (unsigned i = 0; i < 4; ++i)
+        out[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+void
+putU64(unsigned char *out, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        out[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+std::uint32_t
+getU32(const unsigned char *in)
+{
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        v |= std::uint32_t{in[i]} << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const unsigned char *in)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= std::uint64_t{in[i]} << (8 * i);
+    return v;
+}
+
+std::array<unsigned char, logRecordBytes>
+encodeRecord(const LogRecord &record)
+{
+    std::array<unsigned char, logRecordBytes> buf{};
+    buf[0] = static_cast<unsigned char>(record.kind);
+    buf[1] = record.write ? 1 : 0;
+    putU16(&buf[2], 0);
+    putU64(&buf[4], record.seq);
+    putU64(&buf[12], record.vaddr);
+    putU32(&buf[payloadBytes], fnv1a32(buf.data(), payloadBytes));
+    return buf;
+}
+
+/** False when the checksum fails or the kind byte is unknown. */
+bool
+decodeRecord(const unsigned char *buf, LogRecord *out)
+{
+    if (getU32(buf + payloadBytes) != fnv1a32(buf, payloadBytes))
+        return false;
+    if (buf[0] != static_cast<unsigned char>(LogRecordKind::Translate))
+        return false;
+    out->kind = static_cast<LogRecordKind>(buf[0]);
+    out->write = buf[1] != 0;
+    out->seq = getU64(buf + 4);
+    out->vaddr = getU64(buf + 12);
+    return true;
+}
+
+} // namespace
+
+RequestLogWriter::~RequestLogWriter()
+{
+    close();
+}
+
+Status
+RequestLogWriter::open(const std::string &path,
+                       const std::string &fingerprint)
+{
+    close();
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr)
+        return Status::ioError("cannot open request log '" + path +
+                               "' for writing");
+    path_ = path;
+    const std::string header = std::string(logMagic) +
+                               "\nfingerprint " + fingerprint + "\n";
+    if (std::fwrite(header.data(), 1, header.size(), file_) !=
+            header.size()) {
+        close();
+        return Status::ioError("cannot write request-log header to '" +
+                               path + "'");
+    }
+    writtenBytes_ = header.size();
+    flushedBytes_ = 0;
+    return flush();
+}
+
+Status
+RequestLogWriter::openForAppend(const std::string &path,
+                                std::uint64_t durable_bytes)
+{
+    close();
+    // Drop any torn tail first so appends extend the durable prefix.
+    std::error_code ec;
+    std::filesystem::resize_file(path, durable_bytes, ec);
+    if (ec) {
+        return Status::ioError("cannot truncate request log '" + path +
+                               "' to its durable prefix (" +
+                               ec.message() + ")");
+    }
+    file_ = std::fopen(path.c_str(), "ab");
+    if (file_ == nullptr)
+        return Status::ioError("cannot open request log '" + path +
+                               "' for append");
+    path_ = path;
+    writtenBytes_ = durable_bytes;
+    flushedBytes_ = durable_bytes;
+    return {};
+}
+
+Status
+RequestLogWriter::append(const LogRecord &record)
+{
+    if (file_ == nullptr)
+        return Status::internal("request log is not open");
+    const auto buf = encodeRecord(record);
+    if (std::fwrite(buf.data(), 1, buf.size(), file_) != buf.size())
+        return Status::ioError("short write to request log '" + path_ +
+                               "'");
+    writtenBytes_ += buf.size();
+    return {};
+}
+
+Status
+RequestLogWriter::flush()
+{
+    if (file_ == nullptr)
+        return Status::internal("request log is not open");
+    if (std::fflush(file_) != 0)
+        return Status::ioError("cannot flush request log '" + path_ +
+                               "'");
+    flushedBytes_ = writtenBytes_;
+    return {};
+}
+
+void
+RequestLogWriter::crash()
+{
+    if (file_ == nullptr)
+        return;
+    // Abandon the buffered suffix, then cut the file back to the
+    // watermark: exactly what the kernel would keep had the process
+    // died after the last successful flush().
+    std::fclose(file_);
+    file_ = nullptr;
+    std::error_code ec;
+    std::filesystem::resize_file(path_, flushedBytes_, ec);
+    if (ec) {
+        warn("request log '" + path_ +
+             "': simulated crash could not truncate to the flushed "
+             "offset (" + ec.message() + ")");
+    }
+}
+
+void
+RequestLogWriter::close()
+{
+    if (file_ == nullptr)
+        return;
+    std::fflush(file_);
+    std::fclose(file_);
+    file_ = nullptr;
+    flushedBytes_ = writtenBytes_;
+}
+
+Result<RequestLogContents>
+readRequestLog(const std::string &path, const std::string &fingerprint)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good())
+        return Status::notFound("no request log at '" + path + "'");
+    std::string line;
+    if (!std::getline(in, line) || line != logMagic) {
+        return Status::dataLoss("request log '" + path +
+                                "' has a foreign or corrupt header");
+    }
+    if (!std::getline(in, line) ||
+            line != "fingerprint " + fingerprint) {
+        return Status::dataLoss(
+            "request log '" + path +
+            "' was written under a different configuration");
+    }
+    RequestLogContents contents;
+    contents.durableBytes = static_cast<std::uint64_t>(in.tellg());
+    unsigned char buf[logRecordBytes];
+    for (;;) {
+        in.read(reinterpret_cast<char *>(buf), logRecordBytes);
+        if (in.gcount() != static_cast<std::streamsize>(logRecordBytes)) {
+            contents.tornTail = in.gcount() != 0;
+            break;
+        }
+        LogRecord record;
+        if (!decodeRecord(buf, &record)) {
+            contents.tornTail = true;
+            break;
+        }
+        contents.records.push_back(record);
+        contents.durableBytes += logRecordBytes;
+    }
+    return contents;
+}
+
+} // namespace mosaic

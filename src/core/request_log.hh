@@ -1,0 +1,193 @@
+/**
+ * @file
+ * The per-session request log (write-ahead log) behind mosaicd's
+ * crash recovery, plus the RequestLog seam on the touch-sink path
+ * (DESIGN.md §16).
+ *
+ * Format: a two-line text header (magic + fingerprint, the shared
+ * checkpoint convention of fault/checkpoint.hh) followed by fixed-
+ * size binary records:
+ *
+ *     u8  kind    u8 write    u16 reserved (0)
+ *     u64 seq     u64 vaddr
+ *     u32 fnv1a-32 over the 20 payload bytes
+ *
+ * Every record is checksummed individually so a reader can tell a
+ * cleanly-ended log from one torn mid-record by a crash: reading
+ * stops at the first short or checksum-failing record and reports
+ * how many bytes of durable prefix precede it. A torn tail is NOT
+ * data loss — it is a request whose acceptance never reached the
+ * client (mosaicd acks only after flush), so recovery discards it
+ * and the client's retry resubmits.
+ *
+ * The writer tracks its flushed offset explicitly, which is what
+ * lets the chaos tests simulate a kill precisely: a simulated crash
+ * truncates the file to the flushed offset, dropping exactly the
+ * bytes a real process death would have lost.
+ */
+
+#ifndef MOSAIC_CORE_REQUEST_LOG_HH_
+#define MOSAIC_CORE_REQUEST_LOG_HH_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/status.hh"
+#include "util/types.hh"
+#include "workloads/access_sink.hh"
+
+namespace mosaic
+{
+
+/** Record kinds; the log is open to non-translate control records. */
+enum class LogRecordKind : std::uint8_t
+{
+    /** One translation request (vaddr + write flag). */
+    Translate = 1,
+};
+
+/** One framed log record. */
+struct LogRecord
+{
+    LogRecordKind kind = LogRecordKind::Translate;
+    bool write = false;
+
+    /** Per-session sequence number; dense from 0 in submit order. */
+    std::uint64_t seq = 0;
+
+    Addr vaddr = 0;
+
+    bool operator==(const LogRecord &) const = default;
+};
+
+/** Serialized size of one record on disk. */
+constexpr std::size_t logRecordBytes = 24;
+
+/** Append-only writer with an explicit flushed-offset watermark. */
+class RequestLogWriter
+{
+  public:
+    RequestLogWriter() = default;
+    ~RequestLogWriter();
+
+    RequestLogWriter(const RequestLogWriter &) = delete;
+    RequestLogWriter &operator=(const RequestLogWriter &) = delete;
+
+    /**
+     * Create (truncate) the log at @p path and write the header.
+     * The header counts toward flushedBytes only after flush().
+     */
+    Status open(const std::string &path,
+                const std::string &fingerprint);
+
+    /**
+     * Re-open an existing log for appending after @p durable_bytes
+     * (recovery: the durable prefix was just replayed; appends
+     * continue where it ended, dropping any torn tail).
+     */
+    Status openForAppend(const std::string &path,
+                         std::uint64_t durable_bytes);
+
+    /** Append one record (buffered; durable only after flush()). */
+    Status append(const LogRecord &record);
+
+    /** Push buffered records to the OS and advance the watermark. */
+    Status flush();
+
+    /** Bytes guaranteed durable against process death. */
+    std::uint64_t flushedBytes() const { return flushedBytes_; }
+
+    /** Bytes appended (flushed or not). */
+    std::uint64_t writtenBytes() const { return writtenBytes_; }
+
+    bool isOpen() const { return file_ != nullptr; }
+
+    /**
+     * Simulated process death: close the file and truncate it to
+     * the flushed watermark, losing exactly the unflushed suffix.
+     */
+    void crash();
+
+    /** Flush and close cleanly. */
+    void close();
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::string path_;
+    std::uint64_t writtenBytes_ = 0;
+    std::uint64_t flushedBytes_ = 0;
+};
+
+/** The durable contents of one request log. */
+struct RequestLogContents
+{
+    std::vector<LogRecord> records;
+
+    /** Bytes of durable prefix (header + whole valid records). */
+    std::uint64_t durableBytes = 0;
+
+    /** True when a torn/corrupt tail was discarded after the
+     *  durable prefix. */
+    bool tornTail = false;
+};
+
+/**
+ * Read a request log. NotFound when absent, DataLoss when the header
+ * is foreign or the fingerprint mismatches (a log from a different
+ * configuration must not replay), Ok otherwise — a torn tail is
+ * reported in the result, not as an error (see file comment).
+ */
+Result<RequestLogContents> readRequestLog(
+    const std::string &path, const std::string &fingerprint);
+
+/**
+ * The RequestLog seam on the touch-sink path: tees every access
+ * into a log (with self-assigned dense seq) before forwarding to
+ * the inner sink. Lets any workload run be captured as a replayable
+ * request log, and is what mosaicd's recovery drives replay through.
+ * Append/flush failures surface through status() — the stream keeps
+ * flowing to the inner sink (degraded, like a failed telemetry
+ * write), and callers that need the log decide what to do.
+ */
+class LoggingSink : public AccessSink
+{
+  public:
+    LoggingSink(RequestLogWriter &log, AccessSink &inner)
+        : log_(log), inner_(inner)
+    {
+    }
+
+    void
+    access(Addr vaddr, bool write) override
+    {
+        if (status_.ok()) {
+            status_ = log_.append(LogRecord{
+                LogRecordKind::Translate, write, nextSeq_, vaddr});
+        }
+        ++nextSeq_;
+        inner_.access(vaddr, write);
+    }
+
+    void
+    flush() override
+    {
+        if (status_.ok())
+            status_ = log_.flush();
+        inner_.flush();
+    }
+
+    /** First append/flush failure, sticky; Ok while healthy. */
+    const Status &status() const { return status_; }
+
+  private:
+    RequestLogWriter &log_;
+    AccessSink &inner_;
+    std::uint64_t nextSeq_ = 0;
+    Status status_;
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_CORE_REQUEST_LOG_HH_

@@ -1,0 +1,56 @@
+#include "fault/checkpoint.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace mosaic::fault
+{
+
+Status
+writeCheckpointFile(const std::string &path, const std::string &magic,
+                    const std::string &fingerprint,
+                    const std::string &payload)
+{
+    const std::string tmp = path + ".tmp";
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << magic << '\n' << "fingerprint " << fingerprint << '\n'
+        << payload;
+    out.flush();
+    const bool wrote = out.good();
+    out.close();
+    std::error_code ec;
+    if (wrote)
+        std::filesystem::rename(tmp, path, ec);
+    if (!wrote || ec) {
+        std::filesystem::remove(tmp, ec);
+        return Status::ioError("cannot write checkpoint '" + path +
+                               "'");
+    }
+    return {};
+}
+
+Result<std::string>
+readCheckpointFile(const std::string &path, const std::string &magic,
+                   const std::string &fingerprint)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good())
+        return Status::notFound("no checkpoint at '" + path + "'");
+    std::string line;
+    if (!std::getline(in, line) || line != magic) {
+        return Status::dataLoss("checkpoint '" + path +
+                                "' has a foreign or corrupt header");
+    }
+    if (!std::getline(in, line) ||
+            line != "fingerprint " + fingerprint) {
+        return Status::dataLoss(
+            "checkpoint '" + path +
+            "' was written under a different configuration");
+    }
+    std::ostringstream payload;
+    payload << in.rdbuf();
+    return payload.str();
+}
+
+} // namespace mosaic::fault

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The checkpoint-file convention shared by everything that
+ * checkpoints state for crash recovery (DESIGN.md §11/§16): the
+ * resilient sweep engine's per-cell results and mosaicd's per-epoch
+ * session snapshots both write
+ *
+ *     <magic line>\n
+ *     fingerprint <configuration fingerprint>\n
+ *     <opaque payload bytes>
+ *
+ * atomically (tmp file + rename), and refuse to load a checkpoint
+ * whose magic or fingerprint does not match — a stale checkpoint
+ * must force recomputation, never merge silently.
+ */
+
+#ifndef MOSAIC_FAULT_CHECKPOINT_HH_
+#define MOSAIC_FAULT_CHECKPOINT_HH_
+
+#include <string>
+
+#include "util/status.hh"
+
+namespace mosaic::fault
+{
+
+/** Magic line of sweep cell checkpoints (PR 4 format, unchanged). */
+inline constexpr const char *cellCheckpointMagic =
+    "mosaic-cell-checkpoint v1";
+
+/** Magic line of mosaicd epoch checkpoints. */
+inline constexpr const char *epochCheckpointMagic =
+    "mosaicd-epoch-checkpoint v1";
+
+/**
+ * Atomically write @p payload as a checkpoint file: the bytes land
+ * in <path>.tmp first and are renamed over @p path only when the
+ * write completed, so a crash mid-write leaves either the old
+ * checkpoint or none — never a torn one. IoError on any failure
+ * (the tmp file is cleaned up).
+ */
+Status writeCheckpointFile(const std::string &path,
+                           const std::string &magic,
+                           const std::string &fingerprint,
+                           const std::string &payload);
+
+/**
+ * Read a checkpoint written by writeCheckpointFile. NotFound when
+ * the file does not exist; DataLoss when the magic or fingerprint
+ * line does not match (stale or foreign checkpoint — recompute).
+ * Returns the opaque payload on success.
+ */
+Result<std::string> readCheckpointFile(const std::string &path,
+                                       const std::string &magic,
+                                       const std::string &fingerprint);
+
+} // namespace mosaic::fault
+
+#endif // MOSAIC_FAULT_CHECKPOINT_HH_

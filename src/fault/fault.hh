@@ -30,6 +30,18 @@
  * When no plan is set, components hold a null injector pointer and
  * skip the site check entirely: the zero-overhead / no-behavior-
  * change guarantee.
+ *
+ * Serving sites (mosaicd, DESIGN.md §16) — every firing must surface
+ * as a typed Status or a recovered restart, never a silent drop:
+ *     serve.admit        admission rejects the request (shed,
+ *                        Status Injected, before acceptance)
+ *     serve.log.append   the write-ahead append fails (shed,
+ *                        IoError, before acceptance)
+ *     serve.worker.stall a worker wedges until the watchdog
+ *                        restarts it (requests stay queued)
+ *     serve.crash        consulted at epoch boundaries; firing
+ *                        crashes the daemon, which must recover
+ *                        from checkpoint + request-log replay
  */
 
 #ifndef MOSAIC_FAULT_FAULT_HH_
@@ -183,6 +195,18 @@ class FaultInjector
 
 /** FNV-1a of a string; the site/scope hash used for seeding. */
 std::uint64_t hashString(std::string_view s);
+
+/**
+ * The Status form of a fired site, for components that degrade via
+ * the error taxonomy instead of throwing (mosaicd's admission path):
+ * same message as FaultInjectedError, StatusCode::Injected.
+ */
+inline Status
+injectedStatus(std::string_view site)
+{
+    return Status::injected("injected fault at site '" +
+                            std::string(site) + "'");
+}
 
 } // namespace mosaic::fault
 

@@ -6,38 +6,20 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
 #include <mutex>
 #include <optional>
-#include <sstream>
 #include <thread>
 
+#include "fault/checkpoint.hh"
 #include "hash/mix.hh"
 #include "util/log.hh"
+#include "util/parse.hh"
 
 namespace mosaic::fault
 {
 
 namespace
 {
-
-constexpr const char *checkpointMagic = "mosaic-cell-checkpoint v1";
-
-long
-envLong(const char *name, long fallback)
-{
-    const char *value = std::getenv(name);
-    return value != nullptr && *value != '\0' ? std::atol(value)
-                                              : fallback;
-}
-
-double
-envDouble(const char *name, double fallback)
-{
-    const char *value = std::getenv(name);
-    return value != nullptr && *value != '\0' ? std::atof(value)
-                                              : fallback;
-}
 
 /** Filename-safe form of a cell id. */
 std::string
@@ -70,20 +52,23 @@ describeException()
 SweepOptions
 SweepOptions::fromEnv()
 {
+    // Strict parsing (util/parse.hh): a set-but-malformed knob —
+    // including a negative retry count — is an unusable
+    // configuration and exits with the offender quoted, never a
+    // silent default.
     SweepOptions options;
-    const long retries = envLong("MOSAIC_CELL_RETRIES", 2);
-    options.maxAttempts =
-        1 + static_cast<unsigned>(retries < 0 ? 0 : retries);
+    options.maxAttempts = 1 + static_cast<unsigned>(
+        envUnsigned("MOSAIC_CELL_RETRIES", 2));
     options.backoffMs = static_cast<unsigned>(
-        std::max(0L, envLong("MOSAIC_CELL_BACKOFF_MS", 0)));
+        envUnsigned("MOSAIC_CELL_BACKOFF_MS", 0));
     options.watchdogSeconds =
-        std::max(0.0, envDouble("MOSAIC_CELL_TIMEOUT", 0.0));
+        std::max(0.0, envFinite("MOSAIC_CELL_TIMEOUT", 0.0));
     if (const char *dir = std::getenv("MOSAIC_RESUME_DIR");
             dir != nullptr && *dir != '\0') {
         options.resumeDir = dir;
     }
     options.dieAfterCells = static_cast<unsigned>(
-        std::max(0L, envLong("MOSAIC_SWEEP_DIE_AFTER", 0)));
+        envUnsigned("MOSAIC_SWEEP_DIE_AFTER", 0));
     return options;
 }
 
@@ -178,27 +163,23 @@ SweepRunner::run(ThreadPool &pool, std::size_t n,
         const std::string cell = cellId(i);
 
         if (checkpointing) {
-            std::ifstream in(checkpointPath(cell), std::ios::binary);
-            if (in.good()) {
-                std::string line;
-                bool header_ok =
-                    std::getline(in, line) && line == checkpointMagic &&
-                    std::getline(in, line) &&
-                    line == "fingerprint " + options_.fingerprint;
-                if (header_ok) {
-                    std::ostringstream payload;
-                    payload << in.rdbuf();
-                    bool loaded = false;
-                    try {
-                        loaded = load(i, payload.str());
-                    } catch (...) {
-                        loaded = false;
-                    }
-                    if (loaded) {
-                        ++resumed;
-                        return;
-                    }
+            const Result<std::string> payload = readCheckpointFile(
+                checkpointPath(cell), cellCheckpointMagic,
+                options_.fingerprint);
+            if (payload.ok()) {
+                bool loaded = false;
+                try {
+                    loaded = load(i, payload.value());
+                } catch (...) {
+                    loaded = false;
                 }
+                if (loaded) {
+                    ++resumed;
+                    return;
+                }
+            }
+            if (payload.ok() ||
+                    payload.status().code() != StatusCode::NotFound) {
                 warn("sweep " + name_ + ": stale or unreadable "
                      "checkpoint for cell '" + cell +
                      "'; recomputing");
@@ -265,26 +246,13 @@ SweepRunner::run(ThreadPool &pool, std::size_t n,
                      "); not checkpointed");
             }
             if (have_payload) {
-                const std::string path = checkpointPath(cell);
-                const std::string tmp = path + ".tmp";
-                std::ofstream out(tmp,
-                                  std::ios::binary | std::ios::trunc);
-                out << checkpointMagic << '\n'
-                    << "fingerprint " << options_.fingerprint << '\n'
-                    << payload;
-                out.flush();
-                const bool wrote = out.good();
-                out.close();
-                std::error_code ec;
-                if (wrote)
-                    std::filesystem::rename(tmp, path, ec);
-                if (!wrote || ec) {
-                    std::filesystem::remove(tmp, ec);
-                    warn("sweep " + name_ +
-                         ": cannot write checkpoint '" + path + "'");
-                } else {
+                const Status wrote = writeCheckpointFile(
+                    checkpointPath(cell), cellCheckpointMagic,
+                    options_.fingerprint, payload);
+                if (!wrote.ok())
+                    warn("sweep " + name_ + ": " + wrote.message());
+                else
                     ++checkpointed;
-                }
             }
         }
 

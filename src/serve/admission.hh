@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Admission control for mosaicd (DESIGN.md §16): the decision layer
+ * that stands between a client's submit() and the acceptance point
+ * (WAL append + ring push). Every rejection is a *typed* Status and
+ * is attributed to exactly one ShedClass, so the conservation
+ * invariant — submitted == accepted + Σ shed[class] — is checkable
+ * at any quiesce point, and the chaos tests can assert that no
+ * injected fault ever turns into a silent drop.
+ *
+ * The token bucket refills on *logical ticks* (one per submit
+ * attempt), not wall clock, so rate-limit decisions are a pure
+ * function of the submit sequence and replay bit-identically.
+ */
+
+#ifndef MOSAIC_SERVE_ADMISSION_HH_
+#define MOSAIC_SERVE_ADMISSION_HH_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "fault/fault.hh"
+#include "util/random.hh"
+#include "util/status.hh"
+
+namespace mosaic::serve
+{
+
+/** Why a request was shed; each maps to one Status code. */
+enum class ShedClass
+{
+    /** Session reached its accepted-request quota
+     *  (ResourceExhausted). */
+    Quota,
+
+    /** Token bucket empty (ResourceExhausted). */
+    RateLimit,
+
+    /** SPSC ring full — the bounded queue pushed back
+     *  (ResourceExhausted). */
+    Backpressure,
+
+    /** Fault site serve.admit fired (Injected). */
+    Injected,
+
+    /** Write-ahead append failed — injected at serve.log.append or
+     *  a real I/O failure (IoError). */
+    LogIo,
+
+    /** Daemon not running, crashed, or session closing
+     *  (Internal). */
+    Lifecycle,
+};
+
+inline constexpr std::size_t numShedClasses = 6;
+
+constexpr const char *
+shedClassName(ShedClass c)
+{
+    switch (c) {
+      case ShedClass::Quota: return "quota";
+      case ShedClass::RateLimit: return "rateLimit";
+      case ShedClass::Backpressure: return "backpressure";
+      case ShedClass::Injected: return "injected";
+      case ShedClass::LogIo: return "logIo";
+      case ShedClass::Lifecycle: return "lifecycle";
+    }
+    return "unknown";
+}
+
+/**
+ * Deterministic token bucket: capacity `burst` tokens, refilled
+ * `ratePermille` millitokens per admit() call. burst == 0 disables
+ * rate limiting entirely (admit() is always true).
+ *
+ * With burst B and rate R, a client that submits continuously gets
+ * its first B requests through, then roughly R per 1000 attempts —
+ * the shape of a wall-clock bucket, made replayable.
+ */
+class TokenBucket
+{
+  public:
+    TokenBucket() = default;
+
+    TokenBucket(std::uint64_t burst, std::uint64_t rate_permille)
+        : enabled_(burst > 0),
+          capacity_(burst * 1000),
+          level_(burst * 1000),
+          ratePermille_(rate_permille)
+    {
+    }
+
+    bool enabled() const { return enabled_; }
+
+    /** One logical tick: refill, then try to take one token. */
+    bool
+    admit()
+    {
+        if (!enabled_)
+            return true;
+        level_ = std::min(capacity_, level_ + ratePermille_);
+        if (level_ < 1000)
+            return false;
+        level_ -= 1000;
+        return true;
+    }
+
+  private:
+    bool enabled_ = false;
+    std::uint64_t capacity_ = 0;
+    std::uint64_t level_ = 0;
+    std::uint64_t ratePermille_ = 0;
+};
+
+/**
+ * The pre-acceptance checks that do not touch the ring or the log:
+ * quota, rate limit, and the serve.admit fault site, in that fixed
+ * order (the order is part of the determinism contract — a replayed
+ * submit sequence sheds identically). Per-session, client-thread
+ * only, like the injector it drives.
+ */
+class AdmissionController
+{
+  public:
+    AdmissionController() = default;
+
+    AdmissionController(std::uint64_t quota, TokenBucket bucket)
+        : quota_(quota), bucket_(bucket)
+    {
+    }
+
+    /**
+     * Ok to proceed toward acceptance, or the typed shed Status with
+     * *cls set. @p accepted_so_far is the session's accepted count.
+     */
+    Status
+    admit(std::uint64_t accepted_so_far, fault::FaultInjector &inj,
+          ShedClass *cls)
+    {
+        if (quota_ != 0 && accepted_so_far >= quota_) {
+            *cls = ShedClass::Quota;
+            return Status::resourceExhausted(
+                "session quota of " + std::to_string(quota_) +
+                " accepted requests exhausted");
+        }
+        if (!bucket_.admit()) {
+            *cls = ShedClass::RateLimit;
+            return Status::resourceExhausted(
+                "rate limited: token bucket empty");
+        }
+        if (inj.shouldFail("serve.admit")) {
+            *cls = ShedClass::Injected;
+            return fault::injectedStatus("serve.admit");
+        }
+        return {};
+    }
+
+  private:
+    std::uint64_t quota_ = 0;
+    TokenBucket bucket_;
+};
+
+/**
+ * True for Status codes a client may retry: transient sheds
+ * (backpressure, rate limit), injected faults, and I/O failures
+ * (which may be injected-transient; a genuinely broken log keeps
+ * failing and the retry loop gives up at maxAttempts). Lifecycle
+ * rejections (Internal) and programming errors are not retryable —
+ * after a crash the client must re-attach, not hammer a dead daemon.
+ */
+constexpr bool
+retryableShed(StatusCode code)
+{
+    return code == StatusCode::ResourceExhausted ||
+           code == StatusCode::Injected ||
+           code == StatusCode::IoError ||
+           code == StatusCode::Timeout;
+}
+
+/**
+ * Client-side retry with jittered exponential backoff: calls
+ * @p attempt up to @p max_attempts times, sleeping
+ * base·2^k + U[0, base) microseconds between retryable failures.
+ * Returns the first Ok, the first non-retryable Status, or the last
+ * failure when attempts run out. The jitter draws from the caller's
+ * RNG stream so concurrent clients do not retry in lockstep.
+ */
+template <typename Fn>
+Status
+retryWithBackoff(Fn &&attempt, Rng &rng,
+                 unsigned max_attempts = 16,
+                 unsigned base_micros = 50)
+{
+    Status st;
+    for (unsigned a = 0; a < max_attempts; ++a) {
+        st = attempt();
+        if (st.ok() || !retryableShed(st.code()))
+            return st;
+        if (a + 1 == max_attempts)
+            break;
+        const std::uint64_t base = base_micros ? base_micros : 1;
+        const std::uint64_t micros =
+            (base << std::min(a, 10u)) + rng.below(base);
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(micros));
+    }
+    return st;
+}
+
+} // namespace mosaic::serve
+
+#endif // MOSAIC_SERVE_ADMISSION_HH_

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Bounded single-producer / single-consumer ring buffer: the
+ * client→worker request channel of mosaicd (DESIGN.md §16).
+ *
+ * One session = one client thread (the producer) = one owning worker
+ * (the consumer), so SPSC is exactly the required topology and the
+ * ring needs no locks: head and tail are each written by one side
+ * only, with acquire/release pairing on the other side's load.
+ *
+ * Capacity is fixed at construction (rounded up to a power of two)
+ * and the ring never allocates after that: a full ring is the
+ * *backpressure signal* — tryPush fails and the admission layer
+ * sheds with a typed Status instead of queueing unboundedly.
+ *
+ * freeSlots() is exact from the producer's side (only the consumer
+ * can make it grow), which is what lets the admission path check
+ * capacity, append to the write-ahead log, and then push with a
+ * guarantee the push succeeds — the WAL must never record a request
+ * the ring then refuses.
+ */
+
+#ifndef MOSAIC_SERVE_RING_HH_
+#define MOSAIC_SERVE_RING_HH_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/log.hh"
+
+namespace mosaic::serve
+{
+
+template <typename T>
+class SpscRing
+{
+  public:
+    explicit SpscRing(std::size_t capacity)
+        : slots_(std::bit_ceil(capacity < 2 ? std::size_t{2}
+                                            : capacity)),
+          mask_(slots_.size() - 1)
+    {
+    }
+
+    std::size_t capacity() const { return slots_.size(); }
+
+    /**
+     * Producer: append one element; false when full. A false return
+     * is the backpressure signal, not an error.
+     */
+    bool
+    tryPush(const T &value)
+    {
+        const std::uint64_t tail =
+            tail_.load(std::memory_order_relaxed);
+        if (tail - head_.load(std::memory_order_acquire) >=
+                slots_.size())
+            return false;
+        slots_[tail & mask_] = value;
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer: remove the oldest element; false when empty. */
+    bool
+    tryPop(T *out)
+    {
+        const std::uint64_t head =
+            head_.load(std::memory_order_relaxed);
+        if (head == tail_.load(std::memory_order_acquire))
+            return false;
+        *out = slots_[head & mask_];
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Exact from the producer thread; a lower bound elsewhere. */
+    std::size_t
+    freeSlots() const
+    {
+        return slots_.size() -
+               static_cast<std::size_t>(
+                   tail_.load(std::memory_order_relaxed) -
+                   head_.load(std::memory_order_acquire));
+    }
+
+    /** Exact from the consumer thread; an upper bound elsewhere. */
+    std::size_t
+    sizeApprox() const
+    {
+        return static_cast<std::size_t>(
+            tail_.load(std::memory_order_acquire) -
+            head_.load(std::memory_order_acquire));
+    }
+
+    bool empty() const { return sizeApprox() == 0; }
+
+  private:
+    std::vector<T> slots_;
+    std::size_t mask_;
+
+    /** Consumer cursor (popped count). */
+    alignas(64) std::atomic<std::uint64_t> head_{0};
+
+    /** Producer cursor (pushed count). */
+    alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+} // namespace mosaic::serve
+
+#endif // MOSAIC_SERVE_RING_HH_

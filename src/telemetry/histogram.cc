@@ -1,0 +1,57 @@
+#include "telemetry/histogram.hh"
+
+#include <bit>
+#include <string>
+
+namespace mosaic::telemetry
+{
+
+void
+LatencyHistogram::record(std::uint64_t nanos)
+{
+    const std::size_t bucket =
+        nanos < 2 ? 0
+                  : static_cast<std::size_t>(
+                        63 - std::countl_zero(nanos));
+    ++buckets_[bucket < numBuckets ? bucket : numBuckets - 1];
+    ++count_;
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (std::size_t i = 0; i < numBuckets; ++i)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+}
+
+std::uint64_t
+LatencyHistogram::bucketFloorNs(std::size_t i)
+{
+    return i == 0 ? 0 : std::uint64_t{1} << i;
+}
+
+std::uint64_t
+LatencyHistogram::percentileNs(unsigned permille) const
+{
+    if (count_ == 0)
+        return 0;
+    // Rank of the sample at the requested permille (1-based,
+    // ceiling), then the floor of the bucket containing it.
+    const std::uint64_t rank =
+        (count_ * permille + 999) / 1000;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < numBuckets; ++i) {
+        seen += buckets_[i];
+        if (seen >= rank && buckets_[i] > 0)
+            return bucketFloorNs(i);
+    }
+    // permille > 1000 or all-zero tail: the last non-empty bucket.
+    for (std::size_t i = numBuckets; i-- > 0;) {
+        if (buckets_[i] > 0)
+            return bucketFloorNs(i);
+    }
+    return 0;
+}
+
+} // namespace mosaic::telemetry

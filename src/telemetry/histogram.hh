@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Latency histogram for the serving telemetry (DESIGN.md §16): a
+ * log2-bucketed nanosecond histogram whose percentile queries give
+ * the p50/p99/p999 tail figures BENCH_serving.json reports.
+ *
+ * Buckets are powers of two (bucket i covers [2^i, 2^(i+1)) ns, with
+ * bucket 0 covering [0, 2)), so recording is two instructions on the
+ * hot path and the bucket layout is identical on every machine. The
+ * recorded *values* are wall-clock and therefore machine-dependent —
+ * like the microbenches, latency metrics are excluded from byte
+ * comparisons; the deterministic serving counters live next to them.
+ */
+
+#ifndef MOSAIC_TELEMETRY_HISTOGRAM_HH_
+#define MOSAIC_TELEMETRY_HISTOGRAM_HH_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace mosaic::telemetry
+{
+
+/** Log2-bucketed nanosecond latency histogram. */
+class LatencyHistogram
+{
+  public:
+    /** 2^63 ns ≈ 292 years: every latency fits one of 64 buckets. */
+    static constexpr std::size_t numBuckets = 64;
+
+    /** Record one latency sample (saturating at bucket 63). */
+    void record(std::uint64_t nanos);
+
+    /** Merge another histogram's samples into this one. */
+    void merge(const LatencyHistogram &other);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+
+    /** Inclusive lower bound of bucket i in nanoseconds. */
+    static std::uint64_t bucketFloorNs(std::size_t i);
+
+    /**
+     * The smallest bucket floor covering @p permille of samples
+     * (660 = p66, 990 = p99, 999 = p999): an upper-bound-of-bucket
+     * estimator would overstate tails by up to 2x, the floor
+     * understates by at most the same — fine for a log2 histogram
+     * whose job is catching order-of-magnitude tail blowups.
+     * 0 when empty.
+     */
+    std::uint64_t percentileNs(unsigned permille) const;
+
+    /**
+     * Register under "<prefix>.": count, p50/p90/p99/p999 gauges,
+     * and one "bucketNs.<floor>" counter per non-empty bucket (the
+     * CI schema check rebuilds the CDF from these and asserts
+     * monotonicity). Any type with counter()/gauge() works, so the
+     * header stays free of the Registry dependency.
+     */
+    template <typename RegistryT>
+    void
+    registerInto(RegistryT &r, const std::string &prefix) const
+    {
+        r.counter(prefix + ".count", count_);
+        r.gauge(prefix + ".p50Ns",
+                static_cast<double>(percentileNs(500)));
+        r.gauge(prefix + ".p90Ns",
+                static_cast<double>(percentileNs(900)));
+        r.gauge(prefix + ".p99Ns",
+                static_cast<double>(percentileNs(990)));
+        r.gauge(prefix + ".p999Ns",
+                static_cast<double>(percentileNs(999)));
+        for (std::size_t i = 0; i < numBuckets; ++i) {
+            if (buckets_[i] == 0)
+                continue;
+            r.counter(prefix + ".bucketNs." +
+                          std::to_string(bucketFloorNs(i)),
+                      buckets_[i]);
+        }
+    }
+
+  private:
+    std::array<std::uint64_t, numBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+};
+
+} // namespace mosaic::telemetry
+
+#endif // MOSAIC_TELEMETRY_HISTOGRAM_HH_

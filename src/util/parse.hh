@@ -15,8 +15,14 @@
 #ifndef MOSAIC_UTIL_PARSE_HH_
 #define MOSAIC_UTIL_PARSE_HH_
 
+#include <cctype>
+#include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <string>
 #include <string_view>
+
+#include "util/status.hh"
 
 namespace mosaic
 {
@@ -55,6 +61,83 @@ parseU32(std::string_view s, unsigned *out)
         return false;
     *out = static_cast<unsigned>(v);
     return true;
+}
+
+/**
+ * parseU64 with the error taxonomy attached: the one entry point for
+ * MOSAIC_* knobs and tool flags. @p what names the offending knob or
+ * flag in the InvalidArgument message, and the rejected text is
+ * quoted verbatim, so "MOSAIC_T4_STEPS: malformed unsigned integer
+ * '3x'" tells the user exactly which variable to fix. Callers decide
+ * whether a bad value is fatal() (startup configuration) or a usage
+ * error (tool flags).
+ */
+inline Result<std::uint64_t>
+parseUnsigned(std::string_view what, std::string_view text)
+{
+    std::uint64_t v = 0;
+    if (!parseU64(text, &v)) {
+        return Status::invalidArgument(
+            std::string(what) + ": malformed unsigned integer '" +
+            std::string(text) + "' (expected only decimal digits, "
+            "value at most 2^64-1)");
+    }
+    return v;
+}
+
+/**
+ * Strict finite-double parse for scale/probability knobs: the whole
+ * string must be consumed and the value must be finite ("0.5x",
+ * "nan", "" and "1e999" are all malformed, not 0.0).
+ */
+inline Result<double>
+parseFinite(std::string_view what, std::string_view text)
+{
+    const std::string buf(text);
+    const auto reject = [&] {
+        return Status::invalidArgument(
+            std::string(what) + ": malformed number '" + buf + "'");
+    };
+    if (buf.empty() ||
+            std::isspace(static_cast<unsigned char>(buf.front())))
+        return reject();
+    char *end = nullptr;
+    const double v = std::strtod(buf.c_str(), &end);
+    if (end != buf.c_str() + buf.size() || !std::isfinite(v))
+        return reject();
+    return v;
+}
+
+/**
+ * Environment knob readers. Unset (or empty) variables yield the
+ * fallback; a set-but-malformed value is an unusable configuration
+ * and exits via fatal() with the quoted offender — never a silent
+ * default (a typo'd MOSAIC_T4_STEPS=3O must not quietly run the
+ * 5-step default sweep).
+ */
+inline std::uint64_t
+envUnsigned(const char *name, std::uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    const Result<std::uint64_t> parsed = parseUnsigned(name, value);
+    if (!parsed.ok())
+        fatal(parsed.status().toString());
+    return parsed.value();
+}
+
+/** envUnsigned for finite-double knobs (scales, timeouts). */
+inline double
+envFinite(const char *name, double fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    const Result<double> parsed = parseFinite(name, value);
+    if (!parsed.ok())
+        fatal(parsed.status().toString());
+    return parsed.value();
 }
 
 } // namespace mosaic

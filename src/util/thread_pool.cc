@@ -1,11 +1,13 @@
 #include "util/thread_pool.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <exception>
 #include <memory>
 
 #include "util/log.hh"
+#include "util/parse.hh"
 
 namespace mosaic
 {
@@ -63,10 +65,13 @@ ThreadPool::workerLoop()
 unsigned
 ThreadPool::defaultThreadCount()
 {
-    if (const char *env = std::getenv("MOSAIC_THREADS")) {
-        const long parsed = std::atol(env);
-        if (parsed > 0)
-            return static_cast<unsigned>(parsed);
+    // Strict parse (util/parse.hh): MOSAIC_THREADS=1O must not
+    // silently fall back to hardware concurrency. 0 keeps meaning
+    // "use the default" so wrapper scripts can pass it through.
+    if (const std::uint64_t parsed = envUnsigned("MOSAIC_THREADS", 0);
+            parsed > 0) {
+        return static_cast<unsigned>(
+            std::min<std::uint64_t>(parsed, 4096));
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;

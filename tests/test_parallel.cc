@@ -161,10 +161,19 @@ TEST(ThreadPool, DefaultThreadCountHonorsEnvOverride)
 {
     ::setenv("MOSAIC_THREADS", "3", 1);
     EXPECT_EQ(ThreadPool::defaultThreadCount(), 3u);
-    ::setenv("MOSAIC_THREADS", "not-a-number", 1);
-    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
     ::unsetenv("MOSAIC_THREADS");
     EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+}
+
+TEST(ThreadPoolDeathTest, MalformedThreadCountIsFatalNotSilent)
+{
+    // Strict env parsing (util/parse.hh): a typo'd MOSAIC_THREADS
+    // must not silently run at hardware concurrency.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    ::setenv("MOSAIC_THREADS", "not-a-number", 1);
+    EXPECT_EXIT(ThreadPool::defaultThreadCount(),
+                testing::ExitedWithCode(1), "not-a-number");
+    ::unsetenv("MOSAIC_THREADS");
 }
 
 // ------------------------------------------- experiment determinism

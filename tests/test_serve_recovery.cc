@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Crash-recovery differential tests for mosaicd (DESIGN.md §16).
+ *
+ * The core experiment: run a reference daemon to completion, then
+ * run a second daemon over the same traces, kill it at a
+ * fuzz-chosen accepted-count, recover a third daemon from the
+ * survivors' state directory, resume the clients at nextSeq(), and
+ * require the final per-session state digests to be bit-identical
+ * to the reference — at several crash points, under 1 and 4
+ * workers. Also covers the refusal paths: corrupted checkpoint
+ * digests, sequence gaps in the log, and the benign torn tail.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/daemon.hh"
+#include "util/random.hh"
+
+namespace fs = std::filesystem;
+
+using namespace mosaic;
+using namespace mosaic::serve;
+
+namespace
+{
+
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &leaf)
+        : path_(fs::temp_directory_path() / leaf)
+    {
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+    ~TempDir() { fs::remove_all(path_); }
+    std::string str() const { return path_.string(); }
+
+  private:
+    fs::path path_;
+};
+
+ServeConfig
+recoveryConfig(const std::string &dir, unsigned workers)
+{
+    ServeConfig config;
+    config.stateDir = dir;
+    config.workers = workers;
+    config.ringCapacity = 64;
+    config.tlbEntries = 32;
+    config.ways = 4;
+    config.arity = 8;
+    config.footprintBytes = std::uint64_t{1} << 20;
+    config.epochEvery = 64;
+    config.seed = 17;
+    return config;
+}
+
+std::vector<MemRef>
+syntheticTrace(std::uint64_t seed, std::size_t n)
+{
+    Rng rng(seed);
+    std::vector<MemRef> trace;
+    trace.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        trace.push_back(
+            {rng.below(300) * 4096 + rng.below(4096),
+             rng.chance(0.25)});
+    }
+    return trace;
+}
+
+const std::vector<std::string> kClients = {"alice", "bob"};
+
+std::vector<MemRef>
+traceOf(const std::string &client)
+{
+    // Per-client deterministic traces, same across all daemons.
+    return syntheticTrace(client == "alice" ? 101 : 202, 600);
+}
+
+/** Submit every client's full trace (resuming at nextSeq), drain,
+ *  and return client → digest. Asserts conservation. */
+std::map<std::string, std::uint64_t>
+finishAndDigest(Mosaicd &daemon, bool attach_first)
+{
+    std::vector<std::thread> threads;
+    for (const std::string &client : kClients) {
+        threads.emplace_back([&daemon, client, attach_first] {
+            Result<SessionHandle> handle =
+                attach_first ? daemon.attach(client)
+                             : daemon.connect(client);
+            if (!handle.ok() && attach_first)
+                handle = daemon.connect(client);
+            ASSERT_TRUE(handle.ok())
+                << handle.status().toString();
+            SessionHandle session = handle.value();
+            const auto trace = traceOf(client);
+            Rng rng(session.id() ^ 0xFACE);
+            for (std::size_t i = session.nextSeq();
+                 i < trace.size(); ++i) {
+                const Status st = session.submitRetry(
+                    trace[i].vaddr, trace[i].write, rng, 64, 20);
+                ASSERT_TRUE(st.ok()) << st.toString();
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_TRUE(daemon.drain(60.0).ok());
+
+    std::map<std::string, std::uint64_t> digests;
+    for (const SessionSnapshot &snap : daemon.snapshots()) {
+        EXPECT_EQ(snap.submitted,
+                  snap.accepted + snap.shedTotal());
+        EXPECT_EQ(snap.accepted, snap.completed);
+        digests[snap.client] =
+            daemon.stateDigest(snap.id).value();
+    }
+    return digests;
+}
+
+/** Submit until the daemon-wide accepted count reaches
+ *  @p crash_point, then simulate process death. */
+void
+runUntilCrash(Mosaicd &daemon, std::uint64_t crash_point)
+{
+    std::vector<std::thread> threads;
+    std::atomic<bool> dead{false};
+    for (const std::string &client : kClients) {
+        threads.emplace_back([&daemon, &dead, client,
+                              crash_point] {
+            auto handle = daemon.connect(client);
+            ASSERT_TRUE(handle.ok());
+            SessionHandle session = handle.value();
+            const auto trace = traceOf(client);
+            Rng rng(session.id() ^ 0xDEAD);
+            for (std::size_t i = 0; i < trace.size(); ++i) {
+                if (daemon.totals().accepted >= crash_point) {
+                    dead.store(true);
+                    return;
+                }
+                const Status st = session.submitRetry(
+                    trace[i].vaddr, trace[i].write, rng, 64, 20);
+                if (!st.ok())
+                    return; // daemon crashed under us
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    ASSERT_TRUE(dead.load())
+        << "crash point " << crash_point
+        << " was never reached";
+    daemon.crashForTesting();
+    ASSERT_TRUE(daemon.crashed());
+}
+
+} // namespace
+
+TEST(ServeRecovery, CrashedDaemonConvergesToReferenceDigests)
+{
+    // Reference digests, once per worker count.
+    for (unsigned workers : {1u, 4u}) {
+        std::map<std::string, std::uint64_t> reference;
+        {
+            const TempDir ref("serve_recovery_ref_" +
+                              std::to_string(workers));
+            Mosaicd daemon(recoveryConfig(ref.str(), workers));
+            ASSERT_TRUE(daemon.start().ok());
+            reference = finishAndDigest(daemon, false);
+            daemon.stop();
+        }
+        ASSERT_EQ(reference.size(), kClients.size());
+
+        // Fuzz-chosen crash points: anywhere in the stream,
+        // including before/after checkpoint boundaries.
+        Rng pointRng(0xC8A54 + workers);
+        bool sawReplay = false;
+        for (int p = 0; p < 3; ++p) {
+            const std::uint64_t crashPoint =
+                pointRng.between(50, 900);
+            const TempDir dir(
+                "serve_recovery_w" + std::to_string(workers) +
+                "_p" + std::to_string(p));
+
+            {
+                Mosaicd victim(
+                    recoveryConfig(dir.str(), workers));
+                ASSERT_TRUE(victim.start().ok());
+                runUntilCrash(victim, crashPoint);
+            }
+            {
+                Mosaicd revived(
+                    recoveryConfig(dir.str(), workers));
+                const Status st = revived.recoverAndStart();
+                ASSERT_TRUE(st.ok()) << st.toString();
+                const ServeTotals after = revived.totals();
+                EXPECT_EQ(after.recoveredSessions,
+                          kClients.size());
+                if (after.replayed > 0)
+                    sawReplay = true;
+
+                const auto digests =
+                    finishAndDigest(revived, true);
+                EXPECT_EQ(digests, reference)
+                    << "workers=" << workers
+                    << " crashPoint=" << crashPoint;
+                revived.stop();
+            }
+        }
+        EXPECT_TRUE(sawReplay)
+            << "at least one crash point must land past a "
+               "checkpoint (non-empty in-doubt window)";
+    }
+}
+
+TEST(ServeRecovery, CorruptCheckpointDigestIsRefused)
+{
+    const TempDir dir("serve_recovery_badckpt");
+    std::uint64_t sessionId = 0;
+    {
+        Mosaicd daemon(recoveryConfig(dir.str(), 1));
+        ASSERT_TRUE(daemon.start().ok());
+        auto handle = daemon.connect("alice");
+        ASSERT_TRUE(handle.ok());
+        SessionHandle session = handle.value();
+        sessionId = session.id();
+        const auto trace = syntheticTrace(7, 200);
+        Rng rng(1);
+        for (const MemRef &ref : trace)
+            ASSERT_TRUE(session
+                            .submitRetry(ref.vaddr, ref.write,
+                                         rng, 64, 20)
+                            .ok());
+        ASSERT_TRUE(daemon.drain().ok());
+        daemon.crashForTesting();
+    }
+    // Flip the checkpoint's digest: replay will diverge from it.
+    const std::string ckpt =
+        dir.str() + "/s" + std::to_string(sessionId) + ".ckpt";
+    ASSERT_TRUE(fs::exists(ckpt));
+    std::string text;
+    {
+        std::ifstream in(ckpt);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        text = buf.str();
+    }
+    const auto pos = text.find("digest ");
+    ASSERT_NE(pos, std::string::npos);
+    text[pos + 7] = text[pos + 7] == '1' ? '2' : '1';
+    {
+        std::ofstream out(ckpt, std::ios::trunc);
+        out << text;
+    }
+    Mosaicd revived(recoveryConfig(dir.str(), 1));
+    EXPECT_EQ(revived.recoverAndStart().code(),
+              StatusCode::DataLoss);
+}
+
+TEST(ServeRecovery, LogSequenceGapIsRefused)
+{
+    const TempDir dir("serve_recovery_gap");
+    std::uint64_t sessionId = 0;
+    {
+        Mosaicd daemon(recoveryConfig(dir.str(), 1));
+        ASSERT_TRUE(daemon.start().ok());
+        auto handle = daemon.connect("alice");
+        ASSERT_TRUE(handle.ok());
+        SessionHandle session = handle.value();
+        sessionId = session.id();
+        Rng rng(1);
+        for (int i = 0; i < 50; ++i)
+            ASSERT_TRUE(session
+                            .submitRetry(0x1000 * i, false, rng,
+                                         64, 20)
+                            .ok());
+        daemon.stop();
+    }
+    // Excise one interior record: the seq chain now has a hole.
+    const std::string logPath =
+        dir.str() + "/s" + std::to_string(sessionId) + ".log";
+    std::string bytes;
+    {
+        std::ifstream in(logPath, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        bytes = buf.str();
+    }
+    constexpr std::size_t record = 24;
+    ASSERT_GT(bytes.size(), record * 3);
+    const std::size_t cut = bytes.size() - record * 10;
+    bytes.erase(cut, record);
+    {
+        std::ofstream out(logPath,
+                          std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+    Mosaicd revived(recoveryConfig(dir.str(), 1));
+    EXPECT_EQ(revived.recoverAndStart().code(),
+              StatusCode::DataLoss);
+}
+
+TEST(ServeRecovery, TornLogTailIsDiscardedNotFatal)
+{
+    const TempDir dir("serve_recovery_torn");
+    std::uint64_t sessionId = 0;
+    std::uint64_t accepted = 0;
+    {
+        Mosaicd daemon(recoveryConfig(dir.str(), 1));
+        ASSERT_TRUE(daemon.start().ok());
+        auto handle = daemon.connect("alice");
+        ASSERT_TRUE(handle.ok());
+        SessionHandle session = handle.value();
+        sessionId = session.id();
+        Rng rng(1);
+        for (int i = 0; i < 80; ++i)
+            ASSERT_TRUE(session
+                            .submitRetry(0x1000 * i, false, rng,
+                                         64, 20)
+                            .ok());
+        ASSERT_TRUE(daemon.drain().ok());
+        accepted = session.snapshot().accepted;
+        daemon.crashForTesting();
+    }
+    // A torn append: half a record of garbage past the flushed
+    // watermark, as if the process died mid-write.
+    const std::string logPath =
+        dir.str() + "/s" + std::to_string(sessionId) + ".log";
+    {
+        std::ofstream out(logPath,
+                          std::ios::binary | std::ios::app);
+        out.write("\x7f\x33garbage", 9);
+    }
+    Mosaicd revived(recoveryConfig(dir.str(), 1));
+    ASSERT_TRUE(revived.recoverAndStart().ok());
+    auto handle = revived.attach("alice");
+    ASSERT_TRUE(handle.ok());
+    EXPECT_EQ(handle.value().nextSeq(), accepted)
+        << "the torn tail is a never-acked request: discarded";
+    revived.stop();
+}
+
+TEST(ServeRecovery, ManifestTornLastLineIsIgnored)
+{
+    const TempDir dir("serve_recovery_manifest");
+    {
+        Mosaicd daemon(recoveryConfig(dir.str(), 1));
+        ASSERT_TRUE(daemon.start().ok());
+        auto handle = daemon.connect("alice");
+        ASSERT_TRUE(handle.ok());
+        SessionHandle session = handle.value();
+        Rng rng(1);
+        for (int i = 0; i < 30; ++i)
+            ASSERT_TRUE(session
+                            .submitRetry(0x1000 * i, false, rng,
+                                         64, 20)
+                            .ok());
+        daemon.crashForTesting();
+    }
+    // The crash tore the manifest mid-connect of a second client:
+    // no trailing newline, so the line never became durable.
+    {
+        std::ofstream out(dir.str() + "/sessions.meta",
+                          std::ios::app);
+        out << "session 1 client bob asi"; // torn, no newline
+    }
+    Mosaicd revived(recoveryConfig(dir.str(), 1));
+    ASSERT_TRUE(revived.recoverAndStart().ok());
+    EXPECT_EQ(revived.totals().recoveredSessions, 1u);
+    EXPECT_EQ(revived.attach("bob").status().code(),
+              StatusCode::NotFound);
+    revived.stop();
+}

@@ -364,5 +364,60 @@ TEST(Parse, U32RejectsValuesAboveUnsignedRange)
     EXPECT_EQ(v, 4294967295u);
 }
 
+TEST(Parse, UnsignedAttachesTheKnobNameToTheError)
+{
+    const auto ok = parseUnsigned("--steps", "12");
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(ok.value(), 12u);
+
+    for (const char *bad :
+         {"", "3x", "-1", "1.5", "0x10", "18446744073709551616"}) {
+        const auto r = parseUnsigned("MOSAIC_T4_STEPS", bad);
+        ASSERT_FALSE(r.ok()) << "'" << bad << "'";
+        EXPECT_EQ(r.status().code(), StatusCode::InvalidArgument);
+        EXPECT_NE(r.status().message().find("MOSAIC_T4_STEPS"),
+                  std::string::npos)
+            << "the offending knob must be named";
+        EXPECT_NE(r.status().message().find(bad),
+                  std::string::npos)
+            << "the rejected text must be quoted";
+    }
+}
+
+TEST(Parse, FiniteRejectsGarbageNanAndOverflow)
+{
+    EXPECT_DOUBLE_EQ(parseFinite("--scale", "0.25").value(), 0.25);
+    EXPECT_DOUBLE_EQ(parseFinite("--scale", "1e3").value(), 1000.0);
+    for (const char *bad :
+         {"", "0.5x", "nan", "inf", "1e999", " 1", "--2"}) {
+        const auto r = parseFinite("--scale", bad);
+        EXPECT_FALSE(r.ok()) << "'" << bad << "'";
+    }
+}
+
+TEST(Parse, EnvReadersFallBackOnlyWhenUnsetOrEmpty)
+{
+    unsetenv("MOSAIC_TEST_PARSE_KNOB");
+    EXPECT_EQ(envUnsigned("MOSAIC_TEST_PARSE_KNOB", 5), 5u);
+    setenv("MOSAIC_TEST_PARSE_KNOB", "", 1);
+    EXPECT_EQ(envUnsigned("MOSAIC_TEST_PARSE_KNOB", 5), 5u);
+    setenv("MOSAIC_TEST_PARSE_KNOB", "9", 1);
+    EXPECT_EQ(envUnsigned("MOSAIC_TEST_PARSE_KNOB", 5), 9u);
+    setenv("MOSAIC_TEST_PARSE_KNOB", "0.5", 1);
+    EXPECT_DOUBLE_EQ(envFinite("MOSAIC_TEST_PARSE_KNOB", 2.0), 0.5);
+    unsetenv("MOSAIC_TEST_PARSE_KNOB");
+}
+
+TEST(ParseDeathTest, EnvReadersAreFatalOnMalformedValues)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    setenv("MOSAIC_TEST_PARSE_KNOB", "3O", 1);
+    EXPECT_EXIT(envUnsigned("MOSAIC_TEST_PARSE_KNOB", 5),
+                testing::ExitedWithCode(1), "3O");
+    EXPECT_EXIT(envFinite("MOSAIC_TEST_PARSE_KNOB", 1.0),
+                testing::ExitedWithCode(1), "3O");
+    unsetenv("MOSAIC_TEST_PARSE_KNOB");
+}
+
 } // namespace
 } // namespace mosaic

@@ -82,10 +82,11 @@ componentKnown(const std::string &c)
 }
 
 /**
- * Strict numeric option parse. strtoull-with-nullptr used to turn a
- * typo'd value ("1O" for "10") into 0, and a sweep with --seeds 0
- * "passed" having run nothing; malformed values are now a usage
- * error that names the flag.
+ * Strict numeric option parse on the shared parseUnsigned path
+ * (util/parse.hh). strtoull-with-nullptr used to turn a typo'd
+ * value ("1O" for "10") into 0, and a sweep with --seeds 0 "passed"
+ * having run nothing; malformed values are now a usage error whose
+ * InvalidArgument message names the flag and quotes the offender.
  */
 bool
 parseCount(const char *flag, const char *v, std::uint64_t *out)
@@ -94,11 +95,13 @@ parseCount(const char *flag, const char *v, std::uint64_t *out)
         std::cerr << "mosaic_fuzz: missing value for " << flag << "\n";
         return false;
     }
-    if (!parseU64(v, out)) {
-        std::cerr << "mosaic_fuzz: malformed value for " << flag
-                  << ": '" << v << "'\n";
+    const Result<std::uint64_t> parsed = parseUnsigned(flag, v);
+    if (!parsed.ok()) {
+        std::cerr << "mosaic_fuzz: " << parsed.status().toString()
+                  << "\n";
         return false;
     }
+    *out = parsed.value();
     return true;
 }
 

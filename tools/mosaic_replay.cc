@@ -16,13 +16,18 @@
  *                                   identical to the scalar run.
  *                                   Defaults to $MOSAIC_BATCH.
  *
- * Exit status: 0 when every trace passed, 1 when any diverged,
- * 2 on usage errors or unreadable/malformed trace files.
+ * Exit status (each condition distinct, so CI logs are actionable):
+ *   0  every trace replayed cleanly
+ *   1  divergence detected (op index printed to stderr); takes
+ *      precedence when some traces also failed to load
+ *   2  usage error (bad flag / no traces given)
+ *   3  a trace was unreadable or malformed (NOT_FOUND / DATA_LOSS /
+ *      ... printed to stderr) and no trace diverged
  *
  * An unreadable or malformed trace is reported with its structured
- * status (NOT_FOUND / DATA_LOSS / ...) and the remaining traces
- * still run. When MOSAIC_FAULTS is active, the per-trace report also
- * shows how many faults were injected.
+ * status and the remaining traces still run. When MOSAIC_FAULTS is
+ * active, the per-trace report also shows how many faults were
+ * injected.
  */
 
 #include <algorithm>
@@ -34,8 +39,23 @@
 #include "fault/fault.hh"
 #include "oracle/fuzzer.hh"
 #include "oracle/trace.hh"
+#include "util/parse.hh"
 
 using namespace mosaic;
+
+namespace
+{
+
+/** Exit-code policy: divergence (1) outranks unreadable input (3). */
+int
+replayExitCode(bool any_diverged, bool any_unreadable)
+{
+    if (any_diverged)
+        return 1;
+    return any_unreadable ? 3 : 0;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -48,14 +68,15 @@ main(int argc, char **argv)
         if (arg == "--digest") {
             digestOnly = true;
         } else if (arg.rfind("--batch=", 0) == 0) {
-            try {
-                batch = static_cast<unsigned>(std::min(
-                    std::stoul(arg.substr(8)),
-                    static_cast<unsigned long>(maxBatchBlock)));
-            } catch (const std::exception &) {
-                std::cerr << "mosaic_replay: bad " << arg << "\n";
+            const Result<std::uint64_t> parsed =
+                parseUnsigned("--batch", arg.substr(8));
+            if (!parsed.ok()) {
+                std::cerr << "mosaic_replay: "
+                          << parsed.status().toString() << "\n";
                 return 2;
             }
+            batch = static_cast<unsigned>(std::min<std::uint64_t>(
+                parsed.value(), maxBatchBlock));
         } else {
             paths.push_back(arg);
         }
@@ -67,30 +88,30 @@ main(int argc, char **argv)
     }
 
     const bool chaos = fault::FaultPlan::envActive();
-    int status = 0;
+    bool anyDiverged = false;
+    bool anyUnreadable = false;
     for (const std::string &path : paths) {
         const Result<Trace> read = tryReadTraceFile(path);
         if (!read.ok()) {
             // One bad file must not hide the results of the rest.
             std::cerr << path << ": " << read.status().toString()
                       << "\n";
-            status = 2;
+            anyUnreadable = true;
             continue;
         }
         const FuzzResult result = runTrace(read.value(), batch);
+        if (result.divergence) {
+            anyDiverged = true;
+            std::cerr << path << ": DIVERGED at op "
+                      << result.divergence->opIndex << ": "
+                      << result.divergence->message << "\n";
+        }
         if (digestOnly) {
             std::cout << result.digest << " " << result.opsApplied
                       << "\n";
-            if (result.divergence)
-                status = status == 0 ? 1 : status;
             continue;
         }
-        if (result.divergence) {
-            std::cout << path << ": DIVERGED at op "
-                      << result.divergence->opIndex << ": "
-                      << result.divergence->message << "\n";
-            status = status == 0 ? 1 : status;
-        } else {
+        if (!result.divergence) {
             std::cout << path << ": ok, " << result.opsApplied
                       << " ops, digest " << result.digest;
             if (chaos)
@@ -99,5 +120,5 @@ main(int argc, char **argv)
             std::cout << "\n";
         }
     }
-    return status;
+    return replayExitCode(anyDiverged, anyUnreadable);
 }
