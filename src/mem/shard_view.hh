@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Shard-aware views of the iceberg frame pool (DESIGN.md §17).
+ *
+ * A PoolPartition slices one global MemoryGeometry into N equal,
+ * bucket-aligned shard pools. Each shard runs its own full iceberg
+ * allocator over a contiguous frame slice, so a shard-local PFN maps
+ * to the global pool by a fixed offset and the split is exact:
+ * Σ shard frames == global frames, no remainder and no overlap.
+ *
+ * shardRoute() is the ASID -> home-shard map: Lemire multiply-shift
+ * over a strong 64-bit mix, i.e. the high word of mix64(key) * N.
+ * Unlike `key % N` it needs no division and spreads sequential ASIDs
+ * uniformly for any shard count, not just powers of two.
+ */
+
+#ifndef MOSAIC_MEM_SHARD_VIEW_HH_
+#define MOSAIC_MEM_SHARD_VIEW_HH_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "hash/mix.hh"
+#include "mem/geometry.hh"
+#include "util/log.hh"
+#include "util/types.hh"
+
+namespace mosaic
+{
+
+/** Route a 64-bit key to one of @p num_shards shards: the Lemire
+ *  multiply-shift reduction of a mixed key. */
+inline std::uint32_t
+shardRoute(std::uint64_t key, std::uint32_t num_shards)
+{
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>(mix64(key)) * num_shards;
+    return static_cast<std::uint32_t>(product >> 64);
+}
+
+/** An exact, bucket-aligned split of one frame pool into N shards. */
+struct PoolPartition
+{
+    std::size_t numShards = 1;
+    std::size_t framesPerShard = 0;
+
+    /**
+     * Build the partition for @p global split @p shards ways. Fatal
+     * when the pool cannot be split exactly into valid per-shard
+     * geometries (each shard needs a bucket-aligned slice with more
+     * buckets than hash choices).
+     */
+    static PoolPartition
+    split(const MemoryGeometry &global, std::size_t shards)
+    {
+        ensure(shards >= 1, "shard_view: need at least one shard");
+        ensure(global.numFrames % shards == 0,
+               "shard_view: frames must split evenly across shards");
+        PoolPartition p;
+        p.numShards = shards;
+        p.framesPerShard = global.numFrames / shards;
+        // Per-shard geometry must itself be valid; this catches both
+        // misaligned splits and splits too fine for the hash choices.
+        p.shardGeometry(global, 0).check();
+        return p;
+    }
+
+    /** The geometry of one shard's slice: the global shape with
+     *  numFrames cut down to the slice. All shards are identical in
+     *  shape, so shard index only matters for documentation. */
+    MemoryGeometry
+    shardGeometry(const MemoryGeometry &global, std::size_t shard) const
+    {
+        ensure(shard < numShards, "shard_view: shard out of range");
+        MemoryGeometry g = global;
+        g.numFrames = framesPerShard;
+        return g;
+    }
+
+    /** Global PFN of @p local in @p shard. */
+    Pfn
+    toGlobal(std::size_t shard, Pfn local) const
+    {
+        return static_cast<Pfn>(shard * framesPerShard + local);
+    }
+
+    /** Shard-local PFN of a global PFN. */
+    Pfn
+    toLocal(Pfn global) const
+    {
+        return static_cast<Pfn>(global % framesPerShard);
+    }
+
+    /** Which shard a global PFN belongs to. */
+    std::size_t
+    shardOf(Pfn global) const
+    {
+        return static_cast<std::size_t>(global / framesPerShard);
+    }
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_MEM_SHARD_VIEW_HH_

@@ -12,8 +12,7 @@ MosaicVm::MosaicVm(const MosaicVmConfig &config)
       frames_(config.geometry.numFrames),
       rng_(config.seed),
       globalLru_(config.geometry.numFrames),
-      liveOrder_(config.geometry.numFrames),
-      ghostBits_(config.geometry.numFrames)
+      ghosts_(config.geometry.numFrames)
 {
     liveCap_ = config_.policy == EvictionPolicy::ShrunkenCache
         ? static_cast<std::size_t>(
@@ -56,26 +55,13 @@ MosaicVm::isGhostFrame(Pfn pfn) const
 void
 MosaicVm::reapGhosts()
 {
-    // liveOrder_ is in ascending lastAccess order, so every frame the
-    // new horizon ghosted sits at the front. Each frame is reaped at
-    // most once per residency: amortized O(1).
-    while (!liveOrder_.empty() &&
-               frames_.frame(liveOrder_.front()).lastAccess < horizon_) {
-        ghostBits_.set(liveOrder_.front());
-        liveOrder_.popFront();
-        ++ghostCount_;
-    }
+    ghosts_.reap(frames_, horizon_);
 }
 
 void
 MosaicVm::noteFrameFreed(Pfn pfn)
 {
-    if (isGhostFrame(pfn)) {
-        ghostBits_.clear(pfn);
-        --ghostCount_;
-    } else {
-        liveOrder_.remove(pfn);
-    }
+    ghosts_.noteFreed(pfn, isGhostFrame(pfn));
 }
 
 std::uint64_t
@@ -286,11 +272,9 @@ MosaicVm::touchPrepared(Asid asid, Vpn vpn, bool write,
             // LRU would have evicted it; Horizon LRU rescues it. It
             // rejoins the live order as most recently used.
             ++stats_.ghostRescues;
-            ghostBits_.clear(pfn);
-            --ghostCount_;
-            liveOrder_.pushBack(pfn);
+            ghosts_.rescue(pfn);
         } else {
-            liveOrder_.touch(pfn);
+            ghosts_.touchLive(pfn);
         }
         frames_.touch(pfn, clock_, write);
         if (config_.policy == EvictionPolicy::ShrunkenCache)
@@ -324,11 +308,9 @@ MosaicVm::touchPrepared(Asid asid, Vpn vpn, bool write,
                     // Adopting a ghost frame rescues it exactly like a
                     // direct hit on one would.
                     ++stats_.ghostRescues;
-                    ghostBits_.clear(pfn);
-                    --ghostCount_;
-                    liveOrder_.pushBack(pfn);
+                    ghosts_.rescue(pfn);
                 } else {
-                    liveOrder_.touch(pfn);
+                    ghosts_.touchLive(pfn);
                 }
                 frames_.touch(pfn, clock_, write);
                 if (config_.policy == EvictionPolicy::ShrunkenCache)
@@ -350,7 +332,7 @@ MosaicVm::touchPrepared(Asid asid, Vpn vpn, bool write,
     const bool place_injected = config_.faults != nullptr &&
                                 config_.faults->shouldFail("vm.place");
     if (!place_injected)
-        placement = allocator_.place(cand, frames_, ghostBits_);
+        placement = allocator_.place(cand, frames_, ghosts_.bits());
 
     if (!placement &&
             config_.recovery == ConflictRecovery::GhostReclaimRetry) {
@@ -360,7 +342,7 @@ MosaicVm::touchPrepared(Asid asid, Vpn vpn, bool write,
         // the retry succeeds only when the first attempt failed
         // transiently (fault injection) — never on a real conflict.
         reapGhosts();
-        placement = allocator_.place(cand, frames_, ghostBits_);
+        placement = allocator_.place(cand, frames_, ghosts_.bits());
         if (placement)
             ++stats_.recoveredConflicts;
     }
@@ -390,7 +372,7 @@ MosaicVm::touchPrepared(Asid asid, Vpn vpn, bool write,
     // fresh zero-filled page) must be written out if ever evicted.
     const bool dirty = !major || write;
     frames_.map(placement->pfn, PageId{asid, vpn}, clock_, dirty);
-    liveOrder_.pushBack(placement->pfn);
+    ghosts_.recordLive(placement->pfn);
     if (config_.policy == EvictionPolicy::ShrunkenCache)
         globalLru_.pushBack(placement->pfn);
     pt.setCpfn(vpn, placement->cpfn);

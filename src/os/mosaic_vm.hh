@@ -20,11 +20,11 @@
 
 #include "mem/frame_table.hh"
 #include "mem/mosaic_allocator.hh"
+#include "os/ghost_tracker.hh"
 #include "os/lru_list.hh"
 #include "os/swap_device.hh"
 #include "os/virtual_memory.hh"
 #include "pt/mosaic_page_table.hh"
-#include "util/bitvec.hh"
 #include "util/flat_map.hh"
 #include "util/random.hh"
 
@@ -153,13 +153,26 @@ class MosaicVm : public VirtualMemory
 
     /** Resident pages that are ghosts. O(1): the count is maintained
      *  incrementally as the horizon moves and frames churn. */
-    std::size_t ghostPages() const { return ghostCount_; }
+    std::size_t ghostPages() const { return ghosts_.ghostCount(); }
 
     /** Swap-device counters (for telemetry and tests). */
     const SwapDevice &swapDevice() const { return swap_; }
 
     /** Live ToC -> location-ID bindings (LocationId mode; tests). */
     std::size_t locationBindings() const { return locationIds_.size(); }
+
+    /** True when the ToC containing (asid, vpn) has a location-ID
+     *  binding. Never creates tables or bindings, so callers (the
+     *  sharded engine's share routing, the fuzz harnesses) can probe
+     *  freely. Always false in PageIdHash mode. */
+    bool
+    hasLocationBinding(Asid asid, Vpn vpn) const
+    {
+        if (config_.sharing != SharingMode::LocationId)
+            return false;
+        const Mvpn mvpn = vpn >> ceilLog2(config_.arity);
+        return locationIds_.contains(TocKey{asid, mvpn});
+    }
 
     /** Total ToC entries across all location-ID user lists (tests).
      *  Equals locationBindings() when no ToCs are shared. */
@@ -291,19 +304,10 @@ class MosaicVm : public VirtualMemory
     LruList globalLru_;
     std::size_t liveCap_;
 
-    /** Used frames at or above the horizon, in ascending lastAccess
-     *  order. Together with ghostCount_ this makes ghostPages() O(1):
-     *  raising the horizon pops newly ghosted frames off the front. */
-    LruList liveOrder_;
-
-    /** Used frames strictly below the horizon (== ghostPages()). */
-    std::size_t ghostCount_ = 0;
-
-    /** PFN-indexed ghost bits: set iff the frame is used and its
-     *  lastAccess is below the horizon — exactly isGhostFrame(),
-     *  maintained incrementally at the ghost transitions (reap,
-     *  rescue, free). Drives the bitmap placement path. */
-    BitVec ghostBits_;
+    /** Live-order / ghost-count / ghost-bitmap bookkeeping for this
+     *  VM's horizon clock (shared with the sharded engine's shards,
+     *  DESIGN.md §17). */
+    GhostTracker ghosts_;
 
     FlatMap<Asid, std::unique_ptr<MosaicPageTable>> tables_;
 

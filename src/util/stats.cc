@@ -23,6 +23,29 @@ RunningStat::add(double x)
     }
 }
 
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        // Bit-exact copy: the one-shard aggregate must equal the
+        // scalar accumulator verbatim, not "up to rounding".
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double n = na + nb;
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * (na * nb / n);
+    mean_ += delta * (nb / n);
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
+}
+
 double
 RunningStat::stddev() const
 {

@@ -49,6 +49,16 @@ class RunningStat
     void reset() { *this = RunningStat(); }
 
     /**
+     * Fold another accumulator into this one (Chan et al. parallel
+     * combine). Merging into an empty accumulator copies @p other
+     * bit-exactly, so a single-shard aggregate reproduces the scalar
+     * accumulator verbatim; merging two non-empty accumulators gives
+     * the same mean/variance as adding the samples in sequence, up to
+     * floating-point rounding.
+     */
+    void merge(const RunningStat &other);
+
+    /**
      * Serialize the accumulator state to one line of text. Doubles
      * are hexfloat-encoded, so decode() restores them bit-exactly —
      * required by the sweep checkpoint format, whose resumed results

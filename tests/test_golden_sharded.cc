@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Golden-result regression for the sharded multi-tenant sweep
+ * (DESIGN.md §17): the interference mixes re-run with a ride-along
+ * ShardedMosaicVm at shard counts 1 and 4 must reproduce this
+ * checked-in table exactly, at ThreadPool(1) and multi-thread alike
+ * — the engine's determinism contract (bit-identical for any thread
+ * count at a fixed shard count) as a pinned-number test. The TLB-side
+ * tenant results must also be byte-identical to a run with the
+ * engine off: the ride-along never feeds the TLB grid.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/interference.hh"
+#include "util/thread_pool.hh"
+
+namespace mosaic
+{
+namespace
+{
+
+struct GoldenVmCell
+{
+    const char *name;
+    std::uint64_t minorFaults;
+    std::uint64_t swapOuts;
+    std::uint64_t conflicts;
+    std::uint64_t steals;
+    std::uint64_t residentPages;
+};
+
+struct GoldenVmTable
+{
+    std::size_t shards;
+    std::vector<GoldenVmCell> cells;
+};
+
+// Generated with goldenOptions() below. Memory is ample in the
+// interference sweep (the sim's own iceberg allocator requires it),
+// so the engine demand-pages without swapping or stealing — resident
+// pages equal minor faults, identically at 1 and 4 shards; what the
+// table locks down is that partitioned placement never changes the
+// page-in *counts*, only where pages land.
+const std::vector<GoldenVmTable> goldenTables = {
+    {1,
+     {
+         {"gpu_kv", 666, 0, 0, 0, 666},
+         {"server_mix", 1009, 0, 0, 0, 1009},
+         {"gpu_scan", 512, 0, 0, 0, 512},
+         {"full_stack", 1234, 0, 0, 0, 1234},
+     }},
+    {4,
+     {
+         {"gpu_kv", 666, 0, 0, 0, 666},
+         {"server_mix", 1009, 0, 0, 0, 1009},
+         {"gpu_scan", 512, 0, 0, 0, 512},
+         {"full_stack", 1234, 0, 0, 0, 1234},
+     }},
+};
+
+InterferenceOptions
+goldenOptions(std::size_t vm_shards)
+{
+    InterferenceOptions o;
+    o.scale = 1.0 / 64;
+    o.tlbEntries = 256;
+    o.quantum = 1024;
+    o.seed = 1;
+    o.vmShards = vm_shards;
+    return o;
+}
+
+void
+expectVmGolden(const std::vector<InterferenceCell> &cells,
+               const GoldenVmTable &golden)
+{
+    ASSERT_EQ(cells.size(), golden.cells.size());
+    for (std::size_t m = 0; m < cells.size(); ++m) {
+        const InterferenceCell &cell = cells[m];
+        const GoldenVmCell &g = golden.cells[m];
+        EXPECT_EQ(cell.mixName, g.name);
+        EXPECT_EQ(cell.vmShards, golden.shards) << g.name;
+        EXPECT_EQ(cell.vmMinorFaults, g.minorFaults) << g.name;
+        EXPECT_EQ(cell.vmSwapOuts, g.swapOuts) << g.name;
+        EXPECT_EQ(cell.vmConflicts, g.conflicts) << g.name;
+        EXPECT_EQ(cell.vmSteals, g.steals) << g.name;
+        EXPECT_EQ(cell.vmResidentPages, g.residentPages) << g.name;
+    }
+}
+
+void
+expectTenantsIdentical(const std::vector<InterferenceCell> &a,
+                       const std::vector<InterferenceCell> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t m = 0; m < a.size(); ++m) {
+        ASSERT_EQ(a[m].tenants.size(), b[m].tenants.size())
+            << a[m].mixName;
+        EXPECT_EQ(a[m].accesses, b[m].accesses) << a[m].mixName;
+        for (std::size_t t = 0; t < a[m].tenants.size(); ++t) {
+            const InterferenceTenantResult &x = a[m].tenants[t];
+            const InterferenceTenantResult &y = b[m].tenants[t];
+            EXPECT_EQ(x.accesses, y.accesses);
+            EXPECT_EQ(x.quanta, y.quanta);
+            EXPECT_EQ(x.reachPagesSum, y.reachPagesSum);
+            EXPECT_EQ(x.shared.vanillaMisses, y.shared.vanillaMisses);
+            EXPECT_EQ(x.shared.mosaicMisses, y.shared.mosaicMisses);
+            EXPECT_EQ(x.shared.pwcMisses, y.shared.pwcMisses);
+            EXPECT_EQ(x.solo.vanillaMisses, y.solo.vanillaMisses);
+            EXPECT_EQ(x.solo.mosaicMisses, y.solo.mosaicMisses);
+        }
+    }
+}
+
+TEST(GoldenSharded, SerialRunsMatchCheckedInTables)
+{
+    ThreadPool one(1);
+    for (const GoldenVmTable &golden : goldenTables) {
+        expectVmGolden(
+            runInterference(goldenOptions(golden.shards), one),
+            golden);
+    }
+}
+
+TEST(GoldenSharded, ParallelRunsMatchCheckedInTables)
+{
+    ThreadPool many(
+        std::max(4u, std::thread::hardware_concurrency()));
+    for (const GoldenVmTable &golden : goldenTables) {
+        expectVmGolden(
+            runInterference(goldenOptions(golden.shards), many),
+            golden);
+    }
+}
+
+TEST(GoldenSharded, RideAlongEngineNeverPerturbsTlbResults)
+{
+    // vmShards ∈ {0, 1, 4} must yield byte-identical TLB-side tenant
+    // tables: the engine only consumes the data stream, it never
+    // feeds anything back into translation.
+    ThreadPool one(1);
+    const auto off = runInterference(goldenOptions(0), one);
+    const auto one_shard = runInterference(goldenOptions(1), one);
+    const auto four_shards = runInterference(goldenOptions(4), one);
+    expectTenantsIdentical(off, one_shard);
+    expectTenantsIdentical(off, four_shards);
+    for (const InterferenceCell &cell : off) {
+        EXPECT_EQ(cell.vmShards, 0u);
+        EXPECT_EQ(cell.vmMinorFaults, 0u);
+        EXPECT_EQ(cell.vmResidentPages, 0u);
+    }
+}
+
+} // namespace
+} // namespace mosaic

@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Differential tests for the sharded multi-tenant VM engine
+ * (DESIGN.md §17): a one-shard ShardedMosaicVm must be stat-for-stat
+ * and placement-for-placement identical to a plain MosaicVm over 24
+ * seeds × every eviction policy × both sharing modes, and multi-shard
+ * machines must preserve the whole-machine conservation invariants
+ * checked by the shard oracle while exercising the cross-shard
+ * protocols (work stealing, adoption messages, forwarding).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "mem/shard_view.hh"
+#include "oracle/shard_oracle.hh"
+#include "os/mosaic_vm.hh"
+#include "os/sharded_vm.hh"
+#include "util/random.hh"
+#include "util/thread_pool.hh"
+
+using namespace mosaic;
+
+namespace
+{
+
+MemoryGeometry
+tinyGeometry(std::size_t buckets)
+{
+    MemoryGeometry g;
+    g.frontSlots = 6;
+    g.backSlots = 2;
+    g.backChoices = 2;
+    g.numFrames = buckets * g.slotsPerBucket();
+    return g;
+}
+
+struct OpStream
+{
+    /** One deterministic multi-tenant op mix: mostly touches with an
+     *  overcommitted footprint, some unmaps, and (LocationId mode)
+     *  cross-ASID shares of whole mosaic pages. */
+    OpStream(std::uint64_t seed, unsigned num_asids, std::uint64_t tocs,
+             unsigned arity, bool loc_mode)
+        : rng(seed), numAsids(num_asids), numTocs(tocs), arity(arity),
+          locMode(loc_mode)
+    {
+    }
+
+    template <typename Vm>
+    Pfn
+    step(Vm &vm)
+    {
+        const Asid asid = static_cast<Asid>(1 + rng.below(numAsids));
+        const double share_w = (locMode && numAsids >= 2) ? 0.06 : 0.0;
+        const unsigned which = rng.pickWeighted({0.82, 0.12, share_w});
+        if (which == 0) {
+            const std::uint64_t mvpn = rng.below(numTocs);
+            const Vpn vpn = mvpn * arity + rng.below(arity);
+            return vm.touch(asid, vpn, rng.chance(0.35));
+        }
+        if (which == 1) {
+            vm.unmapRange(asid, rng.below(numTocs * arity),
+                          1 + rng.below(2 * std::uint64_t{arity}));
+            return invalidPfn;
+        }
+        Asid da = static_cast<Asid>(1 + rng.below(numAsids));
+        while (da == asid)
+            da = static_cast<Asid>(1 + rng.below(numAsids));
+        const Vpn sv = rng.below(numTocs) * arity;
+        const Vpn dv = rng.below(numTocs) * arity;
+        // Skip rule mirrors the fuzz harness: destination unbound.
+        if (!vm.hasLocationBinding(da, dv))
+            vm.shareRange(asid, sv, da, dv, arity);
+        return invalidPfn;
+    }
+
+    Rng rng;
+    unsigned numAsids;
+    std::uint64_t numTocs;
+    unsigned arity;
+    bool locMode;
+};
+
+void
+expectStatsEqual(const VmStats &a, const VmStats &b)
+{
+    EXPECT_EQ(a.minorFaults, b.minorFaults);
+    EXPECT_EQ(a.majorFaults, b.majorFaults);
+    EXPECT_EQ(a.swapIns, b.swapIns);
+    EXPECT_EQ(a.swapOuts, b.swapOuts);
+    EXPECT_EQ(a.conflicts, b.conflicts);
+    EXPECT_EQ(a.recoveredConflicts, b.recoveredConflicts);
+    EXPECT_EQ(a.ghostEvictions, b.ghostEvictions);
+    EXPECT_EQ(a.ghostRescues, b.ghostRescues);
+    EXPECT_EQ(a.firstConflictUtilization, b.firstConflictUtilization);
+    EXPECT_EQ(a.firstSwapOutUtilization, b.firstSwapOutUtilization);
+    EXPECT_EQ(a.steadyUtilization.count(), b.steadyUtilization.count());
+    EXPECT_EQ(a.steadyUtilization.mean(), b.steadyUtilization.mean());
+    EXPECT_EQ(a.steadyUtilization.sum(), b.steadyUtilization.sum());
+}
+
+ShardedVmConfig
+shardedConfig(std::size_t shards, EvictionPolicy policy,
+              SharingMode sharing, std::uint64_t seed)
+{
+    ShardedVmConfig cfg;
+    cfg.base.geometry = tinyGeometry(4 * shards);
+    cfg.base.arity = 4;
+    cfg.base.policy = policy;
+    cfg.base.sharing = sharing;
+    cfg.base.seed = seed;
+    cfg.shards = shards;
+    return cfg;
+}
+
+} // namespace
+
+TEST(ShardView, RouteIsInRangeAndBalanced)
+{
+    constexpr std::uint32_t shards = 8;
+    std::array<std::size_t, shards> counts{};
+    for (std::uint64_t asid = 0; asid < 64 * 1024; ++asid)
+        ++counts[shardRoute(asid, shards)];
+    for (const std::size_t c : counts) {
+        // A strong mix keeps sequential ASIDs near-uniform: each
+        // shard should land within 15% of the fair share.
+        EXPECT_GT(c, 64 * 1024 / shards * 85 / 100);
+        EXPECT_LT(c, 64 * 1024 / shards * 115 / 100);
+    }
+    for (std::uint64_t key = 0; key < 1000; ++key)
+        EXPECT_EQ(shardRoute(key, 1), 0u);
+}
+
+TEST(ShardView, PartitionRoundTrips)
+{
+    const MemoryGeometry g = tinyGeometry(16);
+    const PoolPartition part = PoolPartition::split(g, 4);
+    EXPECT_EQ(part.framesPerShard, g.numFrames / 4);
+    for (Pfn pfn = 0; pfn < g.numFrames; ++pfn) {
+        const std::size_t s = part.shardOf(pfn);
+        EXPECT_LT(s, 4u);
+        EXPECT_EQ(part.toGlobal(s, part.toLocal(pfn)), pfn);
+    }
+    const MemoryGeometry slice = part.shardGeometry(g, 3);
+    EXPECT_EQ(slice.numFrames, part.framesPerShard);
+    EXPECT_EQ(slice.hashSeed, g.hashSeed);
+}
+
+TEST(ShardViewDeathTest, UnevenSplitIsFatal)
+{
+    const MemoryGeometry g = tinyGeometry(4);
+    EXPECT_DEATH((void)PoolPartition::split(g, 3), "evenly");
+    // 4 buckets over 4 shards: each slice has fewer buckets than
+    // hash choices, so the per-shard geometry is invalid.
+    EXPECT_DEATH((void)PoolPartition::split(g, 4), "buckets");
+}
+
+TEST(ShardedVm, OneShardMatchesScalarStatForStat)
+{
+    constexpr EvictionPolicy policies[] = {EvictionPolicy::HorizonLru,
+                                           EvictionPolicy::LocalLru,
+                                           EvictionPolicy::ShrunkenCache};
+    constexpr SharingMode modes[] = {SharingMode::PageIdHash,
+                                     SharingMode::LocationId};
+    for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+        for (const EvictionPolicy policy : policies) {
+            for (const SharingMode sharing : modes) {
+                const ShardedVmConfig cfg =
+                    shardedConfig(1, policy, sharing, seed * 977);
+                ASSERT_EQ(ShardedMosaicVm::shardConfig(cfg, 0).seed,
+                          cfg.base.seed);
+                MosaicVm scalar(cfg.base);
+                ShardedMosaicVm sharded(cfg);
+                const bool loc = sharing == SharingMode::LocationId;
+                OpStream a(seed, 3, 40, 4, loc);
+                OpStream b(seed, 3, 40, 4, loc);
+                for (int i = 0; i < 1500; ++i) {
+                    const Pfn want = a.step(scalar);
+                    const Pfn got = b.step(sharded);
+                    ASSERT_EQ(got, want)
+                        << "seed " << seed << " op " << i;
+                }
+                expectStatsEqual(sharded.stats(), scalar.stats());
+                EXPECT_EQ(sharded.residentPages(),
+                          scalar.residentPages());
+                EXPECT_EQ(sharded.ghostPages(), scalar.ghostPages());
+                EXPECT_EQ(sharded.locationBindings(),
+                          scalar.locationBindings());
+                EXPECT_EQ(sharded.counters().steals, 0u);
+                EXPECT_EQ(sharded.forwardEntries(), 0u);
+            }
+        }
+    }
+}
+
+TEST(ShardedVm, MultiShardPreservesConservation)
+{
+    for (const std::size_t shards : {std::size_t{2}, std::size_t{4},
+                                     std::size_t{8}}) {
+        for (const SharingMode sharing : {SharingMode::PageIdHash,
+                                          SharingMode::LocationId}) {
+            const ShardedVmConfig cfg = shardedConfig(
+                shards, EvictionPolicy::HorizonLru, sharing, 11);
+            ShardedMosaicVm vm(cfg);
+            const bool loc = sharing == SharingMode::LocationId;
+            OpStream ops(7, 12, 30 * shards, 4, loc);
+            for (int i = 0; i < 4000; ++i) {
+                ops.step(vm);
+                if (i % 256 == 255) {
+                    const auto bad = checkShardConservation(vm);
+                    ASSERT_FALSE(bad.has_value())
+                        << shards << " shards, op " << i << ": "
+                        << *bad;
+                }
+            }
+            const auto bad = checkShardConservation(vm);
+            ASSERT_FALSE(bad.has_value()) << *bad;
+        }
+    }
+}
+
+TEST(ShardedVm, StealsEngageWhenOneShardRunsDry)
+{
+    // Two shards; every ASID in the stream happens to share one home
+    // shard, so its pool runs dry while the other stays empty — the
+    // canonical steal scenario.
+    const ShardedVmConfig cfg = shardedConfig(
+        2, EvictionPolicy::HorizonLru, SharingMode::PageIdHash, 5);
+    ShardedMosaicVm vm(cfg);
+    Asid asid = 1;
+    while (vm.homeShard(asid) != 0)
+        ++asid;
+    const std::size_t frames = vm.numFrames();
+    // Touch twice the whole machine's frames through one ASID: the
+    // home shard conflicts, the donor absorbs the overflow.
+    for (Vpn vpn = 0; vpn < frames * 2; ++vpn)
+        vm.touch(asid, vpn, true);
+    EXPECT_GT(vm.counters().steals, 0u);
+    EXPECT_GT(vm.forwardEntries(), 0u);
+    EXPECT_GT(vm.shard(1).residentPages(), 0u);
+    const auto bad = checkShardConservation(vm);
+    ASSERT_FALSE(bad.has_value()) << *bad;
+
+    // Stolen pages stay pinned to their donor: re-touching resolves
+    // at the forwarded shard, not home.
+    std::vector<std::pair<Vpn, std::size_t>> stolen;
+    vm.forEachForward([&](std::uint64_t key, std::uint32_t target) {
+        stolen.emplace_back(key & ((std::uint64_t{1} << 48) - 1),
+                            target);
+    });
+    ASSERT_FALSE(stolen.empty());
+    for (const auto &[vpn, target] : stolen)
+        EXPECT_EQ(vm.routeOf(asid, vpn), target);
+
+    // Unmapping the whole range re-homes every page: forwarding
+    // entries die with their pages.
+    vm.unmapRange(asid, 0, frames * 2);
+    EXPECT_EQ(vm.forwardEntries(), 0u);
+    EXPECT_EQ(vm.residentPages(), 0u);
+    ASSERT_FALSE(checkShardConservation(vm).has_value());
+}
+
+TEST(ShardedVm, CrossShardAdoptionSharesFrames)
+{
+    const ShardedVmConfig cfg = shardedConfig(
+        4, EvictionPolicy::HorizonLru, SharingMode::LocationId, 21);
+    ShardedMosaicVm vm(cfg);
+    // Pick a source and destination ASID homed on different shards.
+    Asid src = 1;
+    Asid dst = 2;
+    while (vm.homeShard(dst) == vm.homeShard(src))
+        ++dst;
+    for (Vpn vpn = 0; vpn < 8; ++vpn)
+        vm.touch(src, vpn, true);
+    vm.shareRange(src, 0, dst, 0, 8);
+    EXPECT_EQ(vm.counters().msgsPosted, 2u);
+    EXPECT_EQ(vm.counters().msgsDrained, 2u);
+    EXPECT_EQ(vm.counters().crossShardAdoptions, 2u);
+    // Both mappings resolve to the same global frames, at the source
+    // owner's shard.
+    for (Vpn vpn = 0; vpn < 8; ++vpn) {
+        const Pfn via_src = vm.touch(src, vpn, false);
+        const Pfn via_dst = vm.touch(dst, vpn, false);
+        EXPECT_EQ(via_dst, via_src);
+        EXPECT_EQ(vm.partition().shardOf(via_dst),
+                  vm.homeShard(src));
+    }
+    EXPECT_TRUE(vm.hasLocationBinding(dst, 0));
+    ASSERT_FALSE(checkShardConservation(vm).has_value());
+}
+
+TEST(ShardedVm, BatchMatchesScalarLoopAndIsThreadInvariant)
+{
+    for (const SharingMode sharing : {SharingMode::PageIdHash,
+                                      SharingMode::LocationId}) {
+        const ShardedVmConfig cfg = shardedConfig(
+            4, EvictionPolicy::HorizonLru, sharing, 31);
+        // Build the touch stream once: overcommitted enough to fault
+        // and evict, but routed across shards so no single shard runs
+        // fully dry (the no-steal regime where batch ≡ scalar).
+        Rng rng(99);
+        std::vector<PageTouch> stream;
+        for (int i = 0; i < 3000; ++i) {
+            stream.push_back(
+                PageTouch{static_cast<Asid>(1 + rng.below(16)),
+                          rng.below(120), rng.chance(0.3)});
+        }
+
+        ShardedMosaicVm scalar(cfg);
+        std::vector<Pfn> want(stream.size());
+        for (std::size_t i = 0; i < stream.size(); ++i) {
+            want[i] = scalar.touch(stream[i].asid, stream[i].vpn,
+                                   stream[i].write);
+        }
+
+        std::vector<Pfn> serial(stream.size());
+        std::vector<Pfn> threaded(stream.size());
+        for (const unsigned workers : {1u, 4u}) {
+            ThreadPool pool(workers);
+            ShardedMosaicVm vm(cfg);
+            std::vector<Pfn> &out = workers == 1 ? serial : threaded;
+            // Drive through the pool so the engine's parallelFor
+            // nests under an explicit worker count.
+            parallelFor(pool, 1, [&](std::size_t) {
+                for (std::size_t i = 0; i < stream.size(); i += 64) {
+                    const std::size_t n =
+                        std::min<std::size_t>(64, stream.size() - i);
+                    vm.touchBatch({stream.data() + i, n}, out.data() + i);
+                }
+            });
+            if (vm.counters().steals == 0 &&
+                    scalar.counters().steals == 0) {
+                EXPECT_EQ(out, want);
+                const VmStats batched = vm.stats();
+                expectStatsEqual(batched, scalar.stats());
+            }
+            ASSERT_FALSE(checkShardConservation(vm).has_value());
+        }
+        EXPECT_EQ(serial, threaded);
+    }
+}
+
+TEST(ShardedVm, BatchDrainsDeferredOpsDeterministically)
+{
+    // Force the steal gate inside a batch: one ASID overflows its
+    // home shard mid-block. The deferred serial drain must produce
+    // identical results at 1 and 4 workers.
+    const ShardedVmConfig cfg = shardedConfig(
+        2, EvictionPolicy::HorizonLru, SharingMode::PageIdHash, 5);
+    ShardedMosaicVm probe(cfg);
+    Asid asid = 1;
+    while (probe.homeShard(asid) != 0)
+        ++asid;
+    std::vector<PageTouch> stream;
+    for (Vpn vpn = 0; vpn < probe.numFrames() * 2; ++vpn)
+        stream.push_back(PageTouch{asid, vpn, true});
+
+    std::vector<std::vector<Pfn>> outs;
+    for (const unsigned workers : {1u, 4u}) {
+        ThreadPool pool(workers);
+        ShardedMosaicVm vm(cfg);
+        std::vector<Pfn> out(stream.size());
+        parallelFor(pool, 1, [&](std::size_t) {
+            for (std::size_t i = 0; i < stream.size(); i += 128) {
+                const std::size_t n =
+                    std::min<std::size_t>(128, stream.size() - i);
+                vm.touchBatch({stream.data() + i, n}, out.data() + i);
+            }
+        });
+        EXPECT_GT(vm.counters().steals, 0u);
+        EXPECT_GT(vm.counters().deferredBatchOps, 0u);
+        ASSERT_FALSE(checkShardConservation(vm).has_value());
+        outs.push_back(std::move(out));
+    }
+    EXPECT_EQ(outs[0], outs[1]);
+}
+
+TEST(ShardedVm, ShardConfigSlicesPoolAndMixesSeeds)
+{
+    const ShardedVmConfig cfg = shardedConfig(
+        4, EvictionPolicy::HorizonLru, SharingMode::PageIdHash, 123);
+    const MosaicVmConfig s0 = ShardedMosaicVm::shardConfig(cfg, 0);
+    const MosaicVmConfig s1 = ShardedMosaicVm::shardConfig(cfg, 1);
+    EXPECT_EQ(s0.seed, cfg.base.seed);
+    EXPECT_NE(s1.seed, cfg.base.seed);
+    EXPECT_EQ(s0.geometry.numFrames, cfg.base.geometry.numFrames / 4);
+    EXPECT_EQ(s1.geometry.hashSeed, cfg.base.geometry.hashSeed);
+}

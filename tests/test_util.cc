@@ -165,6 +165,54 @@ TEST(RunningStat, Reset)
     EXPECT_EQ(s.mean(), 0.0);
 }
 
+TEST(RunningStat, MergeCombinesPartitions)
+{
+    // Split one sample stream into two halves; the merged stat must
+    // agree with the single-stream fold.
+    const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    RunningStat whole;
+    RunningStat a;
+    RunningStat b;
+    for (int i = 0; i < 8; ++i) {
+        whole.add(xs[i]);
+        (i < 3 ? a : b).add(xs[i]);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_DOUBLE_EQ(a.mean(), whole.mean());
+    EXPECT_DOUBLE_EQ(a.sum(), whole.sum());
+    EXPECT_DOUBLE_EQ(a.min(), whole.min());
+    EXPECT_DOUBLE_EQ(a.max(), whole.max());
+    EXPECT_NEAR(a.stddev(), whole.stddev(), 1e-12);
+}
+
+TEST(RunningStat, MergeIntoEmptyIsBitExactCopy)
+{
+    // The shards=1 identity depends on merge-into-empty being a
+    // verbatim copy, not a recomputation.
+    RunningStat src;
+    src.add(0.1);
+    src.add(0.7);
+    src.add(0.30000000000000004);
+    RunningStat dst;
+    dst.merge(src);
+    EXPECT_EQ(dst.count(), src.count());
+    EXPECT_EQ(dst.mean(), src.mean());
+    EXPECT_EQ(dst.sum(), src.sum());
+    EXPECT_EQ(dst.stddev(), src.stddev());
+}
+
+TEST(RunningStat, MergeEmptyIsNoOp)
+{
+    RunningStat s;
+    s.add(5.0);
+    const double mean = s.mean();
+    RunningStat empty;
+    s.merge(empty);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.mean(), mean);
+}
+
 TEST(Histogram, BucketsAndClamping)
 {
     Histogram h(4, 10.0);

@@ -59,9 +59,9 @@ int
 usage()
 {
     std::cerr <<
-        "usage: mosaic_fuzz [--component vm|tlb|iceberg|tlb-stride|\n"
-        "                    tlb-pwc|tlb-range|wl-warp|wl-kv|\n"
-        "                    wl-session|wl-scan|all]\n"
+        "usage: mosaic_fuzz [--component vm|vm-shard|tlb|iceberg|\n"
+        "                    tlb-stride|tlb-pwc|tlb-range|wl-warp|\n"
+        "                    wl-kv|wl-session|wl-scan|all]\n"
         "                   [--seeds N] [--first-seed S] [--ops N]\n"
         "                   [--out DIR] [--batch N]\n";
     return 2;
@@ -71,7 +71,7 @@ bool
 componentKnown(const std::string &c)
 {
     static const char *known[] = {
-        "all",     "vm",         "tlb",     "iceberg",
+        "all",     "vm",         "vm-shard", "tlb",     "iceberg",
         "tlb-stride", "tlb-pwc", "tlb-range",
         "wl-warp", "wl-kv",      "wl-session", "wl-scan"};
     for (const char *k : known) {
@@ -166,9 +166,9 @@ main(int argc, char **argv)
 
     std::vector<std::string> components;
     if (opts.component == "all")
-        components = {"vm",         "tlb",     "iceberg",
-                      "tlb-stride", "tlb-pwc", "tlb-range",
-                      "wl-warp",    "wl-kv",   "wl-session",
+        components = {"vm",         "vm-shard", "tlb",     "iceberg",
+                      "tlb-stride", "tlb-pwc",  "tlb-range",
+                      "wl-warp",    "wl-kv",    "wl-session",
                       "wl-scan"};
     else
         components = {opts.component};
